@@ -1,0 +1,253 @@
+// Command uei-explore runs a live interactive data exploration at the
+// terminal: UEI proposes one tuple per iteration, the human answers y/n
+// ("is this the kind of object you are looking for?"), and after the label
+// budget is spent the engine retrieves everything the learned model
+// considers relevant.
+//
+// Usage:
+//
+//	uei-explore -store ./store            # over an ingested store
+//	uei-explore -gen 50000 -labels 30     # self-contained demo
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/uei-db/uei/internal/al"
+	"github.com/uei-db/uei/internal/chunkstore"
+	"github.com/uei-db/uei/internal/core"
+	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/ide"
+	"github.com/uei-db/uei/internal/learn"
+	"github.com/uei-db/uei/internal/oracle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uei-explore:", err)
+		os.Exit(1)
+	}
+}
+
+// humanLabeler asks the terminal user for each label.
+type humanLabeler struct {
+	in      *bufio.Reader
+	columns []string
+	count   int
+}
+
+// Label implements ide.Labeler.
+func (h *humanLabeler) Label(id uint32, row []float64) oracle.Label {
+	h.count++
+	fmt.Printf("\n[%d] tuple #%d:\n", h.count, id)
+	for i, c := range h.columns {
+		fmt.Printf("      %-8s = %g\n", c, row[i])
+	}
+	for {
+		fmt.Print("      relevant? [y/n/q]: ")
+		line, err := h.in.ReadString('\n')
+		if err != nil {
+			fmt.Println("\n(input closed; treating as not relevant)")
+			return oracle.Negative
+		}
+		switch strings.ToLower(strings.TrimSpace(line)) {
+		case "y", "yes":
+			return oracle.Positive
+		case "n", "no":
+			return oracle.Negative
+		case "q", "quit":
+			fmt.Println("(quit requested; remaining answers default to not relevant)")
+			return oracle.Negative
+		}
+	}
+}
+
+// Count implements ide.Labeler.
+func (h *humanLabeler) Count() int { return h.count }
+
+// allRowIDs enumerates 0..n-1.
+func allRowIDs(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(i)
+	}
+	return out
+}
+
+// mustSchema rebuilds a schema from stored column names; the store
+// validated them at build time.
+func mustSchema(columns []string) dataset.Schema {
+	return dataset.MustSchema(columns...)
+}
+
+func run() error {
+	var (
+		storeDir = flag.String("store", "", "existing UEI store directory (from uei-ingest)")
+		gen      = flag.Int("gen", 0, "generate a synthetic store of this many tuples first")
+		seed     = flag.Int64("seed", 1, "seed for generation and sampling")
+		labels   = flag.Int("labels", 25, "label budget (iterations)")
+		budget   = flag.Int64("budget", 8<<20, "memory budget in bytes")
+		maxShow  = flag.Int("show", 20, "max result tuples to print")
+		auto     = flag.Bool("auto", false, "demo mode: a simulated user answers instead of you")
+		savePath = flag.String("save", "", "write a session snapshot (labeled set) here at the end")
+		loadPath = flag.String("resume", "", "resume from a session snapshot written by -save")
+	)
+	flag.Parse()
+
+	dir := *storeDir
+	if dir == "" {
+		if *gen <= 0 {
+			return fmt.Errorf("either -store or -gen is required")
+		}
+		tmp, err := os.MkdirTemp("", "uei-explore-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		fmt.Printf("generating %d synthetic tuples and building a store in %s...\n", *gen, tmp)
+		ds, err := dataset.GenerateSky(dataset.SkyConfig{N: *gen, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := core.Build(tmp, ds, core.BuildOptions{TargetChunkBytes: 64 * 1024}); err != nil {
+			return err
+		}
+		dir = tmp
+	}
+
+	idx, err := core.Open(dir, core.Options{
+		MemoryBudgetBytes: *budget,
+		EnablePrefetch:    true,
+		Seed:              *seed,
+	}, nil)
+	if err != nil {
+		return err
+	}
+	defer idx.Close()
+
+	st, err := chunkstore.Open(dir, nil)
+	if err != nil {
+		return err
+	}
+	columns := st.Manifest().Columns
+	scales := idx.Store().Bounds().Widths()
+
+	provider, err := ide.NewUEIProvider(idx)
+	if err != nil {
+		return err
+	}
+	provider.RetrievalCutoff = 0.05
+
+	var labeler ide.Labeler
+	seedWithPositive := false
+	if *auto {
+		// Demo mode: rebuild the tuples from the store and synthesize a
+		// medium target region; a simulated user answers the questions.
+		rows, err := idx.Store().FetchRows(allRowIDs(st.RowCount()))
+		if err != nil {
+			return err
+		}
+		ds := dataset.New(mustSchema(columns), len(rows))
+		for _, r := range rows {
+			if _, err := ds.Append(r.Vals); err != nil {
+				return err
+			}
+		}
+		region, err := oracle.FindRegion(ds, 0.004, 0.4, *seed, 12)
+		if err != nil {
+			return err
+		}
+		user, err := oracle.New(ds, region)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("auto mode: simulated user seeks a region holding %d tuples (%.2f%%)\n",
+			user.RelevantCount(), region.Selectivity(ds)*100)
+		labeler = ide.OracleLabeler{O: user}
+		seedWithPositive = true
+	} else {
+		labeler = &humanLabeler{in: bufio.NewReader(os.Stdin), columns: columns}
+	}
+
+	cfg := ide.Config{
+		MaxLabels:        *labels,
+		EstimatorFactory: func() learn.Classifier { return learn.NewDWKNN(7, scales) },
+		Strategy:         al.LeastConfidence{},
+		Seed:             *seed,
+		// A human cannot be asked for a guaranteed-positive example id, so
+		// interactive sessions start with pure random acquisition; answer
+		// "y" to at least one early tuple or the model cannot start
+		// learning. Auto mode seeds from the simulated user.
+		SeedWithPositive: seedWithPositive,
+	}
+	var sess *ide.Session
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			return err
+		}
+		snap, err := ide.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resuming from %s (%d labels already given)\n", *loadPath, len(snap.IDs))
+		sess, err = ide.NewSessionFromSnapshot(cfg, provider, labeler, snap)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		sess, err = ide.NewSession(cfg, provider, labeler)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("\nexploring %d tuples; you will label up to %d examples.\n", st.RowCount(), *labels)
+	fmt.Println("answer y if the shown tuple matches what you are looking for.")
+	res, err := sess.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nexploration finished: %d labels, %d iterations, %d tuples retrieved as relevant.\n",
+		res.LabelsUsed, res.Iterations, len(res.Positive))
+	show := len(res.Positive)
+	if show > *maxShow {
+		show = *maxShow
+	}
+	if show > 0 {
+		fmt.Printf("first %d results:\n", show)
+		rows, err := idx.Store().FetchRows(res.Positive[:show])
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("  #%-8d %v\n", r.ID, r.Vals)
+		}
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			return err
+		}
+		err = sess.Snapshot().Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("session snapshot written to %s\n", *savePath)
+	}
+
+	stats := idx.Stats()
+	fmt.Printf("\nindex stats: %d region swaps, %d deferred, %d prefetch hits, %d bytes read, peak memory %d bytes\n",
+		stats.RegionSwaps, stats.SwapsDeferred, stats.PrefetchHits, stats.BytesRead, stats.PeakMemory)
+	return nil
+}

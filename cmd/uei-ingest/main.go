@@ -1,0 +1,163 @@
+// Command uei-ingest builds a UEI index (columnar inverted chunk store +
+// manifest) from a numeric CSV file, or from the built-in synthetic SDSS
+// generator. It corresponds to UEI's once-per-dataset Index Initialization
+// phase (Algorithm 2 lines 1-11).
+//
+// Usage:
+//
+//	uei-ingest -csv photoobj.csv -out ./store
+//	uei-ingest -gen 1000000 -seed 7 -out ./store -chunk 481280
+//	uei-ingest -inspect ./store
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/uei-db/uei/internal/chunkstore"
+	"github.com/uei-db/uei/internal/core"
+	"github.com/uei-db/uei/internal/dataset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uei-ingest:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		csvPath  = flag.String("csv", "", "numeric CSV with a header row to ingest")
+		gen      = flag.Int("gen", 0, "generate this many synthetic SDSS-like tuples instead of reading a CSV")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("out", "", "output store directory (must be empty or absent)")
+		chunk    = flag.Int("chunk", chunkstore.DefaultTargetChunkBytes, "target chunk size in bytes (Table 1: 481280 = 470KB)")
+		inspect  = flag.String("inspect", "", "print a summary of an existing store and exit")
+		external = flag.Bool("external", false, "stream the CSV through the external-sort builder (bounded memory, for inputs larger than RAM)")
+		spill    = flag.Int("spill", 1<<20, "external build: max (value,id) pairs buffered per dimension before spilling")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		return inspectStore(*inspect)
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	if *external {
+		if *csvPath == "" {
+			return fmt.Errorf("-external requires -csv (streamed input)")
+		}
+		start := time.Now()
+		fmt.Printf("streaming %s through the external-sort builder...\n", *csvPath)
+		st, err := buildExternalFromCSV(*csvPath, *out, *chunk, *spill)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("index built in %v (%d rows, bounded memory)\n", time.Since(start).Round(time.Millisecond), st.RowCount())
+		return inspectStore(*out)
+	}
+
+	var ds *dataset.Dataset
+	var err error
+	start := time.Now()
+	switch {
+	case *csvPath != "" && *gen > 0:
+		return fmt.Errorf("-csv and -gen are mutually exclusive")
+	case *csvPath != "":
+		fmt.Printf("reading %s...\n", *csvPath)
+		ds, err = dataset.ReadCSVFile(*csvPath)
+	case *gen > 0:
+		fmt.Printf("generating %d synthetic SDSS-like tuples (seed %d)...\n", *gen, *seed)
+		ds, err = dataset.GenerateSky(dataset.SkyConfig{N: *gen, Seed: *seed})
+	default:
+		return fmt.Errorf("one of -csv or -gen is required")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d tuples x %d attributes (%s), %d bytes raw, loaded in %v\n",
+		ds.Len(), ds.Dims(), ds.Schema(), ds.SizeBytes(), time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	if err := core.Build(*out, ds, core.BuildOptions{TargetChunkBytes: *chunk}); err != nil {
+		return err
+	}
+	fmt.Printf("index built in %v\n", time.Since(start).Round(time.Millisecond))
+	return inspectStore(*out)
+}
+
+// buildExternalFromCSV streams a headered numeric CSV row by row into the
+// external-sort builder, never holding the dataset in memory.
+func buildExternalFromCSV(path, out string, chunk, spill int) (*chunkstore.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open %s: %w", path, err)
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read csv header: %w", err)
+	}
+	columns := append([]string(nil), header...)
+	row := make([]float64, len(columns))
+	line := 1
+	iter := func() ([]float64, bool, error) {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil, false, nil
+		}
+		line++
+		if err != nil {
+			return nil, false, fmt.Errorf("csv line %d: %w", line, err)
+		}
+		if len(rec) != len(columns) {
+			return nil, false, fmt.Errorf("csv line %d has %d fields, want %d", line, len(rec), len(columns))
+		}
+		for i, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, false, fmt.Errorf("csv line %d field %q: %w", line, columns[i], err)
+			}
+			row[i] = v
+		}
+		return row, true, nil
+	}
+	return chunkstore.BuildExternal(out, columns, iter, chunkstore.ExternalBuildOptions{
+		TargetChunkBytes: chunk,
+		MaxPairsInMemory: spill,
+	})
+}
+
+func inspectStore(dir string) error {
+	st, err := chunkstore.Open(dir, nil)
+	if err != nil {
+		return err
+	}
+	m := st.Manifest()
+	fmt.Printf("store %s:\n", dir)
+	fmt.Printf("  rows:          %d\n", st.RowCount())
+	fmt.Printf("  dimensions:    %d (%v)\n", st.Dims(), m.Columns)
+	fmt.Printf("  total bytes:   %d\n", st.TotalBytes())
+	fmt.Printf("  chunk target:  %d bytes\n", m.TargetChunkBytes)
+	for d, chunks := range m.Chunks {
+		var bytes int64
+		var refs int
+		for _, c := range chunks {
+			bytes += c.Bytes
+			refs += c.RowRefs
+		}
+		fmt.Printf("  dim %d (%s): %d chunks, %d bytes, %d row refs, values [%g, %g]\n",
+			d, m.Columns[d], len(chunks), bytes, refs, m.MinValues[d], m.MaxValues[d])
+	}
+	return nil
+}

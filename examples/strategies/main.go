@@ -1,0 +1,168 @@
+// Strategies: compare active-learning query strategies on the same
+// exploration task (§2.1 of the paper surveys them; Table 1 fixes
+// uncertainty sampling for the evaluation).
+//
+// Each strategy explores the same target region with the same label budget
+// over the UEI index; the example reports the accuracy each one reaches
+// and the user effort needed to pass F1 = 0.6.
+//
+// Run with: go run ./examples/strategies
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/uei-db/uei/internal/al"
+	"github.com/uei-db/uei/internal/core"
+	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/ide"
+	"github.com/uei-db/uei/internal/learn"
+	"github.com/uei-db/uei/internal/metrics"
+	"github.com/uei-db/uei/internal/oracle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: 40_000, Seed: 5})
+	if err != nil {
+		return err
+	}
+	region, err := oracle.FindRegion(ds, 0.004, 0.3, 13, 12)
+	if err != nil {
+		return err
+	}
+	bounds, err := ds.Bounds()
+	if err != nil {
+		return err
+	}
+	scales := bounds.Widths()
+
+	dir, err := os.MkdirTemp("", "uei-strategies-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := core.Build(dir, ds, core.BuildOptions{TargetChunkBytes: 64 * 1024}); err != nil {
+		return err
+	}
+
+	dwknnFactory := func() learn.Classifier { return learn.NewDWKNN(7, scales) }
+	committeeFactory := func() learn.Classifier {
+		com, err := learn.NewCommittee(5, 17, func(int) learn.Classifier {
+			return learn.NewDWKNN(7, scales)
+		})
+		if err != nil {
+			panic(err)
+		}
+		return com
+	}
+
+	cases := []struct {
+		name      string
+		strategy  al.Scorer
+		estimator func() learn.Classifier
+	}{
+		{"uncertainty (least confidence)", al.LeastConfidence{}, dwknnFactory},
+		{"uncertainty (margin)", al.Margin{}, dwknnFactory},
+		{"uncertainty (entropy)", al.Entropy{}, dwknnFactory},
+		{"query-by-committee", al.QueryByCommittee{}, committeeFactory},
+		{"random (passive)", al.NewRandom(23), dwknnFactory},
+	}
+
+	fmt.Printf("%-32s %10s %14s\n", "strategy", "final F1", "labels to 0.6")
+	for _, c := range cases {
+		finalF1, effort, err := explore(ds, dir, region, c.strategy, c.estimator)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		fmt.Printf("%-32s %10.3f %14s\n", c.name, finalF1, effort)
+	}
+	return nil
+}
+
+// explore runs one session and reports final accuracy and the labels
+// needed to reach F1 = 0.6.
+func explore(ds *dataset.Dataset, dir string, region oracle.Region, strategy al.Scorer, estimator func() learn.Classifier) (float64, string, error) {
+	idx, err := core.Open(dir, core.Options{
+		MemoryBudgetBytes: ds.SizeBytes() / 40,
+		Seed:              29,
+	}, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	defer idx.Close()
+	provider, err := ide.NewUEIProvider(idx)
+	if err != nil {
+		return 0, "", err
+	}
+
+	user, err := oracle.New(ds, region)
+	if err != nil {
+		return 0, "", err
+	}
+	curve := &metrics.Series{Name: strategy.Name()}
+	eval := func(model learn.Classifier) (float64, error) {
+		var conf metrics.Confusion
+		var evalErr error
+		ds.Scan(func(id dataset.RowID, row []float64) bool {
+			// Sampled evaluation: every 8th tuple keeps the demo fast.
+			if id%8 != 0 {
+				return true
+			}
+			cls, err := learn.Predict(model, row)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			conf.Observe(cls == learn.ClassPositive, user.Relevant(id))
+			return true
+		})
+		return conf.F1(), evalErr
+	}
+
+	var evalErr error
+	sess, err := ide.NewSession(ide.Config{
+		MaxLabels:        70,
+		EstimatorFactory: estimator,
+		Strategy:         strategy,
+		Seed:             29,
+		SeedWithPositive: true,
+		OnIteration: func(it ide.IterationInfo) {
+			if it.LabelsGiven%5 != 0 {
+				return
+			}
+			f1, err := eval(it.Model)
+			if err != nil {
+				evalErr = err
+				return
+			}
+			curve.Append(float64(it.LabelsGiven), f1)
+		},
+	}, provider, ide.OracleLabeler{O: user})
+	if err != nil {
+		return 0, "", err
+	}
+	res, err := sess.Run()
+	if err != nil {
+		return 0, "", err
+	}
+	if evalErr != nil {
+		return 0, "", evalErr
+	}
+	final, err := eval(res.Model)
+	if err != nil {
+		return 0, "", err
+	}
+	effort := "n/a"
+	if x, ok := curve.FirstXReaching(0.6); ok {
+		effort = fmt.Sprintf("%.0f", x)
+	}
+	return final, effort, nil
+}

@@ -1,0 +1,3 @@
+module github.com/uei-db/uei
+
+go 1.22

@@ -1,0 +1,111 @@
+package al
+
+import (
+	"fmt"
+
+	"github.com/uei-db/uei/internal/learn"
+)
+
+// ExpectedErrorReduction implements the expected-error-reduction query
+// strategy (references [22] and, for regression, [5]): a candidate's score
+// is the expected decrease in the model's total uncertainty over a fixed
+// evaluation sample if the candidate were labeled and the model retrained.
+//
+// For each candidate x and each hypothetical label y' ∈ {0,1}, a fresh
+// classifier is trained on L ∪ {(x, y')} and its summed least-confidence
+// uncertainty over the evaluation sample is computed; the two sums are
+// weighted by the current model's p(y'|x). The score is the negated
+// expected future uncertainty, so argmax selection picks the candidate that
+// most reduces it.
+//
+// The strategy is O(|eval| · retrain) per candidate — the cost the paper
+// cites as the reason uncertainty sampling is preferred — so it is intended
+// for the strategy ablation over small candidate pools only.
+type ExpectedErrorReduction struct {
+	// Factory builds the throwaway classifiers used for lookahead.
+	Factory func() learn.Classifier
+	// Eval is the fixed unlabeled sample over which future uncertainty is
+	// measured.
+	Eval [][]float64
+
+	labeledX [][]float64
+	labeledY []int
+}
+
+// NewExpectedErrorReduction constructs the strategy.
+func NewExpectedErrorReduction(factory func() learn.Classifier, eval [][]float64) (*ExpectedErrorReduction, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("al: expected-error-reduction needs a classifier factory")
+	}
+	if len(eval) == 0 {
+		return nil, fmt.Errorf("al: expected-error-reduction needs a non-empty evaluation sample")
+	}
+	return &ExpectedErrorReduction{Factory: factory, Eval: eval}, nil
+}
+
+// Name implements Scorer.
+func (*ExpectedErrorReduction) Name() string { return "expected-error-reduction" }
+
+// SetLabeled implements LabeledAware; the engine calls it after retraining.
+func (e *ExpectedErrorReduction) SetLabeled(X [][]float64, y []int) error {
+	if len(X) != len(y) {
+		return fmt.Errorf("al: labeled set size mismatch: %d vs %d", len(X), len(y))
+	}
+	e.labeledX = X
+	e.labeledY = y
+	return nil
+}
+
+// Score implements Scorer.
+func (e *ExpectedErrorReduction) Score(m learn.Classifier, x []float64) (float64, error) {
+	if len(e.labeledX) == 0 {
+		return 0, fmt.Errorf("al: expected-error-reduction requires SetLabeled before scoring")
+	}
+	p, err := m.PosteriorPositive(x)
+	if err != nil {
+		return 0, err
+	}
+	var expected float64
+	for _, hyp := range []struct {
+		label  int
+		weight float64
+	}{
+		{learn.ClassNegative, 1 - p},
+		{learn.ClassPositive, p},
+	} {
+		if hyp.weight == 0 {
+			continue
+		}
+		future, err := e.futureUncertainty(x, hyp.label)
+		if err != nil {
+			return 0, err
+		}
+		expected += hyp.weight * future
+	}
+	return -expected, nil
+}
+
+// futureUncertainty trains a lookahead model with the hypothetical label and
+// sums its least-confidence uncertainty over the evaluation sample.
+func (e *ExpectedErrorReduction) futureUncertainty(x []float64, label int) (float64, error) {
+	X := make([][]float64, 0, len(e.labeledX)+1)
+	y := make([]int, 0, len(e.labeledY)+1)
+	X = append(X, e.labeledX...)
+	y = append(y, e.labeledY...)
+	X = append(X, x)
+	y = append(y, label)
+
+	c := e.Factory()
+	if err := c.Fit(X, y); err != nil {
+		return 0, fmt.Errorf("al: lookahead fit: %w", err)
+	}
+	var sum float64
+	for _, u := range e.Eval {
+		v, err := learn.Uncertainty(c, u)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum, nil
+}

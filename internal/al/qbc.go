@@ -1,0 +1,42 @@
+package al
+
+import (
+	"fmt"
+
+	"github.com/uei-db/uei/internal/learn"
+)
+
+// QueryByCommittee scores candidates by the disagreement among the members
+// of a bootstrap committee (reference [21]). The model passed to Score must
+// be a *learn.Committee; the IDE engine arranges this by constructing the
+// session with a committee estimator when this strategy is chosen.
+type QueryByCommittee struct {
+	// SoftVote, when set, scores by the entropy of the mean posterior
+	// instead of the hard vote-disagreement fraction, giving a smoother
+	// ranking for small committees.
+	SoftVote bool
+}
+
+// Name implements Scorer.
+func (q QueryByCommittee) Name() string {
+	if q.SoftVote {
+		return "qbc-soft"
+	}
+	return "qbc"
+}
+
+// Score implements Scorer.
+func (q QueryByCommittee) Score(m learn.Classifier, x []float64) (float64, error) {
+	com, ok := m.(*learn.Committee)
+	if !ok {
+		return 0, fmt.Errorf("al: query-by-committee requires a committee model, got %T", m)
+	}
+	if q.SoftVote {
+		p, err := com.PosteriorPositive(x)
+		if err != nil {
+			return 0, err
+		}
+		return binaryEntropy(p), nil
+	}
+	return com.VoteDisagreement(x)
+}

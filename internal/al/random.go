@@ -1,0 +1,27 @@
+package al
+
+import (
+	"math/rand"
+
+	"github.com/uei-db/uei/internal/learn"
+)
+
+// Random assigns every candidate an independent uniform score, making the
+// argmax a uniform draw from the pool. It is the passive-learning baseline
+// against which the informed strategies are ablated.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random strategy seeded for reproducibility.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Scorer.
+func (*Random) Name() string { return "random" }
+
+// Score implements Scorer. The model is ignored by design.
+func (r *Random) Score(_ learn.Classifier, _ []float64) (float64, error) {
+	return r.rng.Float64(), nil
+}

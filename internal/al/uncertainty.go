@@ -1,0 +1,61 @@
+package al
+
+import (
+	"math"
+
+	"github.com/uei-db/uei/internal/learn"
+)
+
+// LeastConfidence is Eq. (1) of the paper, u(x) = 1 - p(ŷ|x): the
+// uncertainty-sampling variant UEI is built around. For a binary model the
+// score equals min(p, 1-p) and is maximized at p = 0.5.
+type LeastConfidence struct{}
+
+// Name implements Scorer.
+func (LeastConfidence) Name() string { return "least-confidence" }
+
+// Score implements Scorer.
+func (LeastConfidence) Score(m learn.Classifier, x []float64) (float64, error) {
+	return learn.Uncertainty(m, x)
+}
+
+// Margin scores by the (negated) margin between the two class posteriors:
+// 1 - |p(+|x) - p(-|x)|. For binary classifiers it ranks candidates exactly
+// like least confidence but on a different scale; it is provided for parity
+// with the uncertainty-sampling literature surveyed in [20].
+type Margin struct{}
+
+// Name implements Scorer.
+func (Margin) Name() string { return "margin" }
+
+// Score implements Scorer.
+func (Margin) Score(m learn.Classifier, x []float64) (float64, error) {
+	p, err := m.PosteriorPositive(x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - math.Abs(2*p-1), nil
+}
+
+// Entropy scores by the Shannon entropy of the posterior distribution,
+// H(p) = -p log p - (1-p) log (1-p), in nats.
+type Entropy struct{}
+
+// Name implements Scorer.
+func (Entropy) Name() string { return "entropy" }
+
+// Score implements Scorer.
+func (Entropy) Score(m learn.Classifier, x []float64) (float64, error) {
+	p, err := m.PosteriorPositive(x)
+	if err != nil {
+		return 0, err
+	}
+	return binaryEntropy(p), nil
+}
+
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log(p) - (1-p)*math.Log(1-p)
+}

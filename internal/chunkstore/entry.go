@@ -1,0 +1,69 @@
+// Package chunkstore implements UEI's secondary-storage layout (§3.1,
+// Figure 2): the dataset is vertically decomposed; each dimension is sorted
+// ascending and stored as an inverted index of <value, {row ids}> postings;
+// the postings of each dimension are split into equal-size chunks, each a
+// separate file on disk, with values in strictly increasing order across a
+// dimension's chunk sequence. A JSON manifest records, per chunk, its file,
+// entry count, and value range, which is what the grid's mapping method m
+// consults to find the chunks that rebuild a subspace.
+package chunkstore
+
+import (
+	"sort"
+
+	"github.com/uei-db/uei/internal/dataset"
+)
+
+// Entry is one inverted-index posting: a distinct attribute value and the
+// ascending ids of the rows holding it.
+type Entry struct {
+	Value float64
+	Rows  []uint32
+}
+
+// decompose performs the vertical decomposition of Algorithm 2 (lines 2-4)
+// for a single dimension: it groups row ids by value and returns the
+// entries sorted ascending by value, each posting list sorted ascending.
+func decompose(ds *dataset.Dataset, dim int) []Entry {
+	byValue := make(map[float64][]uint32)
+	ds.Scan(func(id dataset.RowID, row []float64) bool {
+		v := row[dim]
+		byValue[v] = append(byValue[v], uint32(id))
+		return true
+	})
+	entries := make([]Entry, 0, len(byValue))
+	for v, rows := range byValue {
+		// Scan visits ids in ascending order, so posting lists arrive
+		// sorted; keep that invariant explicit for the codec's delta
+		// encoding.
+		entries = append(entries, Entry{Value: v, Rows: rows})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Value < entries[j].Value })
+	return entries
+}
+
+// entryEncodedSize returns the exact byte size the codec will use for the
+// entry, so the writer can cut equal-size chunks without encoding twice.
+func entryEncodedSize(e Entry) int {
+	n := 8 + uvarintLen(uint64(len(e.Rows)))
+	prev := uint32(0)
+	for i, r := range e.Rows {
+		d := r
+		if i > 0 {
+			d = r - prev
+		}
+		n += uvarintLen(uint64(d))
+		prev = r
+	}
+	return n
+}
+
+// uvarintLen returns the encoded length of v in unsigned varint form.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,161 @@
+package chunkstore
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/vec"
+)
+
+func TestBuildExternalMatchesInMemoryBuild(t *testing.T) {
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: 3000, Seed: 201})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memDir := t.TempDir()
+	memStore, err := Build(memDir, ds, BuildOptions{TargetChunkBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extDir := t.TempDir()
+	// Tiny spill buffer so many runs and the k-way merge are exercised.
+	extStore, err := BuildExternal(extDir, ds.Schema().Names(), DatasetIterator(ds), ExternalBuildOptions{
+		TargetChunkBytes: 2048,
+		MaxPairsInMemory: 257,
+		TempDir:          t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Manifests must agree exactly: same chunk boundaries, counts, ranges.
+	mm, em := memStore.Manifest(), extStore.Manifest()
+	if mm.RowCount != em.RowCount {
+		t.Fatalf("row counts %d vs %d", mm.RowCount, em.RowCount)
+	}
+	if !vec.Equal(mm.MinValues, em.MinValues) || !vec.Equal(mm.MaxValues, em.MaxValues) {
+		t.Fatal("bounds differ")
+	}
+	for d := range mm.Chunks {
+		if len(mm.Chunks[d]) != len(em.Chunks[d]) {
+			t.Fatalf("dim %d: %d vs %d chunks", d, len(mm.Chunks[d]), len(em.Chunks[d]))
+		}
+		for i := range mm.Chunks[d] {
+			a, b := mm.Chunks[d][i], em.Chunks[d][i]
+			if a.Entries != b.Entries || a.RowRefs != b.RowRefs ||
+				a.MinValue != b.MinValue || a.MaxValue != b.MaxValue || a.Bytes != b.Bytes {
+				t.Fatalf("dim %d chunk %d differs: %+v vs %+v", d, i, a, b)
+			}
+		}
+	}
+
+	// And the reconstructed data must agree on random regions.
+	bounds, _ := ds.Bounds()
+	widths := bounds.Widths()
+	center := ds.Row(42)
+	min := make([]float64, 5)
+	max := make([]float64, 5)
+	for j := 0; j < 5; j++ {
+		min[j] = center[j] - widths[j]*0.15
+		max[j] = center[j] + widths[j]*0.15
+	}
+	box := vec.NewBox(min, max)
+	a, _, err := memStore.MergeRegion(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := extStore.MergeRegion(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("merge results differ: %d vs %d rows", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || !vec.Equal(a[i].Vals, b[i].Vals) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestBuildExternalReopen(t *testing.T) {
+	ds, _ := dataset.GenerateSky(dataset.SkyConfig{N: 500, Seed: 202})
+	dir := t.TempDir()
+	if _, err := BuildExternal(dir, ds.Schema().Names(), DatasetIterator(ds), ExternalBuildOptions{
+		TargetChunkBytes: 1024,
+		MaxPairsInMemory: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RowCount() != 500 {
+		t.Errorf("RowCount = %d", st.RowCount())
+	}
+	rows, err := st.FetchRows([]uint32{0, 499})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !vec.Equal(r.Vals, ds.Row(dataset.RowID(r.ID))) {
+			t.Errorf("row %d differs after external build", r.ID)
+		}
+	}
+}
+
+func TestBuildExternalValidation(t *testing.T) {
+	ds, _ := dataset.GenerateSky(dataset.SkyConfig{N: 10, Seed: 1})
+	iter := DatasetIterator(ds)
+	if _, err := BuildExternal(t.TempDir(), nil, iter, ExternalBuildOptions{}); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := BuildExternal(t.TempDir(), ds.Schema().Names(), nil, ExternalBuildOptions{}); err == nil {
+		t.Error("nil iterator should fail")
+	}
+	if _, err := BuildExternal(t.TempDir(), ds.Schema().Names(), iter, ExternalBuildOptions{TargetChunkBytes: 8}); err == nil {
+		t.Error("tiny chunk target should fail")
+	}
+	empty := func() ([]float64, bool, error) { return nil, false, nil }
+	if _, err := BuildExternal(t.TempDir(), ds.Schema().Names(), empty, ExternalBuildOptions{}); err == nil {
+		t.Error("empty stream should fail")
+	}
+	ragged := func() func() ([]float64, bool, error) {
+		i := 0
+		return func() ([]float64, bool, error) {
+			i++
+			if i == 1 {
+				return []float64{1, 2, 3, 4, 5}, true, nil
+			}
+			return []float64{1}, true, nil
+		}
+	}()
+	if _, err := BuildExternal(t.TempDir(), ds.Schema().Names(), ragged, ExternalBuildOptions{}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	failing := func() ([]float64, bool, error) { return nil, false, fmt.Errorf("source broke") }
+	if _, err := BuildExternal(t.TempDir(), ds.Schema().Names(), failing, ExternalBuildOptions{}); err == nil {
+		t.Error("iterator error should propagate")
+	}
+	if _, err := BuildExternal(t.TempDir(), ds.Schema().Names(), iter, ExternalBuildOptions{MaxPairsInMemory: -1}); err == nil {
+		t.Error("negative buffer should fail")
+	}
+}
+
+func TestBuildExternalNoSpill(t *testing.T) {
+	// Buffer larger than the dataset: the residual-only merge path.
+	ds, _ := dataset.GenerateSky(dataset.SkyConfig{N: 200, Seed: 203})
+	dir := t.TempDir()
+	st, err := BuildExternal(dir, ds.Schema().Names(), DatasetIterator(ds), ExternalBuildOptions{
+		TargetChunkBytes: 1024,
+		MaxPairsInMemory: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RowCount() != 200 {
+		t.Errorf("RowCount = %d", st.RowCount())
+	}
+}

@@ -1,0 +1,178 @@
+package chunkstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/uei-db/uei/internal/vec"
+)
+
+// MergedRow is one reconstructed tuple.
+type MergedRow struct {
+	ID   uint32
+	Vals []float64
+}
+
+// partial accumulates a tuple during the hash merge. hits counts how many
+// dimensions have landed a value; a row is complete only when hits equals
+// the dimensionality (i.e. the row's value lies inside the box on every
+// dimension).
+type partial struct {
+	vals []float64
+	hits int
+}
+
+// MergeRegion reconstructs every tuple whose coordinates all fall inside
+// box, by streaming the overlapping chunks of each dimension through a
+// row-id hash table exactly as §3.1 describes: one chunk in memory at a
+// time, entries visited sequentially, the chunk buffer released before the
+// next chunk is loaded. Rows that match some but not all dimensions are
+// discarded at the end.
+//
+// The returned rows are sorted by id for determinism. MergeRegion also
+// reports how many posting entries were visited (the paper's e term) so
+// callers can verify the O(k·e) claim.
+func (s *Store) MergeRegion(box vec.Box) (rows []MergedRow, entriesVisited int, err error) {
+	dims := s.Dims()
+	if box.Dims() != dims {
+		return nil, 0, fmt.Errorf("chunkstore: box has %d dims, store has %d", box.Dims(), dims)
+	}
+	var chunks []ChunkMeta
+	for d := 0; d < dims; d++ {
+		overlap, err := s.ChunksOverlapping(d, box.Min[d], box.Max[d])
+		if err != nil {
+			return nil, 0, err
+		}
+		chunks = append(chunks, overlap...)
+	}
+	return s.MergeChunks(box, chunks)
+}
+
+// MergeChunks is MergeRegion with an explicit chunk list, letting UEI's
+// precomputed mapping method m supply the chunks instead of re-deriving
+// them from the manifest. The chunk list must cover (possibly with slack)
+// every chunk whose value range intersects the box on its own dimension;
+// extra chunks cost I/O but not correctness.
+func (s *Store) MergeChunks(box vec.Box, chunks []ChunkMeta) (rows []MergedRow, entriesVisited int, err error) {
+	dims := s.Dims()
+	if box.Dims() != dims {
+		return nil, 0, fmt.Errorf("chunkstore: box has %d dims, store has %d", box.Dims(), dims)
+	}
+	byDim := make([][]ChunkMeta, dims)
+	for _, c := range chunks {
+		if c.Dim < 0 || c.Dim >= dims {
+			return nil, 0, fmt.Errorf("chunkstore: chunk %s has dimension %d out of range", c.File, c.Dim)
+		}
+		byDim[c.Dim] = append(byDim[c.Dim], c)
+	}
+
+	table := make(map[uint32]*partial)
+	for d := 0; d < dims; d++ {
+		lo, hi := box.Min[d], box.Max[d]
+		for _, meta := range byDim[d] {
+			entries, err := s.ReadChunk(meta)
+			if err != nil {
+				return nil, 0, err
+			}
+			for _, e := range entries {
+				entriesVisited++
+				if e.Value < lo {
+					continue
+				}
+				if e.Value > hi {
+					break // entries are sorted; nothing further matches
+				}
+				for _, id := range e.Rows {
+					p := table[id]
+					if p == nil {
+						if d > 0 {
+							// The row already failed an earlier dimension;
+							// creating it now could only produce a false
+							// positive with NaN holes, so skip it.
+							continue
+						}
+						p = &partial{vals: newNaNRow(dims)}
+						table[id] = p
+					}
+					if p.hits != d {
+						// Missed at least one earlier dimension.
+						continue
+					}
+					p.vals[d] = e.Value
+					p.hits++
+				}
+			}
+			// entries goes out of scope here: the chunk buffer is released
+			// and its space reused for the next chunk (§3.1).
+		}
+		// Drop rows that did not land a value in this dimension; they can
+		// never complete, and pruning keeps the table within the region's
+		// working set rather than the first dimension's slab.
+		for id, p := range table {
+			if p.hits != d+1 {
+				delete(table, id)
+			}
+		}
+	}
+
+	rows = make([]MergedRow, 0, len(table))
+	for id, p := range table {
+		if p.hits == dims {
+			rows = append(rows, MergedRow{ID: id, Vals: p.vals})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	return rows, entriesVisited, nil
+}
+
+// FetchRows reconstructs the tuples with the given ids by streaming every
+// chunk once (a single full pass over the store). It backs the
+// initialization-time uniform sample of Algorithm 2 line 12; per-iteration
+// code never calls it.
+func (s *Store) FetchRows(ids []uint32) ([]MergedRow, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	dims := s.Dims()
+	want := make(map[uint32]*partial, len(ids))
+	for _, id := range ids {
+		if int(id) >= s.RowCount() {
+			return nil, fmt.Errorf("chunkstore: row %d out of range [0,%d)", id, s.RowCount())
+		}
+		want[id] = &partial{vals: newNaNRow(dims)}
+	}
+	for d := 0; d < dims; d++ {
+		for _, meta := range s.manifest.Chunks[d] {
+			entries, err := s.ReadChunk(meta)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				for _, id := range e.Rows {
+					if p, ok := want[id]; ok {
+						p.vals[d] = e.Value
+						p.hits++
+					}
+				}
+			}
+		}
+	}
+	out := make([]MergedRow, 0, len(want))
+	for id, p := range want {
+		if p.hits != dims {
+			return nil, fmt.Errorf("chunkstore: row %d incomplete after full pass (%d/%d dims); store is inconsistent", id, p.hits, dims)
+		}
+		out = append(out, MergedRow{ID: id, Vals: p.vals})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+func newNaNRow(dims int) []float64 {
+	vals := make([]float64, dims)
+	for i := range vals {
+		vals[i] = math.NaN()
+	}
+	return vals
+}

@@ -1,0 +1,246 @@
+package chunkstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/iothrottle"
+	"github.com/uei-db/uei/internal/vec"
+)
+
+// DefaultTargetChunkBytes matches Table 1's "Size of Individual Data Chunk:
+// 470KB".
+const DefaultTargetChunkBytes = 470 * 1024
+
+// BuildOptions configures Build.
+type BuildOptions struct {
+	// TargetChunkBytes is the equal-size chunk target; chunks are cut as
+	// soon as their encoded payload reaches it. Zero selects
+	// DefaultTargetChunkBytes.
+	TargetChunkBytes int
+	// Limiter, when non-nil, meters chunk reads (not writes: Build is the
+	// once-per-dataset initialization phase). It is retained by the
+	// returned Store.
+	Limiter *iothrottle.Limiter
+}
+
+// Store is an opened chunk store. Reads are safe for concurrent use; the
+// store itself holds no mutable state beyond I/O counters.
+type Store struct {
+	dir      string
+	manifest *Manifest
+	limiter  *iothrottle.Limiter
+
+	bytesRead  atomic.Int64
+	chunksRead atomic.Int64
+}
+
+// Build creates a chunk store in dir (which must be empty or absent) from
+// the dataset, implementing Algorithm 2 lines 2-6: vertical decomposition,
+// per-dimension sort, split into equal-size chunk files, plus the manifest
+// the mapping method m is derived from.
+func Build(dir string, ds *dataset.Dataset, opts BuildOptions) (*Store, error) {
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("chunkstore: refusing to build from an empty dataset")
+	}
+	target := opts.TargetChunkBytes
+	if target == 0 {
+		target = DefaultTargetChunkBytes
+	}
+	if target < 64 {
+		return nil, fmt.Errorf("chunkstore: target chunk size %d below 64-byte minimum", target)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("chunkstore: create %s: %w", dir, err)
+	}
+	if entries, err := os.ReadDir(dir); err != nil {
+		return nil, fmt.Errorf("chunkstore: inspect %s: %w", dir, err)
+	} else if len(entries) > 0 {
+		return nil, fmt.Errorf("chunkstore: directory %s is not empty", dir)
+	}
+
+	dims := ds.Dims()
+	bounds, err := ds.Bounds()
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{
+		FormatVersion:    manifestFormatVersion,
+		Columns:          ds.Schema().Names(),
+		RowCount:         ds.Len(),
+		TargetChunkBytes: target,
+		Chunks:           make([][]ChunkMeta, dims),
+		MinValues:        bounds.Min,
+		MaxValues:        bounds.Max,
+	}
+
+	for d := 0; d < dims; d++ {
+		entries := decompose(ds, d)
+		chunks, err := writeDimensionChunks(dir, d, entries, target)
+		if err != nil {
+			return nil, err
+		}
+		m.Chunks[d] = chunks
+	}
+	if err := saveManifest(dir, m); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, manifest: m, limiter: opts.Limiter}, nil
+}
+
+// writeDimensionChunks splits one dimension's sorted entries into
+// equal-size chunk files and returns their metadata.
+func writeDimensionChunks(dir string, dim int, entries []Entry, target int) ([]ChunkMeta, error) {
+	var metas []ChunkMeta
+	var pending []Entry
+	pendingBytes := 0
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		meta, err := writeChunkFile(dir, dim, len(metas), pending)
+		if err != nil {
+			return err
+		}
+		metas = append(metas, meta)
+		pending = pending[:0]
+		pendingBytes = 0
+		return nil
+	}
+	for _, e := range entries {
+		pending = append(pending, e)
+		pendingBytes += entryEncodedSize(e)
+		if pendingBytes >= target {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return metas, nil
+}
+
+// writeChunkFile encodes and persists one chunk, returning its metadata.
+// It is shared by the in-memory and external build paths.
+func writeChunkFile(dir string, dim, seq int, entries []Entry) (ChunkMeta, error) {
+	name := fmt.Sprintf("d%02d_c%05d.chk", dim, seq)
+	data, err := encodeChunk(dim, entries)
+	if err != nil {
+		return ChunkMeta{}, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		return ChunkMeta{}, fmt.Errorf("chunkstore: write chunk %s: %w", name, err)
+	}
+	refs := 0
+	for _, e := range entries {
+		refs += len(e.Rows)
+	}
+	return ChunkMeta{
+		File:     name,
+		Dim:      dim,
+		Seq:      seq,
+		Entries:  len(entries),
+		RowRefs:  refs,
+		MinValue: entries[0].Value,
+		MaxValue: entries[len(entries)-1].Value,
+		Bytes:    int64(len(data)),
+	}, nil
+}
+
+// Open loads an existing store's manifest. limiter may be nil for
+// unthrottled reads.
+func Open(dir string, limiter *iothrottle.Limiter) (*Store, error) {
+	m, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, manifest: m, limiter: limiter}, nil
+}
+
+// Manifest returns the store's metadata. Callers must treat it as
+// read-only.
+func (s *Store) Manifest() *Manifest { return s.manifest }
+
+// Dims returns the number of dimensions.
+func (s *Store) Dims() int { return len(s.manifest.Columns) }
+
+// RowCount returns the number of tuples in the store.
+func (s *Store) RowCount() int { return s.manifest.RowCount }
+
+// Bounds returns the per-dimension value bounds recorded at build time.
+func (s *Store) Bounds() vec.Box {
+	return vec.NewBox(s.manifest.MinValues, s.manifest.MaxValues)
+}
+
+// TotalBytes returns the on-disk payload size of all chunks, the
+// denominator of "memory budget as a fraction of data size".
+func (s *Store) TotalBytes() int64 {
+	var n int64
+	for _, dim := range s.manifest.Chunks {
+		for _, c := range dim {
+			n += c.Bytes
+		}
+	}
+	return n
+}
+
+// ChunksOverlapping returns the metadata of dimension dim's chunks whose
+// value range intersects [lo, hi], in sequence order. Because chunk ranges
+// are disjoint and ascending, this is the contiguous run the mapping method
+// m records for a subspace.
+func (s *Store) ChunksOverlapping(dim int, lo, hi float64) ([]ChunkMeta, error) {
+	if dim < 0 || dim >= s.Dims() {
+		return nil, fmt.Errorf("chunkstore: dimension %d out of range [0,%d)", dim, s.Dims())
+	}
+	if lo > hi {
+		return nil, fmt.Errorf("chunkstore: inverted range [%g,%g]", lo, hi)
+	}
+	var out []ChunkMeta
+	for _, c := range s.manifest.Chunks[dim] {
+		if c.MaxValue < lo {
+			continue
+		}
+		if c.MinValue > hi {
+			break
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// ReadChunk loads and decodes one chunk, verifying its CRC and accounting
+// the read against the limiter and the store's I/O counters.
+func (s *Store) ReadChunk(meta ChunkMeta) ([]Entry, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, meta.File))
+	if err != nil {
+		return nil, fmt.Errorf("chunkstore: read chunk %s: %w", meta.File, err)
+	}
+	s.limiter.Acquire(int64(len(data)))
+	s.bytesRead.Add(int64(len(data)))
+	s.chunksRead.Add(1)
+	dim, entries, err := decodeChunk(data)
+	if err != nil {
+		return nil, fmt.Errorf("chunkstore: chunk %s: %w", meta.File, err)
+	}
+	if dim != meta.Dim {
+		return nil, fmt.Errorf("chunkstore: chunk %s belongs to dimension %d, manifest says %d", meta.File, dim, meta.Dim)
+	}
+	return entries, nil
+}
+
+// IOStats returns cumulative bytes and chunk files read through this store
+// handle.
+func (s *Store) IOStats() (bytes int64, chunks int64) {
+	return s.bytesRead.Load(), s.chunksRead.Load()
+}
+
+// ResetIOStats zeroes the I/O counters (between experiment phases).
+func (s *Store) ResetIOStats() {
+	s.bytesRead.Store(0)
+	s.chunksRead.Store(0)
+}

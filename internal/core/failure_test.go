@@ -1,0 +1,130 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/uei-db/uei/internal/dataset"
+)
+
+// TestCorruptedChunkSurfacesDuringRegionLoad injects on-disk corruption
+// after the index is opened and verifies the error reaches the caller
+// rather than producing silent garbage.
+func TestCorruptedChunkSurfacesDuringRegionLoad(t *testing.T) {
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: 800, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Build(dir, ds, BuildOptions{TargetChunkBytes: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Open(dir, Options{MemoryBudgetBytes: 1 << 20, SampleSize: 20, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+
+	// Corrupt every chunk file so whichever cell is loaded first fails.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".chk" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xAA
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	region := testRegion(t, ds)
+	model := boundaryModel(t, ds, region, 60)
+	if _, err := idx.EnsureRegion(model); err == nil {
+		t.Fatal("region load over corrupted chunks should fail")
+	}
+}
+
+// TestMissingChunkFileSurfaces deletes a chunk file between open and load.
+func TestMissingChunkFileSurfaces(t *testing.T) {
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: 800, Seed: 72})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Build(dir, ds, BuildOptions{TargetChunkBytes: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Open(dir, Options{MemoryBudgetBytes: 1 << 20, SampleSize: 20, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".chk" {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+			removed++
+		}
+	}
+	if removed == 0 {
+		t.Fatal("no chunk files found to remove")
+	}
+	if err := idx.InitExploration(); err == nil {
+		t.Fatal("sampling over missing chunks should fail")
+	}
+}
+
+// TestBuildRefusesDirtyDirectory guards the immutable-store contract.
+func TestBuildRefusesDirtyDirectory(t *testing.T) {
+	ds, _ := dataset.GenerateSky(dataset.SkyConfig{N: 50, Seed: 1})
+	dir := t.TempDir()
+	if err := Build(dir, ds, BuildOptions{TargetChunkBytes: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Build(dir, ds, BuildOptions{TargetChunkBytes: 1024}); err == nil {
+		t.Fatal("rebuild into a populated directory should fail")
+	}
+}
+
+// TestOpenAfterRebuildRoundTrip exercises the full build→open→explore→
+// reopen cycle on the same directory.
+func TestOpenAfterRebuildRoundTrip(t *testing.T) {
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: 1200, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Build(dir, ds, BuildOptions{TargetChunkBytes: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		idx, err := Open(dir, Options{MemoryBudgetBytes: 1 << 20, SampleSize: 50, Seed: int64(round)}, nil)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := idx.InitExploration(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		region := testRegion(t, ds)
+		model := boundaryModel(t, ds, region, 80)
+		if _, err := idx.EnsureRegion(model); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		idx.Close()
+	}
+}

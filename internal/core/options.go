@@ -1,0 +1,93 @@
+// Package core implements the Uncertainty Estimation Index itself — the
+// paper's contribution (§3). An Index owns the five UEI components: the
+// symbolic index point set P (grid cell centers), the mapping method
+// m : p -> chunks, the in-memory unlabeled cache U with its byte budget,
+// the labeled set L (held by the IDE engine), and the chunk-store dataset D
+// on secondary storage. It drives the per-iteration cycle of Algorithm 2:
+// re-score P with the current model, pick the most uncertain symbolic
+// point, and swap its subspace into memory (optionally hiding the load
+// behind the σ/θ prefetch policy of §3.2).
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// DefaultLatencyThreshold is Table 1's 500 ms interactivity bound.
+const DefaultLatencyThreshold = 500 * time.Millisecond
+
+// Options configures an opened Index.
+type Options struct {
+	// SegmentsPerDim is the number of grid segments per dimension; the
+	// symbolic index point count is SegmentsPerDim^dims (5 -> 3125 points
+	// in 5-D, Table 1). Zero selects 5.
+	SegmentsPerDim int
+	// MemoryBudgetBytes caps the resident unlabeled data (uniform sample +
+	// loaded region). The experiments set it to ~1% of the on-disk data.
+	// Required.
+	MemoryBudgetBytes int64
+	// SampleSize is γ, the uniform-sample cardinality of Algorithm 2 line
+	// 12. Zero derives it from the budget: half the budget's tuple
+	// capacity, leaving the rest for the loaded region.
+	SampleSize int
+	// LatencyThreshold is σ (§3.2). Zero selects DefaultLatencyThreshold.
+	LatencyThreshold time.Duration
+	// EnablePrefetch turns on background region loading and swap deferral.
+	EnablePrefetch bool
+	// ResidentRegions bounds how many uncertain regions stay cached at
+	// once. §3.2 fixes the paper's default at 1; deployments with spare
+	// budget can raise it to avoid re-loading recently visited cells.
+	// Zero selects 1.
+	ResidentRegions int
+	// Seed drives the uniform sample.
+	Seed int64
+}
+
+// withDefaults validates and fills zero values.
+func (o Options) withDefaults() (Options, error) {
+	if o.SegmentsPerDim == 0 {
+		o.SegmentsPerDim = 5
+	}
+	if o.SegmentsPerDim < 1 {
+		return o, fmt.Errorf("core: segments per dim %d must be positive", o.SegmentsPerDim)
+	}
+	if o.MemoryBudgetBytes <= 0 {
+		return o, fmt.Errorf("core: memory budget %d must be positive", o.MemoryBudgetBytes)
+	}
+	if o.SampleSize < 0 {
+		return o, fmt.Errorf("core: negative sample size %d", o.SampleSize)
+	}
+	if o.LatencyThreshold == 0 {
+		o.LatencyThreshold = DefaultLatencyThreshold
+	}
+	if o.LatencyThreshold < 0 {
+		return o, fmt.Errorf("core: negative latency threshold %v", o.LatencyThreshold)
+	}
+	if o.ResidentRegions == 0 {
+		o.ResidentRegions = 1
+	}
+	if o.ResidentRegions < 0 {
+		return o, fmt.Errorf("core: resident regions %d must be positive", o.ResidentRegions)
+	}
+	return o, nil
+}
+
+// Stats reports an Index's activity since Open, for experiment reports.
+type Stats struct {
+	// RegionSwaps counts distinct region loads installed into the cache.
+	RegionSwaps int
+	// SwapsDeferred counts iterations where the most-uncertain cell
+	// changed but the swap was deferred while a prefetch completed.
+	SwapsDeferred int
+	// PrefetchHits counts swaps satisfied by a completed background load.
+	PrefetchHits int
+	// EntriesVisited sums the posting entries streamed during region
+	// merges — the e of the O(k·e) bound.
+	EntriesVisited int
+	// BytesRead and ChunksRead mirror the chunk store's I/O counters.
+	BytesRead  int64
+	ChunksRead int64
+	// PeakMemory is the budget ledger's high-water mark.
+	PeakMemory int64
+}

@@ -1,0 +1,557 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/uei-db/uei/internal/chunkstore"
+	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/grid"
+	"github.com/uei-db/uei/internal/iothrottle"
+	"github.com/uei-db/uei/internal/learn"
+	"github.com/uei-db/uei/internal/memcache"
+	"github.com/uei-db/uei/internal/prefetch"
+	"github.com/uei-db/uei/internal/vec"
+)
+
+// BuildOptions configures the once-per-dataset index initialization phase
+// (Algorithm 2 lines 1-11).
+type BuildOptions struct {
+	// TargetChunkBytes is the equal-size chunk target (Table 1: 470 KB).
+	// Zero selects chunkstore.DefaultTargetChunkBytes.
+	TargetChunkBytes int
+}
+
+// Build performs the Index Initialization phase: vertical decomposition,
+// sorting, chunking, and manifest persistence. The grid itself is cheap and
+// is rebuilt at Open from the manifest's bounds, so only storage work
+// happens here.
+func Build(dir string, ds *dataset.Dataset, opts BuildOptions) error {
+	_, err := chunkstore.Build(dir, ds, chunkstore.BuildOptions{
+		TargetChunkBytes: opts.TargetChunkBytes,
+	})
+	return err
+}
+
+// Index is an opened Uncertainty Estimation Index.
+type Index struct {
+	opts    Options
+	store   *chunkstore.Store
+	grid    *grid.Grid
+	mapping *grid.Mapping
+	budget  *memcache.Budget
+	cache   *memcache.Cache
+	pf      *prefetch.Prefetcher
+
+	// centers is the symbolic index point set P, in cell-id order.
+	centers []vec.Point
+	// uncertainty[i] is the last computed uncertainty of centers[i].
+	uncertainty []float64
+	// scoresValid records whether uncertainty reflects the current model.
+	scoresValid bool
+
+	// deferredFor counts consecutive iterations the swap to pendingCell
+	// has been deferred awaiting its prefetch.
+	deferredFor int
+	pendingCell int
+
+	stats Stats
+}
+
+// Open loads the index over a directory produced by Build. limiter may be
+// nil for unthrottled I/O.
+func Open(dir string, opts Options, limiter *iothrottle.Limiter) (*Index, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	store, err := chunkstore.Open(dir, limiter)
+	if err != nil {
+		return nil, err
+	}
+	g, err := grid.New(store.Bounds(), opts.SegmentsPerDim)
+	if err != nil {
+		return nil, err
+	}
+	mapping, err := grid.BuildMapping(g, store)
+	if err != nil {
+		return nil, err
+	}
+	budget, err := memcache.NewBudget(opts.MemoryBudgetBytes)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := memcache.NewCache(budget, store.Dims())
+	if err != nil {
+		return nil, err
+	}
+	if err := cache.SetMaxRegions(opts.ResidentRegions); err != nil {
+		return nil, err
+	}
+	idx := &Index{
+		opts:        opts,
+		store:       store,
+		grid:        g,
+		mapping:     mapping,
+		budget:      budget,
+		cache:       cache,
+		centers:     g.Centers(),
+		uncertainty: make([]float64, g.NumCells()),
+		pendingCell: memcache.NoRegion,
+	}
+	if opts.EnablePrefetch {
+		pf, err := prefetch.New(idx.loadCell)
+		if err != nil {
+			return nil, err
+		}
+		idx.pf = pf
+	}
+	return idx, nil
+}
+
+// Close shuts down the prefetcher, if any.
+func (x *Index) Close() {
+	if x.pf != nil {
+		x.pf.Close()
+	}
+}
+
+// Grid returns the symbolic-point lattice.
+func (x *Index) Grid() *grid.Grid { return x.grid }
+
+// Store returns the underlying chunk store.
+func (x *Index) Store() *chunkstore.Store { return x.store }
+
+// Budget returns the memory ledger.
+func (x *Index) Budget() *memcache.Budget { return x.budget }
+
+// NumIndexPoints returns |P|.
+func (x *Index) NumIndexPoints() int { return len(x.centers) }
+
+// sampleSize resolves γ.
+func (x *Index) sampleSize() int {
+	if x.opts.SampleSize > 0 {
+		return x.opts.SampleSize
+	}
+	perTuple := memcache.TupleBytes(x.store.Dims())
+	gamma := int(x.opts.MemoryBudgetBytes / (2 * perTuple))
+	if gamma < 1 {
+		gamma = 1
+	}
+	return gamma
+}
+
+// InitExploration fills the unlabeled cache U with the uniform sample γ
+// (Algorithm 2 line 12). It costs one streaming pass over the store and is
+// intended to run once per exploration session.
+func (x *Index) InitExploration() error {
+	gamma := x.sampleSize()
+	ids, err := memcache.SampleIDs(x.store.RowCount(), gamma, x.opts.Seed)
+	if err != nil {
+		return err
+	}
+	rows, err := x.store.FetchRows(ids)
+	if err != nil {
+		return fmt.Errorf("core: sampling U: %w", err)
+	}
+	for _, r := range rows {
+		if err := x.cache.AddSample(r.ID, r.Vals); err != nil {
+			return fmt.Errorf("core: caching sample row %d: %w", r.ID, err)
+		}
+	}
+	return nil
+}
+
+// UpdateUncertainty re-scores every symbolic index point against the
+// current model (Algorithm 2 line 17, P <- updateUncertainty(P, M)).
+func (x *Index) UpdateUncertainty(model learn.Classifier) error {
+	for i, p := range x.centers {
+		u, err := learn.Uncertainty(model, p)
+		if err != nil {
+			return fmt.Errorf("core: scoring index point %d: %w", i, err)
+		}
+		x.uncertainty[i] = u
+	}
+	x.scoresValid = true
+	return nil
+}
+
+// MostUncertainCells returns the top-k cells by symbolic-point uncertainty,
+// descending, with cell id as the deterministic tie-breaker. k is clamped
+// to |P|.
+func (x *Index) MostUncertainCells(k int) ([]grid.CellID, error) {
+	if !x.scoresValid {
+		return nil, fmt.Errorf("core: UpdateUncertainty has not run for the current model")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(x.uncertainty) {
+		k = len(x.uncertainty)
+	}
+	order := make([]int, len(x.uncertainty))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ua, ub := x.uncertainty[order[a]], x.uncertainty[order[b]]
+		if ua != ub {
+			return ua > ub
+		}
+		return order[a] < order[b]
+	})
+	out := make([]grid.CellID, k)
+	for i := 0; i < k; i++ {
+		out[i] = grid.CellID(order[i])
+	}
+	return out, nil
+}
+
+// CellUncertainty returns the last computed uncertainty of a cell.
+func (x *Index) CellUncertainty(id grid.CellID) (float64, error) {
+	if id < 0 || int(id) >= len(x.uncertainty) {
+		return 0, fmt.Errorf("core: cell %d out of range [0,%d)", id, len(x.uncertainty))
+	}
+	return x.uncertainty[id], nil
+}
+
+// loadCell reconstructs one cell's tuples via the mapping method m and the
+// chunk-store hash merge. It is the prefetcher's LoadFunc and the
+// synchronous load path.
+func (x *Index) loadCell(cell int) ([]uint32, [][]float64, error) {
+	box, err := x.grid.CellBox(grid.CellID(cell))
+	if err != nil {
+		return nil, nil, err
+	}
+	chunks, err := x.mapping.Chunks(grid.CellID(cell))
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, visited, err := x.store.MergeChunks(box, chunks)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: loading cell %d: %w", cell, err)
+	}
+	x.stats.EntriesVisited += visited
+	ids := make([]uint32, len(rows))
+	vals := make([][]float64, len(rows))
+	for i, r := range rows {
+		ids[i] = r.ID
+		vals[i] = r.Vals
+	}
+	return ids, vals, nil
+}
+
+// EnsureRegion makes the most uncertain cell's subspace resident
+// (Algorithm 2 lines 18-20), applying the §3.2 swap-deferral policy when
+// prefetching is enabled. It returns the resident cell after the call.
+func (x *Index) EnsureRegion(model learn.Classifier) (grid.CellID, error) {
+	if !x.scoresValid {
+		if err := x.UpdateUncertainty(model); err != nil {
+			return 0, err
+		}
+	}
+	top, err := x.MostUncertainCells(2)
+	if err != nil {
+		return 0, err
+	}
+	target := top[0]
+	resident := x.cache.RegionCell()
+	if x.cache.HasRegion(int(target)) {
+		x.deferredFor = 0
+		x.prefetchRunnerUp(top)
+		return target, nil
+	}
+
+	if x.pf == nil {
+		// Synchronous path: load and swap immediately.
+		ids, rows, err := x.loadCell(int(target))
+		if err != nil {
+			return 0, err
+		}
+		if err := x.installRegion(int(target), ids, rows); err != nil {
+			return 0, err
+		}
+		return target, nil
+	}
+
+	// Prefetching path. A completed background load wins instantly.
+	if r, ok := x.pf.TryTake(int(target)); ok {
+		if r.Err != nil {
+			return 0, r.Err
+		}
+		x.stats.PrefetchHits++
+		if err := x.installRegion(int(target), r.IDs, r.Rows); err != nil {
+			return 0, err
+		}
+		return target, nil
+	}
+	// Otherwise start (or continue) the background load and defer the swap
+	// for up to θ iterations, keeping the current region useful meanwhile.
+	theta := x.pf.Theta(x.opts.LatencyThreshold)
+	if x.pendingCell != int(target) {
+		x.pendingCell = int(target)
+		x.deferredFor = 0
+	}
+	if x.deferredFor < theta && resident != memcache.NoRegion {
+		if _, err := x.pf.Start(int(target)); err != nil {
+			return 0, err
+		}
+		x.deferredFor++
+		x.stats.SwapsDeferred++
+		return grid.CellID(resident), nil
+	}
+	// Deferral budget exhausted (or nothing resident yet): block.
+	r := x.pf.Await(int(target))
+	if r.Err != nil {
+		return 0, r.Err
+	}
+	if err := x.installRegion(int(target), r.IDs, r.Rows); err != nil {
+		return 0, err
+	}
+	x.prefetchRunnerUp(top)
+	return target, nil
+}
+
+// installRegion swaps a loaded region into the cache, tolerating budget
+// truncation (a partial region still helps; the sample keeps global
+// coverage).
+func (x *Index) installRegion(cell int, ids []uint32, rows [][]float64) error {
+	err := x.cache.SetRegion(cell, ids, rows)
+	if err != nil && !isBudgetErr(err) {
+		return err
+	}
+	x.stats.RegionSwaps++
+	x.deferredFor = 0
+	x.pendingCell = memcache.NoRegion
+	return nil
+}
+
+// prefetchRunnerUp warms the second most-uncertain cell in the background.
+func (x *Index) prefetchRunnerUp(top []grid.CellID) {
+	if x.pf == nil || len(top) < 2 {
+		return
+	}
+	next := int(top[1])
+	if x.cache.ContainsRegion(next) {
+		return
+	}
+	// Best effort; a busy prefetcher just drops the hint.
+	_, _ = x.pf.Start(next)
+}
+
+func isBudgetErr(err error) bool {
+	return errors.Is(err, memcache.ErrBudgetExceeded)
+}
+
+// Candidates visits the resident unlabeled tuples (uniform sample plus
+// loaded region) in ascending id order.
+func (x *Index) Candidates(fn func(id uint32, row []float64) bool) {
+	x.cache.EachSorted(fn)
+}
+
+// CandidateCount returns the number of resident unlabeled tuples.
+func (x *Index) CandidateCount() int { return x.cache.Len() }
+
+// MarkLabeled evicts a tuple after the user labeled it (U <- U - {x}).
+func (x *Index) MarkLabeled(id uint32) { x.cache.Remove(id) }
+
+// InvalidateScores marks the symbolic-point uncertainties stale; the IDE
+// engine calls it after retraining the model.
+func (x *Index) InvalidateScores() { x.scoresValid = false }
+
+// ResidentRegion returns the cell id of the loaded region, or
+// memcache.NoRegion.
+func (x *Index) ResidentRegion() int { return x.cache.RegionCell() }
+
+// Stats returns a snapshot of activity counters.
+func (x *Index) Stats() Stats {
+	s := x.stats
+	s.BytesRead, s.ChunksRead = x.store.IOStats()
+	s.PeakMemory = x.budget.Peak()
+	return s
+}
+
+// ResultRetrieval implements Algorithm 2 line 26 for the UEI scheme. It
+// prunes the grid with the symbolic index points — cells whose center the
+// model puts below minCellPosterior positive posterior cannot plausibly
+// hold results — and reconstructs the survivors in a single streaming pass
+// over the store: per dimension, only the chunks overlapping the union of
+// the passing cells' segments are read, and each such chunk is read
+// exactly once (unlike loading cells one by one, which re-reads shared
+// chunk slabs per cell). Fully reconstructed rows are kept when the model
+// classifies them positive. Setting minCellPosterior to 0 disables
+// pruning and yields the exact answer set of the model.
+func (x *Index) ResultRetrieval(model learn.Classifier, minCellPosterior float64) ([]uint32, error) {
+	if minCellPosterior < 0 || minCellPosterior >= 0.5 {
+		return nil, fmt.Errorf("core: minCellPosterior %g outside [0, 0.5)", minCellPosterior)
+	}
+	dims := x.grid.Dims()
+	segs := x.grid.Segments()
+
+	// Mark passing cells and the per-dimension segments they touch.
+	anyPassing := false
+	markedSeg := make([][]bool, dims)
+	for d := 0; d < dims; d++ {
+		markedSeg[d] = make([]bool, segs[d])
+	}
+	for cell := 0; cell < x.grid.NumCells(); cell++ {
+		p, err := model.PosteriorPositive(x.centers[cell])
+		if err != nil {
+			return nil, err
+		}
+		if p < minCellPosterior {
+			continue
+		}
+		anyPassing = true
+		coords, err := x.grid.Coords(grid.CellID(cell))
+		if err != nil {
+			return nil, err
+		}
+		for d, c := range coords {
+			markedSeg[d][c] = true
+		}
+	}
+	if !anyPassing {
+		return nil, nil
+	}
+
+	// Stream each dimension's relevant chunks once, accumulating partial
+	// rows; a row materializes only if a marked segment hits it on every
+	// dimension (a superset of the passing-cell union, trimmed below).
+	table := make(map[uint32]*retrievalPartial)
+	for d := 0; d < dims; d++ {
+		chunkSet := make(map[int]chunkstore.ChunkMeta)
+		for seg, marked := range markedSeg[d] {
+			if !marked {
+				continue
+			}
+			lo, hi, err := x.grid.SegmentInterval(d, seg)
+			if err != nil {
+				return nil, err
+			}
+			chunks, err := x.store.ChunksOverlapping(d, lo, hi)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range chunks {
+				chunkSet[c.Seq] = c
+			}
+		}
+		order := make([]int, 0, len(chunkSet))
+		for seq := range chunkSet {
+			order = append(order, seq)
+		}
+		sort.Ints(order)
+		for _, seq := range order {
+			entries, err := x.store.ReadChunk(chunkSet[seq])
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				x.stats.EntriesVisited++
+				seg, err := x.grid.SegmentOf(d, e.Value)
+				if err != nil {
+					return nil, err
+				}
+				if !markedSeg[d][seg] {
+					continue
+				}
+				for _, id := range e.Rows {
+					p := table[id]
+					if p == nil {
+						if d > 0 {
+							continue // already failed an earlier dimension
+						}
+						p = &retrievalPartial{vals: make([]float64, dims)}
+						table[id] = p
+					}
+					if p.hits != d {
+						continue
+					}
+					p.vals[d] = e.Value
+					p.hits++
+				}
+			}
+		}
+		for id, p := range table {
+			if p.hits != d+1 {
+				delete(table, id)
+			}
+		}
+	}
+
+	// Final trim: exact passing-cell membership, then the classifier.
+	var out []uint32
+	for id, p := range table {
+		cell, err := x.grid.CellOf(p.vals)
+		if err != nil {
+			return nil, err
+		}
+		center := x.centers[cell]
+		post, err := model.PosteriorPositive(center)
+		if err != nil {
+			return nil, err
+		}
+		if post < minCellPosterior {
+			continue
+		}
+		cls, err := learn.Predict(model, p.vals)
+		if err != nil {
+			return nil, err
+		}
+		if cls == learn.ClassPositive {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// retrievalPartial accumulates a row during the retrieval merge.
+type retrievalPartial struct {
+	vals []float64
+	hits int
+}
+
+// CellEstimate exposes the mapping's I/O cost estimate for a cell.
+func (x *Index) CellEstimate(id grid.CellID) (bytes int64, entries int, err error) {
+	return x.mapping.CostEstimate(id)
+}
+
+// MeanCellBytes reports the average estimated load cost across all cells —
+// a build-quality diagnostic surfaced by uei-ingest.
+func (x *Index) MeanCellBytes() float64 {
+	var total int64
+	for c := 0; c < x.grid.NumCells(); c++ {
+		b, _, err := x.mapping.CostEstimate(grid.CellID(c))
+		if err != nil {
+			continue
+		}
+		total += b
+	}
+	if x.grid.NumCells() == 0 {
+		return 0
+	}
+	return float64(total) / float64(x.grid.NumCells())
+}
+
+// Uncertainties returns a copy of the symbolic-point uncertainty vector,
+// aligned with cell ids; primarily for tests and diagnostics.
+func (x *Index) Uncertainties() []float64 {
+	out := make([]float64, len(x.uncertainty))
+	copy(out, x.uncertainty)
+	return out
+}
+
+// MaxUncertainty returns the current maximum symbolic-point uncertainty.
+func (x *Index) MaxUncertainty() float64 {
+	m := math.Inf(-1)
+	for _, u := range x.uncertainty {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}

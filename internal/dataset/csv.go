@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV writes the dataset with a header row of column names.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.Schema().Names()); err != nil {
+		return fmt.Errorf("dataset: write csv header: %w", err)
+	}
+	rec := make([]string, d.Dims())
+	var scanErr error
+	d.Scan(func(id RowID, row []float64) bool {
+		for i, v := range row {
+			rec[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			scanErr = fmt.Errorf("dataset: write csv row %d: %w", id, err)
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset written by WriteCSV (or any numeric CSV with a
+// header). Every field must parse as a float64.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv header: %w", err)
+	}
+	schema, err := NewSchema(append([]string(nil), header...)...)
+	if err != nil {
+		return nil, err
+	}
+	ds := New(schema, 0)
+	row := make([]float64, schema.Dims())
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv line %d: %w", line, err)
+		}
+		if len(rec) != schema.Dims() {
+			return nil, fmt.Errorf("dataset: csv line %d has %d fields, want %d", line, len(rec), schema.Dims())
+		}
+		for i, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv line %d field %q: %w", line, schema.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		if _, err := ds.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// WriteCSVFile writes the dataset to path, creating or truncating it.
+func WriteCSVFile(path string, d *Dataset) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("dataset: close %s: %w", path, cerr)
+		}
+	}()
+	return WriteCSV(f, d)
+}
+
+// ReadCSVFile reads a dataset from path.
+func ReadCSVFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

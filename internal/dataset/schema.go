@@ -1,0 +1,100 @@
+// Package dataset provides the tabular data substrate for UEI experiments:
+// a numeric schema, an in-memory column-aware table, CSV import/export, and
+// a deterministic synthetic generator that stands in for the Sloan Digital
+// Sky Survey (SDSS) extract used in the paper's evaluation.
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes a single numeric attribute.
+type Column struct {
+	// Name is the attribute name, e.g. "rowc" or "ra".
+	Name string
+}
+
+// Schema is an ordered set of numeric attributes. Every tuple in a Dataset
+// carries exactly one float64 per column.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from column names. Names must be unique and
+// non-empty.
+func NewSchema(names ...string) (Schema, error) {
+	if len(names) == 0 {
+		return Schema{}, fmt.Errorf("dataset: schema needs at least one column")
+	}
+	seen := make(map[string]bool, len(names))
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		if n == "" {
+			return Schema{}, fmt.Errorf("dataset: empty column name")
+		}
+		if seen[n] {
+			return Schema{}, fmt.Errorf("dataset: duplicate column %q", n)
+		}
+		seen[n] = true
+		cols = append(cols, Column{Name: n})
+	}
+	return Schema{Columns: cols}, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for literals in
+// tests and examples.
+func MustSchema(names ...string) Schema {
+	s, err := NewSchema(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dims returns the number of columns.
+func (s Schema) Dims() int { return len(s.Columns) }
+
+// ColumnIndex returns the position of the named column, or -1 if absent.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Equal reports whether two schemas have identical columns in identical
+// order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s.Columns) != len(o.Columns) {
+		return false
+	}
+	for i := range s.Columns {
+		if s.Columns[i] != o.Columns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as a comma-separated column list.
+func (s Schema) String() string {
+	return strings.Join(s.Names(), ",")
+}
+
+// SkySchema returns the five-attribute schema of the paper's SDSS
+// PhotoObjAll extract: rowc, colc, ra, dec, field (§4.1).
+func SkySchema() Schema {
+	return MustSchema("rowc", "colc", "ra", "dec", "field")
+}

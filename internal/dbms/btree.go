@@ -1,0 +1,352 @@
+package dbms
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/iothrottle"
+)
+
+// B+ tree node layouts (raw pages, not slotted):
+//
+//	leaf:     type byte (1) | count uint16 | pad byte | next uint32 |
+//	          count x { key float64, rowID uint32 }
+//	internal: type byte (2) | count uint16 | pad byte | pad uint32 |
+//	          count x key float64 | (count+1) x child uint32
+//
+// Keys within a leaf ascend (duplicates allowed); an internal node's key i
+// is the smallest key reachable under child i+1. Trees are bulk-loaded
+// once, read-only afterwards — the evaluation's tables are immutable, as is
+// the chunk store.
+const (
+	nodeLeaf     = 1
+	nodeInternal = 2
+
+	nodeHeaderSize = 8
+	leafEntrySize  = 12
+	leafCapacity   = (PageSize - nodeHeaderSize) / leafEntrySize
+	// internalCapacity solves 8 + 8c + 4(c+1) <= PageSize for c.
+	internalCapacity = (PageSize - nodeHeaderSize - 4) / 12
+)
+
+// indexMetaFile names the sidecar for the index on a column.
+func indexMetaFile(column string) string { return fmt.Sprintf("idx_%s.json", column) }
+
+// indexDataFile names the page file for the index on a column.
+func indexDataFile(column string) string { return fmt.Sprintf("idx_%s.btree", column) }
+
+type indexMeta struct {
+	FormatVersion int    `json:"format_version"`
+	Column        string `json:"column"`
+	Root          uint32 `json:"root"`
+	Height        int    `json:"height"`
+	Entries       int    `json:"entries"`
+	FirstLeaf     uint32 `json:"first_leaf"`
+}
+
+// BTree is a read-only, bulk-loaded B+ tree over one attribute, mapping
+// attribute values to row ids. It supports the range retrieval the DBMS
+// scheme uses for result materialization — the one operation MySQL-backed
+// IDE systems can index in advance, as opposed to uncertainty search, which
+// the paper observes cannot be pre-indexed (§1).
+type BTree struct {
+	meta  indexMeta
+	pager *Pager
+	pool  *BufferPool
+}
+
+// BuildIndex bulk-loads a B+ tree over the named column of the dataset into
+// dir and returns the opened index.
+func BuildIndex(dir, column string, ds *dataset.Dataset, poolFrames int, limiter *iothrottle.Limiter) (*BTree, error) {
+	dim := ds.Schema().ColumnIndex(column)
+	if dim < 0 {
+		return nil, fmt.Errorf("dbms: no column %q in schema %s", column, ds.Schema())
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("dbms: refusing to index an empty dataset")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dbms: create %s: %w", dir, err)
+	}
+
+	type kv struct {
+		key float64
+		id  uint32
+	}
+	pairs := make([]kv, 0, ds.Len())
+	ds.Scan(func(id dataset.RowID, row []float64) bool {
+		pairs = append(pairs, kv{key: row[dim], id: uint32(id)})
+		return true
+	})
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].key != pairs[j].key {
+			return pairs[i].key < pairs[j].key
+		}
+		return pairs[i].id < pairs[j].id
+	})
+
+	pager, err := CreatePager(filepath.Join(dir, indexDataFile(column)), limiter)
+	if err != nil {
+		return nil, err
+	}
+	// Bulk load writes pages strictly sequentially; a tiny pool suffices.
+	pool, err := NewBufferPool(pager, 4)
+	if err != nil {
+		pager.Close()
+		return nil, err
+	}
+
+	// Level 0: pack leaves.
+	type childRef struct {
+		page   PageID
+		minKey float64
+	}
+	var level []childRef
+	var prevLeaf PageID = InvalidPageID
+	var firstLeaf PageID
+	for start := 0; start < len(pairs); start += leafCapacity {
+		end := start + leafCapacity
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		id, page, err := pool.NewPage()
+		if err != nil {
+			pager.Close()
+			return nil, err
+		}
+		buf := page.Bytes()
+		buf[0] = nodeLeaf
+		binary.LittleEndian.PutUint16(buf[1:3], uint16(end-start))
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(InvalidPageID))
+		for i, p := range pairs[start:end] {
+			off := nodeHeaderSize + i*leafEntrySize
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(p.key))
+			binary.LittleEndian.PutUint32(buf[off+8:], p.id)
+		}
+		if err := pool.Unpin(id, true); err != nil {
+			pager.Close()
+			return nil, err
+		}
+		if prevLeaf != InvalidPageID {
+			if err := patchLeafNext(pool, prevLeaf, id); err != nil {
+				pager.Close()
+				return nil, err
+			}
+		} else {
+			firstLeaf = id
+		}
+		prevLeaf = id
+		level = append(level, childRef{page: id, minKey: pairs[start].key})
+	}
+
+	// Upper levels: pack internal nodes until one root remains.
+	height := 1
+	for len(level) > 1 {
+		var next []childRef
+		for start := 0; start < len(level); start += internalCapacity + 1 {
+			end := start + internalCapacity + 1
+			if end > len(level) {
+				end = len(level)
+			}
+			group := level[start:end]
+			id, page, err := pool.NewPage()
+			if err != nil {
+				pager.Close()
+				return nil, err
+			}
+			buf := page.Bytes()
+			buf[0] = nodeInternal
+			nKeys := len(group) - 1
+			binary.LittleEndian.PutUint16(buf[1:3], uint16(nKeys))
+			keyBase := nodeHeaderSize
+			childBase := keyBase + nKeys*8
+			for i := 0; i < nKeys; i++ {
+				binary.LittleEndian.PutUint64(buf[keyBase+i*8:], math.Float64bits(group[i+1].minKey))
+			}
+			for i, c := range group {
+				binary.LittleEndian.PutUint32(buf[childBase+i*4:], uint32(c.page))
+			}
+			if err := pool.Unpin(id, true); err != nil {
+				pager.Close()
+				return nil, err
+			}
+			next = append(next, childRef{page: id, minKey: group[0].minKey})
+		}
+		level = next
+		height++
+	}
+
+	if err := pool.FlushAll(); err != nil {
+		pager.Close()
+		return nil, err
+	}
+	meta := indexMeta{
+		FormatVersion: tableFormatVersion,
+		Column:        column,
+		Root:          uint32(level[0].page),
+		Height:        height,
+		Entries:       len(pairs),
+		FirstLeaf:     uint32(firstLeaf),
+	}
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		pager.Close()
+		return nil, fmt.Errorf("dbms: marshal index meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, indexMetaFile(column)), data, 0o644); err != nil {
+		pager.Close()
+		return nil, fmt.Errorf("dbms: write index meta: %w", err)
+	}
+	return &BTree{meta: meta, pager: pager, pool: pool}, nil
+}
+
+// patchLeafNext rewrites a finished leaf's next pointer to link the chain.
+func patchLeafNext(pool *BufferPool, leaf, next PageID) error {
+	page, err := pool.Fetch(leaf)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(page.Bytes()[4:8], uint32(next))
+	return pool.Unpin(leaf, true)
+}
+
+// OpenIndex opens an existing index read-only.
+func OpenIndex(dir, column string, poolFrames int, limiter *iothrottle.Limiter) (*BTree, error) {
+	data, err := os.ReadFile(filepath.Join(dir, indexMetaFile(column)))
+	if err != nil {
+		return nil, fmt.Errorf("dbms: read index meta: %w", err)
+	}
+	var meta indexMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, fmt.Errorf("dbms: parse index meta: %w", err)
+	}
+	if meta.FormatVersion != tableFormatVersion || meta.Column != column {
+		return nil, fmt.Errorf("dbms: index meta mismatch: %+v", meta)
+	}
+	pager, err := OpenPager(filepath.Join(dir, indexDataFile(column)), limiter)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := NewBufferPool(pager, poolFrames)
+	if err != nil {
+		pager.Close()
+		return nil, err
+	}
+	return &BTree{meta: meta, pager: pager, pool: pool}, nil
+}
+
+// Close releases the index file handle.
+func (t *BTree) Close() error { return t.pager.Close() }
+
+// Column returns the indexed attribute name.
+func (t *BTree) Column() string { return t.meta.Column }
+
+// Entries returns the number of indexed (key, rowID) pairs.
+func (t *BTree) Entries() int { return t.meta.Entries }
+
+// Height returns the number of levels, leaves included.
+func (t *BTree) Height() int { return t.meta.Height }
+
+// RangeScan visits every (key, rowID) with lo <= key <= hi in ascending key
+// order (rowID ascending among duplicates), until fn returns false.
+func (t *BTree) RangeScan(lo, hi float64, fn func(key float64, id uint32) bool) error {
+	if lo > hi {
+		return fmt.Errorf("dbms: inverted range [%g,%g]", lo, hi)
+	}
+	leaf, err := t.descendToLeaf(lo)
+	if err != nil {
+		return err
+	}
+	for leaf != InvalidPageID {
+		page, err := t.pool.Fetch(leaf)
+		if err != nil {
+			return err
+		}
+		buf := page.Bytes()
+		if buf[0] != nodeLeaf {
+			t.pool.Unpin(leaf, false)
+			return fmt.Errorf("dbms: page %d is not a leaf", leaf)
+		}
+		count := int(binary.LittleEndian.Uint16(buf[1:3]))
+		next := PageID(binary.LittleEndian.Uint32(buf[4:8]))
+		// Binary search the first entry with key >= lo.
+		start := sort.Search(count, func(i int) bool {
+			off := nodeHeaderSize + i*leafEntrySize
+			return math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])) >= lo
+		})
+		done := false
+		for i := start; i < count; i++ {
+			off := nodeHeaderSize + i*leafEntrySize
+			key := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			if key > hi {
+				done = true
+				break
+			}
+			id := binary.LittleEndian.Uint32(buf[off+8:])
+			if !fn(key, id) {
+				done = true
+				break
+			}
+		}
+		if err := t.pool.Unpin(leaf, false); err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		leaf = next
+	}
+	return nil
+}
+
+// Lookup collects the row ids of every entry with exactly the given key.
+func (t *BTree) Lookup(key float64) ([]uint32, error) {
+	var out []uint32
+	err := t.RangeScan(key, key, func(_ float64, id uint32) bool {
+		out = append(out, id)
+		return true
+	})
+	return out, err
+}
+
+// descendToLeaf walks from the root to the leftmost leaf that can contain
+// keys >= lo.
+func (t *BTree) descendToLeaf(lo float64) (PageID, error) {
+	cur := PageID(t.meta.Root)
+	for {
+		page, err := t.pool.Fetch(cur)
+		if err != nil {
+			return 0, err
+		}
+		buf := page.Bytes()
+		switch buf[0] {
+		case nodeLeaf:
+			t.pool.Unpin(cur, false)
+			return cur, nil
+		case nodeInternal:
+			count := int(binary.LittleEndian.Uint16(buf[1:3]))
+			keyBase := nodeHeaderSize
+			childBase := keyBase + count*8
+			// First key >= lo bounds the child from the right: child i
+			// covers keys in [key[i-1], key[i]), and duplicates of key[i]
+			// may sit under child i, so we descend left of an equal key.
+			idx := sort.Search(count, func(i int) bool {
+				return math.Float64frombits(binary.LittleEndian.Uint64(buf[keyBase+i*8:])) >= lo
+			})
+			child := PageID(binary.LittleEndian.Uint32(buf[childBase+idx*4:]))
+			if err := t.pool.Unpin(cur, false); err != nil {
+				return 0, err
+			}
+			cur = child
+		default:
+			t.pool.Unpin(cur, false)
+			return 0, fmt.Errorf("dbms: page %d has unknown node type %d", cur, buf[0])
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package dbms
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/uei-db/uei/internal/dataset"
+)
+
+func buildIndex(t *testing.T, n int, column string) (*BTree, *dataset.Dataset, string) {
+	t.Helper()
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: n, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	bt, err := BuildIndex(dir, column, ds, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bt.Close() })
+	return bt, ds, dir
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	ds, _ := dataset.GenerateSky(dataset.SkyConfig{N: 10, Seed: 1})
+	if _, err := BuildIndex(t.TempDir(), "nope", ds, 4, nil); err == nil {
+		t.Error("unknown column should fail")
+	}
+	empty := dataset.New(dataset.MustSchema("x"), 0)
+	if _, err := BuildIndex(t.TempDir(), "x", empty, 4, nil); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
+
+func TestBTreeFullRangeScanIsSorted(t *testing.T) {
+	bt, ds, _ := buildIndex(t, 3000, "ra")
+	dim := ds.Schema().ColumnIndex("ra")
+	var keys []float64
+	seen := map[uint32]bool{}
+	err := bt.RangeScan(math.Inf(-1), math.Inf(1), func(key float64, id uint32) bool {
+		keys = append(keys, key)
+		if seen[id] {
+			t.Fatalf("row %d visited twice", id)
+		}
+		seen[id] = true
+		if ds.At(dataset.RowID(id), dim) != key {
+			t.Fatalf("row %d key %g, dataset says %g", id, key, ds.At(dataset.RowID(id), dim))
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != ds.Len() {
+		t.Fatalf("scanned %d entries, want %d", len(keys), ds.Len())
+	}
+	if !sort.Float64sAreSorted(keys) {
+		t.Error("range scan keys not sorted")
+	}
+	if bt.Entries() != ds.Len() {
+		t.Errorf("Entries = %d", bt.Entries())
+	}
+	if bt.Height() < 2 {
+		t.Errorf("Height = %d; expected a multi-level tree for 3000 entries", bt.Height())
+	}
+	if bt.Column() != "ra" {
+		t.Errorf("Column = %q", bt.Column())
+	}
+}
+
+func TestBTreeRangeMatchesBruteForce(t *testing.T) {
+	bt, ds, _ := buildIndex(t, 2000, "dec")
+	dim := ds.Schema().ColumnIndex("dec")
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		a := -90 + rng.Float64()*180
+		b := -90 + rng.Float64()*180
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		want := map[uint32]bool{}
+		ds.Scan(func(id dataset.RowID, row []float64) bool {
+			if row[dim] >= lo && row[dim] <= hi {
+				want[uint32(id)] = true
+			}
+			return true
+		})
+		got := map[uint32]bool{}
+		err := bt.RangeScan(lo, hi, func(key float64, id uint32) bool {
+			if key < lo || key > hi {
+				t.Fatalf("key %g escaped [%g,%g]", key, lo, hi)
+			}
+			got[id] = true
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d ids, want %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: missing id %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestBTreeRangeScanEarlyStop(t *testing.T) {
+	bt, _, _ := buildIndex(t, 1000, "rowc")
+	n := 0
+	err := bt.RangeScan(math.Inf(-1), math.Inf(1), func(float64, uint32) bool {
+		n++
+		return n < 7
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Errorf("visited %d", n)
+	}
+	if err := bt.RangeScan(2, 1, func(float64, uint32) bool { return true }); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestBTreeLookupDuplicates(t *testing.T) {
+	// "field" is integer-valued, so duplicates are plentiful.
+	bt, ds, _ := buildIndex(t, 4000, "field")
+	dim := ds.Schema().ColumnIndex("field")
+	// Choose the key of row 0 and verify all duplicates come back.
+	key := ds.At(0, dim)
+	want := 0
+	ds.Scan(func(_ dataset.RowID, row []float64) bool {
+		if row[dim] == key {
+			want++
+		}
+		return true
+	})
+	ids, err := bt.Lookup(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != want {
+		t.Fatalf("Lookup(%g) = %d ids, want %d", key, len(ids), want)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Error("duplicate ids not ascending")
+		}
+	}
+}
+
+func TestBTreeEmptyRange(t *testing.T) {
+	bt, _, _ := buildIndex(t, 500, "ra")
+	n := 0
+	if err := bt.RangeScan(1e9, 2e9, func(float64, uint32) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("beyond-domain range returned %d entries", n)
+	}
+}
+
+func TestBTreeReopen(t *testing.T) {
+	bt, ds, dir := buildIndex(t, 1500, "colc")
+	bt.Close()
+	re, err := OpenIndex(dir, "colc", 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Entries() != ds.Len() {
+		t.Errorf("Entries = %d", re.Entries())
+	}
+	n := 0
+	if err := re.RangeScan(math.Inf(-1), math.Inf(1), func(float64, uint32) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != ds.Len() {
+		t.Errorf("scan after reopen visited %d", n)
+	}
+	if _, err := OpenIndex(dir, "wrong", 4, nil); err == nil {
+		t.Error("wrong column open should fail")
+	}
+}
+
+func TestQuickBTreeRangeEquivalence(t *testing.T) {
+	bt, ds, _ := buildIndex(t, 1200, "rowc")
+	dim := ds.Schema().ColumnIndex("rowc")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64() * 2048
+		b := rng.Float64() * 2048
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		want := 0
+		ds.Scan(func(_ dataset.RowID, row []float64) bool {
+			if row[dim] >= lo && row[dim] <= hi {
+				want++
+			}
+			return true
+		})
+		got := 0
+		if err := bt.RangeScan(lo, hi, func(float64, uint32) bool { got++; return true }); err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

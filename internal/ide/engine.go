@@ -1,0 +1,412 @@
+package ide
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/uei-db/uei/internal/al"
+	"github.com/uei-db/uei/internal/learn"
+	"github.com/uei-db/uei/internal/oracle"
+)
+
+// Config parameterizes an exploration session.
+type Config struct {
+	// BatchSize is B of Algorithm 1: the model retrains after every B new
+	// labels. Zero selects 1 (retrain on every label, the most
+	// interactive setting).
+	BatchSize int
+	// MaxLabels bounds user effort; the session stops after this many
+	// solicited labels. Required.
+	MaxLabels int
+	// EstimatorFactory builds the predictive model used as uncertainty
+	// estimator (Table 1: DWKNN). Required.
+	EstimatorFactory func() learn.Classifier
+	// Strategy is the query strategy (Table 1: uncertainty sampling via
+	// least confidence). Required.
+	Strategy al.Scorer
+	// Seed drives the initial random example acquisition.
+	Seed int64
+	// SeedWithPositive bootstraps the labeled set with one known-relevant
+	// example, modeling the standard IDE assumption that the user shows
+	// one instance of what they seek (AIDE and DSM do the same). Without
+	// it, random acquisition over a 0.1%-selectivity region wastes ~1000
+	// labels before the first positive.
+	SeedWithPositive bool
+	// SeedCount asks for this many bootstrap positives (default 1) when
+	// SeedWithPositive is set. Counts above 1 require a labeler
+	// implementing MultiPositiveSeeder and serve disjunctive interests:
+	// one example per relevant region keeps the model from collapsing
+	// onto a single mode.
+	SeedCount int
+	// OnIteration, when set, observes every completed iteration.
+	OnIteration func(it IterationInfo)
+	// AfterPrepare, when set, runs once after provider preparation,
+	// initial-example acquisition, and the first model fit — i.e. at the
+	// boundary between initialization and the interactive loop. Experiment
+	// harnesses snapshot I/O counters here.
+	AfterPrepare func()
+	// BeforeRetrieve, when set, runs after the last iteration and before
+	// result retrieval — the other boundary of the interactive loop.
+	BeforeRetrieve func()
+}
+
+// IterationInfo describes one completed exploration iteration.
+type IterationInfo struct {
+	// Iteration counts selection iterations, starting at 1.
+	Iteration int
+	// LabelsGiven is the cumulative number of solicited labels.
+	LabelsGiven int
+	// SelectedID is the tuple chosen for labeling.
+	SelectedID uint32
+	// Label is the oracle's answer.
+	Label oracle.Label
+	// Score is the strategy score of the selected tuple.
+	Score float64
+	// PoolSize is the number of candidates scanned.
+	PoolSize int
+	// ResponseTime is the user-perceived latency of the iteration:
+	// provider preparation + candidate scan + (amortized) retraining.
+	ResponseTime time.Duration
+	// Retrained reports whether the model was refitted this iteration.
+	Retrained bool
+	// Model is the current predictive model (read-only; evaluate, don't
+	// mutate).
+	Model learn.Classifier
+}
+
+// Result summarizes a finished session.
+type Result struct {
+	// LabelsUsed is the total user effort including initial examples.
+	LabelsUsed int
+	// Iterations is the number of selection iterations run.
+	Iterations int
+	// Positive is the final retrieved result set (Algorithm 1 line 13).
+	Positive []uint32
+	// Model is the final trained model.
+	Model learn.Classifier
+}
+
+// Session runs Algorithm 1 (equivalently Algorithm 2 lines 12-27) over a
+// Provider.
+type Session struct {
+	cfg      Config
+	provider Provider
+	labeler  Labeler
+	rng      *rand.Rand
+
+	labeledIDs []uint32
+	labeledX   [][]float64
+	labeledY   []int
+	model      learn.Classifier
+	// resumed marks sessions restored from a Snapshot; Run then reports
+	// the pre-labeled tuples to the provider and skips acquisition when
+	// both classes are already present.
+	resumed bool
+}
+
+// NewSession validates the configuration and builds a session.
+func NewSession(cfg Config, provider Provider, labeler Labeler) (*Session, error) {
+	if provider == nil {
+		return nil, fmt.Errorf("ide: nil provider")
+	}
+	if labeler == nil {
+		return nil, fmt.Errorf("ide: nil labeler")
+	}
+	if cfg.SeedCount == 0 {
+		cfg.SeedCount = 1
+	}
+	if cfg.SeedCount < 0 {
+		return nil, fmt.Errorf("ide: SeedCount %d must be positive", cfg.SeedCount)
+	}
+	if cfg.SeedWithPositive {
+		if _, ok := labeler.(PositiveSeeder); !ok {
+			return nil, fmt.Errorf("ide: SeedWithPositive requires a labeler implementing PositiveSeeder, got %T", labeler)
+		}
+		if cfg.SeedCount > 1 {
+			if _, ok := labeler.(MultiPositiveSeeder); !ok {
+				return nil, fmt.Errorf("ide: SeedCount > 1 requires a labeler implementing MultiPositiveSeeder, got %T", labeler)
+			}
+		}
+	}
+	if cfg.MaxLabels <= 0 {
+		return nil, fmt.Errorf("ide: MaxLabels %d must be positive", cfg.MaxLabels)
+	}
+	if cfg.EstimatorFactory == nil {
+		return nil, fmt.Errorf("ide: nil estimator factory")
+	}
+	if cfg.Strategy == nil {
+		return nil, fmt.Errorf("ide: nil strategy")
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 1
+	}
+	if cfg.BatchSize < 0 {
+		return nil, fmt.Errorf("ide: BatchSize %d must be positive", cfg.BatchSize)
+	}
+	return &Session{
+		cfg:      cfg,
+		provider: provider,
+		labeler:  labeler,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Run executes the full exploration and returns the retrieved results.
+func (s *Session) Run() (*Result, error) {
+	if err := s.provider.Prepare(); err != nil {
+		return nil, fmt.Errorf("ide: provider prepare: %w", err)
+	}
+	if s.resumed {
+		for _, id := range s.labeledIDs {
+			s.provider.OnLabeled(id)
+		}
+	}
+	if hasPos, hasNeg := s.classesPresent(); !hasPos || !hasNeg {
+		if err := s.acquireInitialExamples(); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.refit(); err != nil {
+		return nil, err
+	}
+	if s.cfg.AfterPrepare != nil {
+		s.cfg.AfterPrepare()
+	}
+
+	iteration := 0
+	sinceRetrain := 0
+	for s.labeler.Count() < s.cfg.MaxLabels {
+		iteration++
+		start := time.Now()
+		if err := s.provider.BeforeSelect(s.model); err != nil {
+			return nil, fmt.Errorf("ide: iteration %d: %w", iteration, err)
+		}
+		id, row, score, pool, err := s.selectCandidate()
+		if err != nil {
+			return nil, fmt.Errorf("ide: iteration %d: %w", iteration, err)
+		}
+		if pool == 0 {
+			break // unlabeled pool exhausted
+		}
+		label := s.labeler.Label(id, row)
+		s.addLabel(id, row, label)
+		s.provider.OnLabeled(id)
+
+		retrained := false
+		sinceRetrain++
+		if sinceRetrain >= s.cfg.BatchSize {
+			if err := s.refit(); err != nil {
+				return nil, fmt.Errorf("ide: iteration %d retrain: %w", iteration, err)
+			}
+			sinceRetrain = 0
+			retrained = true
+		}
+		elapsed := time.Since(start)
+		if s.cfg.OnIteration != nil {
+			s.cfg.OnIteration(IterationInfo{
+				Iteration:    iteration,
+				LabelsGiven:  s.labeler.Count(),
+				SelectedID:   id,
+				Label:        label,
+				Score:        score,
+				PoolSize:     pool,
+				ResponseTime: elapsed,
+				Retrained:    retrained,
+				Model:        s.model,
+			})
+		}
+	}
+
+	if s.cfg.BeforeRetrieve != nil {
+		s.cfg.BeforeRetrieve()
+	}
+	positive, err := s.provider.Retrieve(s.model)
+	if err != nil {
+		return nil, fmt.Errorf("ide: result retrieval: %w", err)
+	}
+	return &Result{
+		LabelsUsed: s.labeler.Count(),
+		Iterations: iteration,
+		Positive:   positive,
+		Model:      s.model,
+	}, nil
+}
+
+// Model returns the current predictive model (nil before the first fit).
+func (s *Session) Model() learn.Classifier { return s.model }
+
+// LabeledCount returns the size of L.
+func (s *Session) LabeledCount() int { return len(s.labeledY) }
+
+// acquireInitialExamples fills L until it holds at least one positive and
+// one negative example (Algorithm 2 line 13). With SeedWithPositive the
+// positive comes from the user directly; negatives come from uniform
+// random candidates (on sparse-target workloads a random tuple is negative
+// with overwhelming probability).
+func (s *Session) acquireInitialExamples() error {
+	if s.cfg.SeedWithPositive {
+		if s.cfg.SeedCount > 1 {
+			seeder := s.labeler.(MultiPositiveSeeder)
+			ids, rows := seeder.SeedPositives(s.cfg.SeedCount)
+			if len(ids) == 0 {
+				return fmt.Errorf("ide: no relevant tuples exist to seed the exploration")
+			}
+			for i, id := range ids {
+				label := s.labeler.Label(id, rows[i])
+				s.addLabel(id, rows[i], label)
+				s.provider.OnLabeled(id)
+			}
+		} else {
+			id, row, ok := s.findSeedPositive()
+			if !ok {
+				return fmt.Errorf("ide: no relevant tuple exists to seed the exploration")
+			}
+			label := s.labeler.Label(id, row)
+			s.addLabel(id, row, label)
+			s.provider.OnLabeled(id)
+		}
+	}
+	hasPos, hasNeg := s.classesPresent()
+	for attempts := 0; (!hasPos || !hasNeg) && s.labeler.Count() < s.cfg.MaxLabels; attempts++ {
+		if attempts > 100*s.cfg.MaxLabels {
+			return fmt.Errorf("ide: initial example acquisition stalled after %d attempts", attempts)
+		}
+		id, row, ok, err := s.randomCandidate()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("ide: candidate pool exhausted during initial acquisition")
+		}
+		label := s.labeler.Label(id, row)
+		s.addLabel(id, row, label)
+		s.provider.OnLabeled(id)
+		hasPos, hasNeg = s.classesPresent()
+	}
+	if !hasPos || !hasNeg {
+		return fmt.Errorf("ide: label budget exhausted before both classes were observed (pos=%v neg=%v)", hasPos, hasNeg)
+	}
+	return nil
+}
+
+// findSeedPositive locates one relevant example: preferably a relevant
+// candidate already in the pool, otherwise any relevant tuple from the
+// oracle's ground truth (the "user brings an example" case).
+func (s *Session) findSeedPositive() (uint32, []float64, bool) {
+	var id uint32
+	var row []float64
+	found := false
+	seeder := s.labeler.(PositiveSeeder)
+	s.provider.Candidates(func(cid uint32, crow []float64) bool {
+		if seeder.IsRelevant(cid) {
+			id = cid
+			row = append([]float64(nil), crow...)
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		return id, row, true
+	}
+	return seeder.SeedPositive()
+}
+
+// randomCandidate draws one uniform candidate with a size-1 reservoir over
+// the stream.
+func (s *Session) randomCandidate() (uint32, []float64, bool, error) {
+	var id uint32
+	var row []float64
+	n := 0
+	err := s.provider.Candidates(func(cid uint32, crow []float64) bool {
+		n++
+		if s.rng.Intn(n) == 0 {
+			id = cid
+			row = append(row[:0], crow...)
+		}
+		return true
+	})
+	if err != nil {
+		return 0, nil, false, err
+	}
+	if n == 0 {
+		return 0, nil, false, nil
+	}
+	return id, append([]float64(nil), row...), true, nil
+}
+
+// selectCandidate streams the pool and returns the argmax-scoring
+// candidate (Eq. 2), copying its row. Ties keep the first candidate seen,
+// which combined with sorted candidate streams makes selection
+// deterministic.
+func (s *Session) selectCandidate() (uint32, []float64, float64, int, error) {
+	var bestID uint32
+	var bestRow []float64
+	bestScore := math.Inf(-1)
+	pool := 0
+	var scoreErr error
+	err := s.provider.Candidates(func(id uint32, row []float64) bool {
+		score, err := s.cfg.Strategy.Score(s.model, row)
+		if err != nil {
+			scoreErr = err
+			return false
+		}
+		pool++
+		if score > bestScore {
+			bestScore = score
+			bestID = id
+			bestRow = append(bestRow[:0], row...)
+		}
+		return true
+	})
+	if err != nil {
+		return 0, nil, 0, 0, err
+	}
+	if scoreErr != nil {
+		return 0, nil, 0, 0, scoreErr
+	}
+	if pool == 0 {
+		return 0, nil, 0, 0, nil
+	}
+	return bestID, append([]float64(nil), bestRow...), bestScore, pool, nil
+}
+
+// addLabel appends to L.
+func (s *Session) addLabel(id uint32, row []float64, label oracle.Label) {
+	s.labeledIDs = append(s.labeledIDs, id)
+	s.labeledX = append(s.labeledX, row)
+	if label == oracle.Positive {
+		s.labeledY = append(s.labeledY, learn.ClassPositive)
+	} else {
+		s.labeledY = append(s.labeledY, learn.ClassNegative)
+	}
+}
+
+// refit retrains the model on L and notifies the provider and strategy.
+func (s *Session) refit() error {
+	model := s.cfg.EstimatorFactory()
+	if err := model.Fit(s.labeledX, s.labeledY); err != nil {
+		return err
+	}
+	s.model = model
+	s.provider.ModelUpdated()
+	if aware, ok := s.cfg.Strategy.(al.LabeledAware); ok {
+		if err := aware.SetLabeled(s.labeledX, s.labeledY); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Session) classesPresent() (hasPos, hasNeg bool) {
+	for _, y := range s.labeledY {
+		if y == learn.ClassPositive {
+			hasPos = true
+		} else {
+			hasNeg = true
+		}
+	}
+	return hasPos, hasNeg
+}

@@ -1,0 +1,93 @@
+package ide
+
+import (
+	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/oracle"
+)
+
+// Labeler answers label solicitations — the "user" of Algorithm 1. The
+// experiments use OracleLabeler (the §4.1 simulation); cmd/uei-explore
+// implements it with a human at a terminal.
+type Labeler interface {
+	// Label answers one solicitation for the tuple (id, row).
+	Label(id uint32, row []float64) oracle.Label
+	// Count returns how many labels have been solicited so far.
+	Count() int
+}
+
+// PositiveSeeder is implemented by labelers that can bootstrap the session
+// with one relevant example (Config.SeedWithPositive).
+type PositiveSeeder interface {
+	// IsRelevant answers ground-truth membership without counting as a
+	// solicited label; the engine uses it to find an in-pool seed.
+	IsRelevant(id uint32) bool
+	// SeedPositive returns one relevant example (id and owned row copy)
+	// when no in-pool candidate is relevant, modeling "the user brings an
+	// example". ok is false when no relevant tuple exists at all.
+	SeedPositive() (id uint32, row []float64, ok bool)
+}
+
+// MultiPositiveSeeder is implemented by labelers that can provide several
+// relevant examples — one per component of a disjunctive (multi-region)
+// interest — for Config.SeedCount > 1.
+type MultiPositiveSeeder interface {
+	PositiveSeeder
+	// SeedPositives returns up to n distinct relevant examples, spread
+	// across the target's components where possible.
+	SeedPositives(n int) (ids []uint32, rows [][]float64)
+}
+
+// OracleLabeler adapts the §4.1 user simulation to the Labeler interface.
+type OracleLabeler struct {
+	O *oracle.Oracle
+}
+
+// Label implements Labeler by ground-truth membership of the tuple id.
+func (l OracleLabeler) Label(id uint32, _ []float64) oracle.Label {
+	return l.O.LabelID(dataset.RowID(id))
+}
+
+// Count implements Labeler.
+func (l OracleLabeler) Count() int { return l.O.LabelsGiven() }
+
+// IsRelevant implements PositiveSeeder.
+func (l OracleLabeler) IsRelevant(id uint32) bool { return l.O.Relevant(dataset.RowID(id)) }
+
+// SeedPositive implements PositiveSeeder.
+func (l OracleLabeler) SeedPositive() (uint32, []float64, bool) {
+	id, row, ok := l.O.SeedRelevant()
+	return uint32(id), row, ok
+}
+
+// SeedPositives implements MultiPositiveSeeder: one seed per target
+// region, round-robin, until n seeds are collected or the regions are
+// exhausted.
+func (l OracleLabeler) SeedPositives(n int) ([]uint32, [][]float64) {
+	var ids []uint32
+	var rows [][]float64
+	seen := make(map[uint32]bool)
+	regions := l.O.Targets().Regions
+	for len(ids) < n && len(regions) > 0 {
+		progressed := false
+		for _, r := range regions {
+			if len(ids) >= n {
+				break
+			}
+			id, row, ok := l.O.SeedRelevantIn(r)
+			if !ok || seen[uint32(id)] {
+				continue
+			}
+			seen[uint32(id)] = true
+			ids = append(ids, uint32(id))
+			rows = append(rows, row)
+			progressed = true
+		}
+		if !progressed {
+			break // every region's lowest-id seed is already taken
+		}
+		// A second pass would re-yield the same lowest-id tuples; one seed
+		// per region is the useful spread, so stop after one sweep.
+		break
+	}
+	return ids, rows
+}

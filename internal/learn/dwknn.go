@@ -1,0 +1,194 @@
+package learn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DWKNN is the dual weighted k-nearest-neighbor classifier of Gou et al.,
+// "A new distance-weighted k-nearest neighbor classifier" (J. Inf. Comput.
+// Sci. 2012), reference [11] of the paper and its chosen uncertainty
+// estimator (Table 1).
+//
+// For a query x with neighbors sorted by distance d1 <= d2 <= ... <= dk, the
+// i-th neighbor receives the dual weight
+//
+//	w_i = (dk - di)/(dk - d1) * (dk + d1)/(dk + di)
+//
+// with w_i = 1 when dk == d1 (all neighbors equidistant). The positive
+// posterior is the normalized positive weight mass. The dual weight combines
+// the linear distance-rank weight with a harmonic damping term, which is
+// what distinguishes DWKNN from classic distance-weighted k-NN.
+type DWKNN struct {
+	// K is the neighborhood size. NewDWKNN defaults it to 7.
+	K int
+	// Scales optionally divides each dimension before computing distances,
+	// protecting the metric from dominance by wide-range attributes (e.g.
+	// rowc in [0,2048] vs dec in [-90,90]). When nil, Fit derives scales
+	// from the training data extent; a caller who knows the full data
+	// domain (the IDE engine does) should set it explicitly so scaling does
+	// not drift as the labeled set grows.
+	Scales []float64
+
+	x      [][]float64 // scaled copies of the training rows
+	y      []int
+	scales []float64 // effective scales used at fit time
+	dims   int
+	fitted bool
+}
+
+// NewDWKNN returns a DWKNN with neighborhood size k (0 selects the default
+// of 7) and optional per-dimension scales.
+func NewDWKNN(k int, scales []float64) *DWKNN {
+	if k == 0 {
+		k = 7
+	}
+	return &DWKNN{K: k, Scales: scales}
+}
+
+// Fit stores a scaled copy of the labeled set; DWKNN is a lazy learner so
+// "training" is memorization.
+func (c *DWKNN) Fit(X [][]float64, y []int) error {
+	dims, err := checkTrainingSet(X, y)
+	if err != nil {
+		return err
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("learn: DWKNN k = %d must be positive", c.K)
+	}
+	scales, err := c.effectiveScales(X, dims)
+	if err != nil {
+		return err
+	}
+	xs := make([][]float64, len(X))
+	for i, row := range X {
+		s := make([]float64, dims)
+		for j, v := range row {
+			s[j] = v / scales[j]
+		}
+		xs[i] = s
+	}
+	c.x = xs
+	c.y = append(c.y[:0:0], y...)
+	c.scales = scales
+	c.dims = dims
+	c.fitted = true
+	return nil
+}
+
+// Fitted reports whether Fit has succeeded.
+func (c *DWKNN) Fitted() bool { return c.fitted }
+
+// neighbor pairs a training index with its squared distance to the query.
+type neighbor struct {
+	idx int
+	d2  float64
+}
+
+// PosteriorPositive returns the dual-weighted positive class probability.
+func (c *DWKNN) PosteriorPositive(x []float64) (float64, error) {
+	if !c.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != c.dims {
+		return 0, fmt.Errorf("learn: query has %d dims, model has %d", len(x), c.dims)
+	}
+	k := c.K
+	if k > len(c.x) {
+		k = len(c.x)
+	}
+	nb := c.nearest(x, k)
+
+	// Distances (not squared) drive the weights.
+	dists := make([]float64, len(nb))
+	for i, n := range nb {
+		dists[i] = math.Sqrt(n.d2)
+	}
+	d1, dk := dists[0], dists[len(dists)-1]
+	var wPos, wAll float64
+	for i, n := range nb {
+		w := 1.0
+		if dk > d1 {
+			w = (dk - dists[i]) / (dk - d1) * (dk + d1) / (dk + dists[i])
+		}
+		wAll += w
+		if c.y[n.idx] == ClassPositive {
+			wPos += w
+		}
+	}
+	if wAll == 0 {
+		// Degenerate: dk > d1 makes the farthest neighbor weightless, but
+		// the nearest always has weight 1 unless k == 1 and the point
+		// coincides; fall back to unweighted vote.
+		pos := 0
+		for _, n := range nb {
+			if c.y[n.idx] == ClassPositive {
+				pos++
+			}
+		}
+		return clampProb(float64(pos) / float64(len(nb))), nil
+	}
+	return clampProb(wPos / wAll), nil
+}
+
+// nearest returns the k training points closest to x (scaled space), sorted
+// by ascending distance with index as tie-breaker for determinism.
+func (c *DWKNN) nearest(x []float64, k int) []neighbor {
+	q := make([]float64, c.dims)
+	for j, v := range x {
+		q[j] = v / c.scales[j]
+	}
+	all := make([]neighbor, len(c.x))
+	for i, row := range c.x {
+		var d2 float64
+		for j, v := range row {
+			diff := v - q[j]
+			d2 += diff * diff
+		}
+		all[i] = neighbor{idx: i, d2: d2}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].d2 != all[b].d2 {
+			return all[a].d2 < all[b].d2
+		}
+		return all[a].idx < all[b].idx
+	})
+	return all[:k]
+}
+
+// effectiveScales resolves the scaling vector used for the current fit.
+func (c *DWKNN) effectiveScales(X [][]float64, dims int) ([]float64, error) {
+	if c.Scales != nil {
+		if len(c.Scales) != dims {
+			return nil, fmt.Errorf("learn: %d scales for %d dims", len(c.Scales), dims)
+		}
+		out := make([]float64, dims)
+		for j, s := range c.Scales {
+			if s <= 0 {
+				return nil, fmt.Errorf("learn: scale %d = %g must be positive", j, s)
+			}
+			out[j] = s
+		}
+		return out, nil
+	}
+	// Derive from training extent; degenerate dimensions get scale 1.
+	out := make([]float64, dims)
+	for j := 0; j < dims; j++ {
+		lo, hi := X[0][j], X[0][j]
+		for _, row := range X {
+			if row[j] < lo {
+				lo = row[j]
+			}
+			if row[j] > hi {
+				hi = row[j]
+			}
+		}
+		if hi > lo {
+			out[j] = hi - lo
+		} else {
+			out[j] = 1
+		}
+	}
+	return out, nil
+}

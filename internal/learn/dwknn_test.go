@@ -1,0 +1,276 @@
+package learn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDWKNNUnfitted(t *testing.T) {
+	c := NewDWKNN(3, nil)
+	if c.Fitted() {
+		t.Error("fresh model claims fitted")
+	}
+	if _, err := c.PosteriorPositive([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("want ErrNotFitted, got %v", err)
+	}
+}
+
+func TestDWKNNFitValidation(t *testing.T) {
+	c := NewDWKNN(3, nil)
+	if err := c.Fit(nil, nil); err == nil {
+		t.Error("empty set should fail")
+	}
+	if err := c.Fit([][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := c.Fit([][]float64{{1}, {1, 2}}, []int{0, 1}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if err := c.Fit([][]float64{{1}}, []int{5}); err == nil {
+		t.Error("non-binary label should fail")
+	}
+	bad := NewDWKNN(3, []float64{1, 2}) // wrong scale arity
+	if err := bad.Fit([][]float64{{1}}, []int{1}); err == nil {
+		t.Error("scale arity mismatch should fail")
+	}
+	neg := NewDWKNN(3, []float64{-1})
+	if err := neg.Fit([][]float64{{1}}, []int{1}); err == nil {
+		t.Error("negative scale should fail")
+	}
+	zero := &DWKNN{K: -1}
+	if err := zero.Fit([][]float64{{1}}, []int{1}); err == nil {
+		t.Error("negative k should fail")
+	}
+}
+
+func TestDWKNNDefaultK(t *testing.T) {
+	if NewDWKNN(0, nil).K != 7 {
+		t.Error("default k should be 7")
+	}
+}
+
+// TestDWKNNDualWeightsHandComputed verifies the Gou et al. weight formula on
+// a 1-D example worked out by hand.
+//
+// Training points at 0(+), 1(+), 2(-), 10(-); query at 0; k = 3.
+// Neighbors: d1=0 (pos), d2=1 (pos), d3=2 (neg).
+// w1 = (2-0)/(2-0) * (2+0)/(2+0) = 1
+// w2 = (2-1)/(2-0) * (2+0)/(2+1) = 0.5 * 2/3 = 1/3
+// w3 = 0
+// P(pos) = (1 + 1/3) / (1 + 1/3 + 0) = 1.
+func TestDWKNNDualWeightsHandComputed(t *testing.T) {
+	c := NewDWKNN(3, []float64{1})
+	X := [][]float64{{0}, {1}, {2}, {10}}
+	y := []int{1, 1, 0, 0}
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.PosteriorPositive([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1.0) > 1e-12 {
+		t.Errorf("P(pos|0) = %g, want 1", p)
+	}
+
+	// Query at 1.5: neighbors 1(+,d=0.5), 2(-,d=0.5), 0(+,d=1.5).
+	// d1=d2=0.5, d3=1.5.
+	// w1 = (1.5-0.5)/(1.5-0.5) * (1.5+0.5)/(1.5+0.5) = 1
+	// w2 = 1 (same distance)
+	// w3 = (1.5-1.5)/1 * ... = 0
+	// P(pos) = (w1 for +1 at distance .5 ... both 0.5-distance neighbors
+	// are one pos one neg) = 1/2.
+	p, err = c.PosteriorPositive([]float64{1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("P(pos|1.5) = %g, want 0.5", p)
+	}
+}
+
+func TestDWKNNEquidistantNeighbors(t *testing.T) {
+	// All neighbors at identical distance: every weight is 1, posterior is
+	// the plain class fraction.
+	c := NewDWKNN(4, []float64{1, 1})
+	X := [][]float64{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	y := []int{1, 1, 1, 0}
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.PosteriorPositive([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.75) > 1e-12 {
+		t.Errorf("P = %g, want 0.75", p)
+	}
+}
+
+func TestDWKNNKLargerThanTrainingSet(t *testing.T) {
+	c := NewDWKNN(50, nil)
+	if err := c.Fit([][]float64{{0}, {1}}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PosteriorPositive([]float64{0.4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDWKNNDimsMismatchQuery(t *testing.T) {
+	c := NewDWKNN(1, nil)
+	c.Fit([][]float64{{0, 0}}, []int{1})
+	if _, err := c.PosteriorPositive([]float64{0}); err == nil {
+		t.Error("query dims mismatch should fail")
+	}
+}
+
+func TestDWKNNScalingMatters(t *testing.T) {
+	// Dimension 0 spans [0, 1000], dimension 1 spans [0, 1]. The query is
+	// nearest to the positive point only when dimension 1 is rescaled.
+	X := [][]float64{{0, 0}, {10, 1}}
+	y := []int{1, 0}
+	query := []float64{9, 0.05}
+
+	unscaled := NewDWKNN(1, []float64{1, 1})
+	unscaled.Fit(X, y)
+	pu, _ := unscaled.PosteriorPositive(query)
+
+	scaled := NewDWKNN(1, []float64{1000, 1})
+	scaled.Fit(X, y)
+	ps, _ := scaled.PosteriorPositive(query)
+
+	if pu != 0 {
+		t.Errorf("unscaled should pick the negative neighbor, P=%g", pu)
+	}
+	if ps != 1 {
+		t.Errorf("scaled should pick the positive neighbor, P=%g", ps)
+	}
+}
+
+func TestDWKNNLearnsBoxRegion(t *testing.T) {
+	// End-to-end sanity: with a few hundred labels, DWKNN should separate
+	// an axis-aligned box from background far better than chance.
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []int
+	for i := 0; i < 600; i++ {
+		p := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		label := 0
+		if p[0] > 4 && p[0] < 6 && p[1] > 4 && p[1] < 6 {
+			label = 1
+		}
+		X = append(X, p)
+		y = append(y, label)
+	}
+	c := NewDWKNN(7, []float64{10, 10})
+	if err := c.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for i := 0; i < 500; i++ {
+		p := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		want := 0
+		if p[0] > 4 && p[0] < 6 && p[1] > 4 && p[1] < 6 {
+			want = 1
+		}
+		got, err := Predict(c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == want {
+			correct++
+		}
+		total++
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Errorf("holdout accuracy %.3f < 0.9", acc)
+	}
+}
+
+func TestUncertaintyPeaksAtHalf(t *testing.T) {
+	c := NewDWKNN(2, []float64{1})
+	c.Fit([][]float64{{0}, {1}}, []int{0, 1})
+	// Exactly between one positive and one negative neighbor.
+	u, err := Uncertainty(c, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-0.5) > 1e-12 {
+		t.Errorf("u = %g, want 0.5", u)
+	}
+	// On top of the negative point, certainty should be high (u small).
+	u0, _ := Uncertainty(c, []float64{0})
+	if u0 >= u {
+		t.Errorf("uncertainty at a labeled point (%g) should be below the midpoint (%g)", u0, u)
+	}
+}
+
+func TestQuickDWKNNPosteriorInUnitInterval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		d := 1 + rng.Intn(4)
+		X := make([][]float64, n)
+		y := make([]int, n)
+		for i := range X {
+			X[i] = make([]float64, d)
+			for j := range X[i] {
+				X[i][j] = rng.NormFloat64() * 100
+			}
+			y[i] = rng.Intn(2)
+		}
+		c := NewDWKNN(1+rng.Intn(9), nil)
+		if err := c.Fit(X, y); err != nil {
+			return false
+		}
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.NormFloat64() * 100
+		}
+		p, err := c.PosteriorPositive(q)
+		if err != nil {
+			return false
+		}
+		u, err := Uncertainty(c, q)
+		if err != nil {
+			return false
+		}
+		return p >= 0 && p <= 1 && u >= 0 && u <= 0.5 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDWKNNSelfQueryAgreesWithLabel(t *testing.T) {
+	// Property: querying exactly at a training point with k=1 returns that
+	// point's label with certainty (ties broken by index determinism means
+	// duplicated coordinates may disagree, so generate distinct points).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		X := make([][]float64, n)
+		y := make([]int, n)
+		for i := range X {
+			X[i] = []float64{float64(i) + rng.Float64()*0.25} // strictly increasing
+			y[i] = rng.Intn(2)
+		}
+		c := NewDWKNN(1, []float64{1})
+		if err := c.Fit(X, y); err != nil {
+			return false
+		}
+		i := rng.Intn(n)
+		p, err := c.PosteriorPositive(X[i])
+		if err != nil {
+			return false
+		}
+		return (y[i] == 1) == (p >= 0.5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

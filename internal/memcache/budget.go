@@ -1,0 +1,105 @@
+// Package memcache implements UEI's in-memory data management (§3.1
+// components 3-4 and §3.2): a hard byte budget standing in for the
+// experiment's restricted memory footprint (~1% of the dataset), a uniform
+// row-id sampler for the unlabeled cache U (Algorithm 2 line 12), and the
+// cache itself, which holds the uniform sample plus at most one loaded
+// uncertain region at a time.
+package memcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBudgetExceeded is returned when a reservation would push usage past
+// the configured capacity.
+var ErrBudgetExceeded = errors.New("memcache: memory budget exceeded")
+
+// Budget is a thread-safe byte-budget ledger. The experiments use it to
+// enforce the paper's "restricted the memory footprint ... to be within
+// 400MB, ~1% of the entire dataset" constraint at scaled-down size.
+type Budget struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	peak     int64
+}
+
+// NewBudget creates a ledger with the given capacity in bytes.
+func NewBudget(capacity int64) (*Budget, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("memcache: budget capacity %d must be positive", capacity)
+	}
+	return &Budget{capacity: capacity}, nil
+}
+
+// Reserve claims n bytes or fails with ErrBudgetExceeded without claiming
+// anything.
+func (b *Budget) Reserve(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("memcache: negative reservation %d", n)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.used+n > b.capacity {
+		return fmt.Errorf("%w: %d used + %d requested > %d capacity", ErrBudgetExceeded, b.used, n, b.capacity)
+	}
+	b.used += n
+	if b.used > b.peak {
+		b.peak = b.used
+	}
+	return nil
+}
+
+// Release returns n bytes to the ledger. Releasing more than is used is a
+// programming error and panics, because it means accounting has diverged
+// from reality.
+func (b *Budget) Release(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("memcache: negative release %d", n))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n > b.used {
+		panic(fmt.Sprintf("memcache: releasing %d bytes with only %d used", n, b.used))
+	}
+	b.used -= n
+}
+
+// Used returns the current usage in bytes.
+func (b *Budget) Used() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Capacity returns the configured capacity in bytes.
+func (b *Budget) Capacity() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity
+}
+
+// Available returns the unreserved byte count.
+func (b *Budget) Available() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity - b.used
+}
+
+// Peak returns the high-water mark of usage, for experiment reports.
+func (b *Budget) Peak() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peak
+}
+
+// TupleBytes estimates the in-memory footprint of one cached tuple: the
+// float64 payload plus map-entry and slice-header overhead. All cache
+// accounting uses this single estimator so budgets are comparable across
+// components.
+func TupleBytes(dims int) int64 {
+	const overhead = 48 // map bucket share + slice header + id
+	return int64(dims)*8 + overhead
+}

@@ -1,0 +1,302 @@
+package memcache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NoRegion is the RegionCell value when no uncertain region is resident.
+const NoRegion = -1
+
+// Cache is UEI's in-memory unlabeled set U: a uniform base sample that
+// stays resident for the whole exploration, plus a bounded set of loaded
+// uncertain regions. §3.2 fixes the default at one resident region ("by
+// default UEI kept only one uncertain data region g*_i in the memory at
+// any given time"); SetMaxRegions raises the bound for deployments with
+// spare budget, evicting the least recently used region first. Labeled
+// tuples are evicted (U <- U - {x}), and every byte held is accounted
+// against the shared Budget.
+//
+// Cache is not safe for concurrent use; the IDE engine owns it from a
+// single goroutine and the prefetcher hands regions over via channels.
+type Cache struct {
+	budget *Budget
+	dims   int
+
+	sample map[uint32][]float64
+	// regions maps a resident grid cell to its rows.
+	regions map[int]map[uint32][]float64
+	// lru lists resident cells, least recently used first.
+	lru []int
+	// maxRegions bounds len(regions); at least 1.
+	maxRegions int
+	// labeled records evicted ids so re-loaded regions do not resurrect
+	// already-labeled tuples.
+	labeled map[uint32]bool
+}
+
+// NewCache creates an empty cache accounting against budget, holding at
+// most one region (the paper's default).
+func NewCache(budget *Budget, dims int) (*Cache, error) {
+	if budget == nil {
+		return nil, fmt.Errorf("memcache: nil budget")
+	}
+	if dims <= 0 {
+		return nil, fmt.Errorf("memcache: dims %d must be positive", dims)
+	}
+	return &Cache{
+		budget:     budget,
+		dims:       dims,
+		sample:     make(map[uint32][]float64),
+		regions:    make(map[int]map[uint32][]float64),
+		maxRegions: 1,
+		labeled:    make(map[uint32]bool),
+	}, nil
+}
+
+// SetMaxRegions raises (or lowers) the resident-region bound, evicting
+// least-recently-used regions if the new bound is already exceeded.
+func (c *Cache) SetMaxRegions(n int) error {
+	if n < 1 {
+		return fmt.Errorf("memcache: max regions %d must be at least 1", n)
+	}
+	c.maxRegions = n
+	for len(c.lru) > c.maxRegions {
+		c.dropOldestRegion()
+	}
+	return nil
+}
+
+// MaxRegions returns the resident-region bound.
+func (c *Cache) MaxRegions() int { return c.maxRegions }
+
+// AddSample inserts one base-sample tuple, reserving budget for it.
+// Already-present and already-labeled ids are no-ops.
+func (c *Cache) AddSample(id uint32, row []float64) error {
+	if len(row) != c.dims {
+		return fmt.Errorf("memcache: row has %d dims, cache expects %d", len(row), c.dims)
+	}
+	if c.labeled[id] {
+		return nil
+	}
+	if _, ok := c.sample[id]; ok {
+		return nil
+	}
+	if err := c.budget.Reserve(TupleBytes(c.dims)); err != nil {
+		return err
+	}
+	c.sample[id] = row
+	return nil
+}
+
+// RegionCell returns the most recently installed region's grid cell, or
+// NoRegion.
+func (c *Cache) RegionCell() int {
+	if len(c.lru) == 0 {
+		return NoRegion
+	}
+	return c.lru[len(c.lru)-1]
+}
+
+// HasRegion reports whether the cell's region is resident, marking it most
+// recently used when it is.
+func (c *Cache) HasRegion(cell int) bool {
+	if _, ok := c.regions[cell]; !ok {
+		return false
+	}
+	c.touch(cell)
+	return true
+}
+
+// ContainsRegion reports residency without updating recency (a read-only
+// probe for prefetch planning).
+func (c *Cache) ContainsRegion(cell int) bool {
+	_, ok := c.regions[cell]
+	return ok
+}
+
+// ResidentRegions returns the resident cells, least recently used first.
+func (c *Cache) ResidentRegions() []int {
+	return append([]int(nil), c.lru...)
+}
+
+// SetRegion installs a loaded region (Algorithm 2 lines 15/19-20),
+// evicting least-recently-used regions beyond the bound. Rows already
+// resident (in the sample or another region) or already labeled are
+// skipped rather than double-counted. On budget exhaustion the region is
+// installed partially (the rows that fit) and ErrBudgetExceeded is
+// returned — the caller decides whether a partial region is acceptable.
+func (c *Cache) SetRegion(cell int, ids []uint32, rows [][]float64) error {
+	if len(ids) != len(rows) {
+		return fmt.Errorf("memcache: %d ids for %d rows", len(ids), len(rows))
+	}
+	if cell < 0 {
+		return fmt.Errorf("memcache: invalid region cell %d", cell)
+	}
+	if _, ok := c.regions[cell]; ok {
+		c.dropRegion(cell) // reinstall fresh
+	}
+	for len(c.lru) >= c.maxRegions {
+		c.dropOldestRegion()
+	}
+	region := make(map[uint32][]float64, len(ids))
+	c.regions[cell] = region
+	c.lru = append(c.lru, cell)
+	for i, id := range ids {
+		if len(rows[i]) != c.dims {
+			return fmt.Errorf("memcache: region row %d has %d dims, cache expects %d", id, len(rows[i]), c.dims)
+		}
+		if c.labeled[id] {
+			continue
+		}
+		if _, ok := c.Get(id); ok {
+			continue
+		}
+		if err := c.budget.Reserve(TupleBytes(c.dims)); err != nil {
+			return fmt.Errorf("memcache: region %d truncated after %d rows: %w", cell, len(region), err)
+		}
+		region[id] = rows[i]
+	}
+	return nil
+}
+
+// DropRegion evicts every resident region, releasing its budget
+// (Algorithm 2 line 15, "drop any previously loaded data regions from U").
+func (c *Cache) DropRegion() {
+	for len(c.lru) > 0 {
+		c.dropOldestRegion()
+	}
+}
+
+// dropOldestRegion evicts the least recently used region.
+func (c *Cache) dropOldestRegion() {
+	if len(c.lru) == 0 {
+		return
+	}
+	c.dropRegion(c.lru[0])
+}
+
+// dropRegion evicts one region by cell.
+func (c *Cache) dropRegion(cell int) {
+	region, ok := c.regions[cell]
+	if !ok {
+		return
+	}
+	for id := range region {
+		c.budget.Release(TupleBytes(c.dims))
+		delete(region, id)
+	}
+	delete(c.regions, cell)
+	for i, v := range c.lru {
+		if v == cell {
+			c.lru = append(c.lru[:i], c.lru[i+1:]...)
+			break
+		}
+	}
+}
+
+// touch marks a region most recently used.
+func (c *Cache) touch(cell int) {
+	for i, v := range c.lru {
+		if v == cell {
+			c.lru = append(append(c.lru[:i], c.lru[i+1:]...), cell)
+			return
+		}
+	}
+}
+
+// Remove evicts a tuple after it was labeled (U <- U - {x}). It is
+// idempotent.
+func (c *Cache) Remove(id uint32) {
+	if c.labeled[id] {
+		return
+	}
+	c.labeled[id] = true
+	if _, ok := c.sample[id]; ok {
+		delete(c.sample, id)
+		c.budget.Release(TupleBytes(c.dims))
+	}
+	for _, region := range c.regions {
+		if _, ok := region[id]; ok {
+			delete(region, id)
+			c.budget.Release(TupleBytes(c.dims))
+		}
+	}
+}
+
+// Get returns the cached row for id, if resident.
+func (c *Cache) Get(id uint32) ([]float64, bool) {
+	if row, ok := c.sample[id]; ok {
+		return row, true
+	}
+	for _, region := range c.regions {
+		if row, ok := region[id]; ok {
+			return row, true
+		}
+	}
+	return nil, false
+}
+
+// Len returns the number of resident tuples.
+func (c *Cache) Len() int {
+	n := len(c.sample)
+	for _, region := range c.regions {
+		n += len(region)
+	}
+	return n
+}
+
+// SampleLen returns the number of resident base-sample tuples.
+func (c *Cache) SampleLen() int { return len(c.sample) }
+
+// RegionLen returns the number of resident region tuples across all
+// regions.
+func (c *Cache) RegionLen() int {
+	n := 0
+	for _, region := range c.regions {
+		n += len(region)
+	}
+	return n
+}
+
+// Each visits every resident tuple (sample first, then regions) until fn
+// returns false. Iteration order within each part is map order; use
+// EachSorted for determinism.
+func (c *Cache) Each(fn func(id uint32, row []float64) bool) {
+	for id, row := range c.sample {
+		if !fn(id, row) {
+			return
+		}
+	}
+	for _, region := range c.regions {
+		for id, row := range region {
+			if !fn(id, row) {
+				return
+			}
+		}
+	}
+}
+
+// EachSorted visits every resident tuple in ascending id order until fn
+// returns false. The IDE engine uses it so argmax tie-breaking — and hence
+// whole explorations — are deterministic for a fixed seed.
+func (c *Cache) EachSorted(fn func(id uint32, row []float64) bool) {
+	ids := make([]uint32, 0, c.Len())
+	for id := range c.sample {
+		ids = append(ids, id)
+	}
+	for _, region := range c.regions {
+		for id := range region {
+			if _, dup := c.sample[id]; !dup {
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		row, _ := c.Get(id)
+		if !fn(id, row) {
+			return
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package memcache
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// SampleIDs draws k distinct row ids uniformly from [0, n) using Floyd's
+// algorithm, returning them sorted ascending. It backs Algorithm 2 line 12,
+// "U <- sample(D, γ)". When k >= n it returns every id.
+func SampleIDs(n, k int, seed int64) ([]uint32, error) {
+	if n < 0 || k < 0 {
+		return nil, fmt.Errorf("memcache: negative sample parameters n=%d k=%d", n, k)
+	}
+	if n == 0 || k == 0 {
+		return nil, nil
+	}
+	if k >= n {
+		out := make([]uint32, n)
+		for i := range out {
+			out[i] = uint32(i)
+		}
+		return out, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	chosen := make(map[uint32]bool, k)
+	for j := n - k; j < n; j++ {
+		t := uint32(rng.Intn(j + 1))
+		if chosen[t] {
+			chosen[uint32(j)] = true
+		} else {
+			chosen[t] = true
+		}
+	}
+	out := make([]uint32, 0, k)
+	for id := range chosen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Reservoir maintains a uniform fixed-size sample over a stream of items of
+// unknown length (classic Algorithm R). It is used where the row count is
+// not known up front, e.g. sampling candidate rows while streaming chunks.
+type Reservoir struct {
+	k     int
+	seen  int
+	items []uint32
+	rng   *rand.Rand
+}
+
+// NewReservoir creates a reservoir of capacity k.
+func NewReservoir(k int, seed int64) (*Reservoir, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("memcache: reservoir capacity %d must be positive", k)
+	}
+	return &Reservoir{k: k, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Offer streams one item through the reservoir.
+func (r *Reservoir) Offer(id uint32) {
+	r.seen++
+	if len(r.items) < r.k {
+		r.items = append(r.items, id)
+		return
+	}
+	if j := r.rng.Intn(r.seen); j < r.k {
+		r.items[j] = id
+	}
+}
+
+// Seen returns how many items have been offered.
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Items returns the current sample (aliased; callers must not modify).
+func (r *Reservoir) Items() []uint32 { return r.items }

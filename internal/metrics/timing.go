@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencyRecorder accumulates per-iteration response times and answers
+// summary queries (mean, percentiles, max). It backs Figure 6.
+type LatencyRecorder struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder { return &LatencyRecorder{} }
+
+// Record adds one sample. Negative durations are clamped to zero.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	r.samples = append(r.samples, d)
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// Mean returns the average sample, or 0 when empty.
+func (r *LatencyRecorder) Mean() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(r.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank method, or 0 when empty.
+func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	if len(r.samples) == 0 || p <= 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	r.ensureSorted()
+	rank := int(math.Ceil(p / 100 * float64(len(r.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return r.samples[rank-1]
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (r *LatencyRecorder) Max() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	return r.samples[len(r.samples)-1]
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (r *LatencyRecorder) Min() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	return r.samples[0]
+}
+
+// Samples returns a copy of the recorded samples in insertion-independent
+// (sorted) order, for merging recorders across runs.
+func (r *LatencyRecorder) Samples() []time.Duration {
+	r.ensureSorted()
+	out := make([]time.Duration, len(r.samples))
+	copy(out, r.samples)
+	return out
+}
+
+// FractionUnder returns the fraction of samples strictly below the
+// threshold — used for "how many iterations met the 500 ms interactivity
+// bound".
+func (r *LatencyRecorder) FractionUnder(threshold time.Duration) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range r.samples {
+		if s < threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.samples))
+}
+
+// Summary renders the recorder for reports.
+func (r *LatencyRecorder) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v max=%v",
+		r.Count(), r.Mean().Round(time.Microsecond),
+		r.Percentile(50).Round(time.Microsecond),
+		r.Percentile(95).Round(time.Microsecond),
+		r.Max().Round(time.Microsecond))
+}
+
+func (r *LatencyRecorder) ensureSorted() {
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+}

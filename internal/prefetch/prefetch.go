@@ -1,0 +1,213 @@
+// Package prefetch implements the background region loading of §3.2
+// ("Tuning Interactive Exploration"): when the user sets a response-latency
+// threshold σ that a synchronous region load would violate, UEI starts
+// fetching the chunks of the anticipated next region in the background,
+// θ = ⌈τ/σ⌉ iterations ahead, where τ is the average region load time.
+//
+// The prefetcher keeps at most one load in flight and at most one completed
+// region buffered, matching UEI's default of one uncertain region resident
+// at a time plus one in transit.
+package prefetch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed prefetcher.
+var ErrClosed = errors.New("prefetch: prefetcher is closed")
+
+// LoadFunc loads a region's tuples from secondary storage. Implementations
+// must be safe to call from the prefetcher's goroutine.
+type LoadFunc func(cell int) (ids []uint32, rows [][]float64, err error)
+
+// Result is a completed region load.
+type Result struct {
+	Cell     int
+	IDs      []uint32
+	Rows     [][]float64
+	Err      error
+	LoadTime time.Duration
+}
+
+// NoCell marks "no region" in-flight or buffered.
+const NoCell = -1
+
+// Prefetcher coordinates asynchronous region loads.
+type Prefetcher struct {
+	load LoadFunc
+
+	mu           sync.Mutex
+	inflightCell int
+	inflightDone chan struct{}
+	buffered     *Result
+	emaNanos     float64
+	loads        int
+	closed       bool
+}
+
+// New creates a prefetcher over the given loader.
+func New(load LoadFunc) (*Prefetcher, error) {
+	if load == nil {
+		return nil, fmt.Errorf("prefetch: nil load function")
+	}
+	return &Prefetcher{load: load, inflightCell: NoCell}, nil
+}
+
+// Start begins loading cell in the background. It reports whether a load
+// was started (or is already in flight / buffered for that cell): false
+// means the prefetcher is busy with a different cell and the request was
+// dropped — the caller will simply load synchronously later if it still
+// wants the region.
+func (p *Prefetcher) Start(cell int) (bool, error) {
+	if cell < 0 {
+		return false, fmt.Errorf("prefetch: invalid cell %d", cell)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false, ErrClosed
+	}
+	if p.inflightCell == cell {
+		return true, nil
+	}
+	if p.buffered != nil && p.buffered.Cell == cell {
+		return true, nil
+	}
+	if p.inflightCell != NoCell {
+		return false, nil
+	}
+	done := make(chan struct{})
+	p.inflightCell = cell
+	p.inflightDone = done
+	go p.run(cell, done)
+	return true, nil
+}
+
+// run executes one background load and buffers its result.
+func (p *Prefetcher) run(cell int, done chan struct{}) {
+	start := time.Now()
+	ids, rows, err := p.load(cell)
+	elapsed := time.Since(start)
+
+	p.mu.Lock()
+	p.recordLocked(elapsed)
+	p.buffered = &Result{Cell: cell, IDs: ids, Rows: rows, Err: err, LoadTime: elapsed}
+	p.inflightCell = NoCell
+	p.inflightDone = nil
+	p.mu.Unlock()
+	close(done)
+}
+
+// TryTake returns the buffered result for cell, if one is ready, removing
+// it from the buffer. It never blocks.
+func (p *Prefetcher) TryTake(cell int) (*Result, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.buffered != nil && p.buffered.Cell == cell {
+		r := p.buffered
+		p.buffered = nil
+		return r, true
+	}
+	return nil, false
+}
+
+// Await returns the region for cell, blocking on an in-flight load of that
+// cell or performing a synchronous load otherwise. The synchronous path
+// also updates τ, since it is exactly the load the prefetcher tries to
+// hide.
+func (p *Prefetcher) Await(cell int) *Result {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return &Result{Cell: cell, Err: ErrClosed}
+	}
+	if p.buffered != nil && p.buffered.Cell == cell {
+		r := p.buffered
+		p.buffered = nil
+		p.mu.Unlock()
+		return r
+	}
+	if p.inflightCell == cell {
+		done := p.inflightDone
+		p.mu.Unlock()
+		<-done
+		if r, ok := p.TryTake(cell); ok {
+			return r
+		}
+		// Another caller raced us to the buffer; fall through to a
+		// synchronous load.
+	} else {
+		p.mu.Unlock()
+	}
+
+	start := time.Now()
+	ids, rows, err := p.load(cell)
+	elapsed := time.Since(start)
+	p.mu.Lock()
+	p.recordLocked(elapsed)
+	p.mu.Unlock()
+	return &Result{Cell: cell, IDs: ids, Rows: rows, Err: err, LoadTime: elapsed}
+}
+
+// recordLocked folds one load time into the τ estimate (EMA, α = 0.3).
+func (p *Prefetcher) recordLocked(d time.Duration) {
+	p.loads++
+	if p.loads == 1 {
+		p.emaNanos = float64(d.Nanoseconds())
+		return
+	}
+	const alpha = 0.3
+	p.emaNanos = alpha*float64(d.Nanoseconds()) + (1-alpha)*p.emaNanos
+}
+
+// AvgLoadTime returns the current τ estimate (0 before any load).
+func (p *Prefetcher) AvgLoadTime() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return time.Duration(p.emaNanos)
+}
+
+// Loads returns how many region loads (sync or async) have completed.
+func (p *Prefetcher) Loads() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.loads
+}
+
+// Theta computes θ = ⌈τ/σ⌉, the number of iterations of lead time the
+// prefetcher needs to hide a region load behind iterations of latency σ.
+// With no load history or a non-positive σ it returns 1 (start one
+// iteration ahead).
+func (p *Prefetcher) Theta(sigma time.Duration) int {
+	if sigma <= 0 {
+		return 1
+	}
+	tau := p.AvgLoadTime()
+	if tau <= 0 {
+		return 1
+	}
+	theta := int(math.Ceil(float64(tau) / float64(sigma)))
+	if theta < 1 {
+		theta = 1
+	}
+	return theta
+}
+
+// Close waits for any in-flight load and shuts the prefetcher down.
+func (p *Prefetcher) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	done := p.inflightDone
+	p.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+}

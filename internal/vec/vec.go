@@ -1,0 +1,163 @@
+// Package vec provides small d-dimensional vector and box utilities used
+// throughout the UEI codebase: points, axis-aligned boxes, and distance
+// metrics. All operations treat vectors as dense []float64 of equal length;
+// helpers panic on dimensionality mismatch because such a mismatch is always
+// a programming error, never a data error.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in d-dimensional space.
+type Point = []float64
+
+// Clone returns a copy of p that shares no storage with it.
+func Clone(p Point) Point {
+	out := make(Point, len(p))
+	copy(out, p)
+	return out
+}
+
+// Equal reports whether a and b have the same dimensionality and identical
+// coordinates.
+func Equal(a, b Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// L2 returns the Euclidean distance between a and b.
+func L2(a, b Point) float64 {
+	return math.Sqrt(SquaredL2(a, b))
+}
+
+// SquaredL2 returns the squared Euclidean distance between a and b. It is
+// the preferred metric for nearest-neighbor ranking because it avoids the
+// square root while preserving order.
+func SquaredL2(a, b Point) float64 {
+	checkDims(len(a), len(b))
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// L1 returns the Manhattan distance between a and b.
+func L1(a, b Point) float64 {
+	checkDims(len(a), len(b))
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Linf returns the Chebyshev (maximum-coordinate) distance between a and b.
+func Linf(a, b Point) float64 {
+	checkDims(len(a), len(b))
+	var s float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > s {
+			s = d
+		}
+	}
+	return s
+}
+
+// Box is an axis-aligned d-dimensional box, inclusive on both ends:
+// a point p is inside iff Min[i] <= p[i] <= Max[i] for every dimension i.
+type Box struct {
+	Min Point
+	Max Point
+}
+
+// NewBox returns a box with copies of min and max. It panics if the two
+// points disagree in dimensionality or if min exceeds max anywhere.
+func NewBox(min, max Point) Box {
+	checkDims(len(min), len(max))
+	for i := range min {
+		if min[i] > max[i] {
+			panic(fmt.Sprintf("vec: inverted box on dimension %d: min %g > max %g", i, min[i], max[i]))
+		}
+	}
+	return Box{Min: Clone(min), Max: Clone(max)}
+}
+
+// Dims returns the dimensionality of the box.
+func (b Box) Dims() int { return len(b.Min) }
+
+// Contains reports whether p lies inside b (inclusive bounds).
+func (b Box) Contains(p Point) bool {
+	checkDims(len(b.Min), len(p))
+	for i := range p {
+		if p[i] < b.Min[i] || p[i] > b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Center returns the midpoint of the box.
+func (b Box) Center() Point {
+	c := make(Point, len(b.Min))
+	for i := range c {
+		c[i] = b.Min[i] + (b.Max[i]-b.Min[i])/2
+	}
+	return c
+}
+
+// Widths returns the per-dimension extents of the box.
+func (b Box) Widths() Point {
+	w := make(Point, len(b.Min))
+	for i := range w {
+		w[i] = b.Max[i] - b.Min[i]
+	}
+	return w
+}
+
+// Volume returns the product of the box extents. A degenerate box has
+// volume zero.
+func (b Box) Volume() float64 {
+	v := 1.0
+	for i := range b.Min {
+		v *= b.Max[i] - b.Min[i]
+	}
+	return v
+}
+
+// Intersects reports whether the two boxes overlap (touching counts).
+func (b Box) Intersects(o Box) bool {
+	checkDims(len(b.Min), len(o.Min))
+	for i := range b.Min {
+		if b.Max[i] < o.Min[i] || o.Max[i] < b.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clamp returns a copy of p with each coordinate clamped into the box.
+func (b Box) Clamp(p Point) Point {
+	checkDims(len(b.Min), len(p))
+	out := make(Point, len(p))
+	for i := range p {
+		out[i] = math.Max(b.Min[i], math.Min(b.Max[i], p[i]))
+	}
+	return out
+}
+
+func checkDims(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("vec: dimensionality mismatch: %d vs %d", a, b))
+	}
+}

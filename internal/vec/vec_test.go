@@ -1,0 +1,187 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCloneIndependence(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := Clone(p)
+	q[0] = 99
+	if p[0] != 1 {
+		t.Fatalf("Clone shares storage: p = %v", p)
+	}
+	if !Equal(p, Point{1, 2, 3}) {
+		t.Fatalf("original mutated: %v", p)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want bool
+	}{
+		{Point{1, 2}, Point{1, 2}, true},
+		{Point{1, 2}, Point{1, 3}, false},
+		{Point{1, 2}, Point{1, 2, 3}, false},
+		{Point{}, Point{}, true},
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{3, 4}
+	if got := L2(a, b); got != 5 {
+		t.Errorf("L2 = %g, want 5", got)
+	}
+	if got := SquaredL2(a, b); got != 25 {
+		t.Errorf("SquaredL2 = %g, want 25", got)
+	}
+	if got := L1(a, b); got != 7 {
+		t.Errorf("L1 = %g, want 7", got)
+	}
+	if got := Linf(a, b); got != 4 {
+		t.Errorf("Linf = %g, want 4", got)
+	}
+}
+
+func TestDistanceMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	L2(Point{1}, Point{1, 2})
+}
+
+func TestBoxContains(t *testing.T) {
+	b := NewBox(Point{0, 0}, Point{1, 2})
+	if !b.Contains(Point{0, 0}) || !b.Contains(Point{1, 2}) {
+		t.Error("box bounds should be inclusive")
+	}
+	if !b.Contains(Point{0.5, 1}) {
+		t.Error("interior point should be contained")
+	}
+	if b.Contains(Point{1.0001, 1}) || b.Contains(Point{-0.0001, 1}) {
+		t.Error("exterior point should not be contained")
+	}
+}
+
+func TestBoxGeometry(t *testing.T) {
+	b := NewBox(Point{0, 0}, Point{2, 4})
+	if c := b.Center(); !Equal(c, Point{1, 2}) {
+		t.Errorf("Center = %v", c)
+	}
+	if w := b.Widths(); !Equal(w, Point{2, 4}) {
+		t.Errorf("Widths = %v", w)
+	}
+	if v := b.Volume(); v != 8 {
+		t.Errorf("Volume = %g", v)
+	}
+	if b.Dims() != 2 {
+		t.Errorf("Dims = %d", b.Dims())
+	}
+}
+
+func TestBoxIntersects(t *testing.T) {
+	a := NewBox(Point{0, 0}, Point{1, 1})
+	cases := []struct {
+		b    Box
+		want bool
+	}{
+		{NewBox(Point{0.5, 0.5}, Point{2, 2}), true},
+		{NewBox(Point{1, 1}, Point{2, 2}), true}, // touching corners count
+		{NewBox(Point{1.5, 1.5}, Point{2, 2}), false},
+		{NewBox(Point{-1, -1}, Point{2, 2}), true}, // containment counts
+	}
+	for i, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("case %d: Intersects not symmetric", i)
+		}
+	}
+}
+
+func TestBoxClamp(t *testing.T) {
+	b := NewBox(Point{0, 0}, Point{1, 1})
+	got := b.Clamp(Point{-5, 0.5})
+	if !Equal(got, Point{0, 0.5}) {
+		t.Errorf("Clamp = %v", got)
+	}
+	if !b.Contains(got) {
+		t.Error("clamped point must lie inside the box")
+	}
+}
+
+func TestInvertedBoxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inverted box")
+		}
+	}()
+	NewBox(Point{1}, Point{0})
+}
+
+// randomPair builds two same-dimension points from the fuzzer's randomness.
+func randomPair(r *rand.Rand) (Point, Point) {
+	d := 1 + r.Intn(6)
+	a := make(Point, d)
+	b := make(Point, d)
+	for i := 0; i < d; i++ {
+		a[i] = r.NormFloat64() * 10
+		b[i] = r.NormFloat64() * 10
+	}
+	return a, b
+}
+
+func TestQuickMetricProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	// Symmetry, non-negativity, identity and the L∞ ≤ L2 ≤ L1 chain.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomPair(r)
+		l1, l2, linf := L1(a, b), L2(a, b), Linf(a, b)
+		const eps = 1e-9
+		if l1 < 0 || l2 < 0 || linf < 0 {
+			return false
+		}
+		if math.Abs(L2(b, a)-l2) > eps || math.Abs(L1(b, a)-l1) > eps {
+			return false
+		}
+		if L2(a, a) != 0 || Linf(a, a) != 0 {
+			return false
+		}
+		return linf <= l2+eps && l2 <= l1+eps
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBoxCenterContained(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomPair(r)
+		min := make(Point, len(a))
+		max := make(Point, len(a))
+		for i := range a {
+			min[i] = math.Min(a[i], b[i])
+			max[i] = math.Max(a[i], b[i])
+		}
+		box := NewBox(min, max)
+		return box.Contains(box.Center()) && box.Contains(box.Clamp(a)) && box.Contains(box.Clamp(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
