@@ -16,12 +16,14 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"github.com/uei-db/uei/internal/experiment"
+	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/oracle"
 )
 
@@ -50,6 +52,9 @@ func run() error {
 		segs    = flag.Int("segments", 0, "override grid segments per dimension (|P| = segments^5)")
 		workdir = flag.String("workdir", "", "directory for the built stores (default: temp)")
 		csvDir  = flag.String("csv", "", "also export figure data as CSV into this directory")
+		trace   = flag.String("trace", "", "write per-iteration phase spans as JSONL to this file")
+		metrA   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
+		summary = flag.Bool("summary", false, "print a phase-latency breakdown table at the end")
 	)
 	flag.Parse()
 
@@ -57,6 +62,39 @@ func run() error {
 	if *full {
 		cfg = experiment.FullConfig()
 	}
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	if *trace != "" {
+		tf, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		w := bufio.NewWriter(tf)
+		defer w.Flush()
+		cfg.Trace = obs.NewTracer(w)
+	}
+	if *metrA != "" {
+		srv, err := obs.Serve(*metrA, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	defer func() {
+		if *summary {
+			fmt.Printf("\n%s", obs.FormatSummary(reg))
+		}
+		if cfg.Trace == nil {
+			return
+		}
+		if err := cfg.Trace.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "uei-bench: trace write:", err)
+		} else {
+			fmt.Printf("trace written to %s\n", *trace)
+		}
+	}()
 	if *n > 0 {
 		cfg.N = *n
 	}

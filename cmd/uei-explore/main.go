@@ -23,6 +23,7 @@ import (
 	"github.com/uei-db/uei/internal/dataset"
 	"github.com/uei-db/uei/internal/ide"
 	"github.com/uei-db/uei/internal/learn"
+	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/oracle"
 )
 
@@ -95,8 +96,32 @@ func run() error {
 		auto     = flag.Bool("auto", false, "demo mode: a simulated user answers instead of you")
 		savePath = flag.String("save", "", "write a session snapshot (labeled set) here at the end")
 		loadPath = flag.String("resume", "", "resume from a session snapshot written by -save")
+		tracePth = flag.String("trace", "", "write per-iteration phase spans as JSONL to this file")
+		metrAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
+		summary  = flag.Bool("summary", false, "print a phase-latency breakdown table at the end")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *tracePth != "" {
+		tf, err := os.Create(*tracePth)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		w := bufio.NewWriter(tf)
+		defer w.Flush()
+		tracer = obs.NewTracer(w)
+	}
+	if *metrAddr != "" {
+		srv, err := obs.Serve(*metrAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
 
 	dir := *storeDir
 	if dir == "" {
@@ -123,6 +148,8 @@ func run() error {
 		MemoryBudgetBytes: *budget,
 		EnablePrefetch:    true,
 		Seed:              *seed,
+		Registry:          reg,
+		Tracer:            tracer,
 	}, nil)
 	if err != nil {
 		return err
@@ -183,6 +210,8 @@ func run() error {
 		// "y" to at least one early tuple or the model cannot start
 		// learning. Auto mode seeds from the simulated user.
 		SeedWithPositive: seedWithPositive,
+		Registry:         reg,
+		Tracer:           tracer,
 	}
 	var sess *ide.Session
 	if *loadPath != "" {
@@ -249,5 +278,14 @@ func run() error {
 	stats := idx.Stats()
 	fmt.Printf("\nindex stats: %d region swaps, %d deferred, %d prefetch hits, %d bytes read, peak memory %d bytes\n",
 		stats.RegionSwaps, stats.SwapsDeferred, stats.PrefetchHits, stats.BytesRead, stats.PeakMemory)
+	if *summary {
+		fmt.Printf("\n%s", obs.FormatSummary(reg))
+	}
+	if tracer != nil {
+		if err := tracer.Err(); err != nil {
+			return fmt.Errorf("trace write: %w", err)
+		}
+		fmt.Printf("trace written to %s\n", *tracePth)
+	}
 	return nil
 }

@@ -6,7 +6,8 @@
 //  3. Run an active-learning exploration with uncertainty sampling and a
 //     DWKNN estimator against a simulated user (Algorithm 2, interactive
 //     phase).
-//  4. Print the model's accuracy and the index's I/O statistics.
+//  4. Print the model's accuracy, the index's I/O statistics, and the
+//     end-of-run metrics snapshot collected by internal/obs.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -22,6 +23,7 @@ import (
 	"github.com/uei-db/uei/internal/ide"
 	"github.com/uei-db/uei/internal/learn"
 	"github.com/uei-db/uei/internal/metrics"
+	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/oracle"
 )
 
@@ -49,10 +51,12 @@ func run() error {
 	if err := core.Build(dir, ds, core.BuildOptions{TargetChunkBytes: 64 * 1024}); err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
 	idx, err := core.Open(dir, core.Options{
 		MemoryBudgetBytes: ds.SizeBytes() / 50,
 		EnablePrefetch:    true,
 		Seed:              42,
+		Registry:          reg,
 	}, nil)
 	if err != nil {
 		return err
@@ -90,6 +94,7 @@ func run() error {
 		Strategy:         al.LeastConfidence{},
 		Seed:             42,
 		SeedWithPositive: true,
+		Registry:         reg,
 	}, provider, ide.OracleLabeler{O: user})
 	if err != nil {
 		return err
@@ -111,9 +116,20 @@ func run() error {
 	})
 	fmt.Printf("\nafter %d labels: retrieved %d tuples, F1 = %.3f (precision %.3f, recall %.3f)\n",
 		res.LabelsUsed, len(res.Positive), conf.F1(), conf.Precision(), conf.Recall())
+	ide.FMeasureGauge(reg).Set(conf.F1())
 
 	st := idx.Stats()
 	fmt.Printf("index activity: %d region swaps, %d bytes read, peak memory %d bytes (budget %d)\n",
 		st.RegionSwaps, st.BytesRead, st.PeakMemory, idx.Budget().Capacity())
+
+	// 5. End-of-run metrics: the phase-latency breakdown recorded by the
+	// obs registry that core and ide instruments have been feeding.
+	fmt.Printf("\n%s", obs.FormatSummary(reg))
+	snap := reg.Snapshot()
+	fmt.Printf("selected counters: chunk reads=%d (%d bytes), prefetch hits=%d, fmeasure=%.3f\n",
+		snap.Counters["chunkstore_chunk_opens_total"],
+		snap.Counters["chunkstore_read_bytes_total"],
+		snap.Counters["uei_prefetch_hits_total"],
+		snap.Gauges["ide_fmeasure"])
 	return nil
 }

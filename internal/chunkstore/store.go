@@ -5,9 +5,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"github.com/uei-db/uei/internal/dataset"
 	"github.com/uei-db/uei/internal/iothrottle"
+	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/vec"
 )
 
@@ -36,6 +38,11 @@ type Store struct {
 
 	bytesRead  atomic.Int64
 	chunksRead atomic.Int64
+
+	// Observability instruments (nil until Instrument; nil-safe no-ops).
+	mBytes  *obs.Counter
+	mChunks *obs.Counter
+	hRead   *obs.Histogram
 }
 
 // Build creates a chunk store in dir (which must be empty or absent) from
@@ -213,9 +220,21 @@ func (s *Store) ChunksOverlapping(dim int, lo, hi float64) ([]ChunkMeta, error) 
 	return out, nil
 }
 
+// Instrument registers the store's I/O metrics with a registry:
+// chunkstore_read_bytes_total, chunkstore_chunk_opens_total, and the
+// per-chunk read latency histogram chunkstore_chunk_read_seconds
+// (throttled reads included, so the histogram reflects the I/O the
+// exploration loop actually waits on).
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.mBytes = reg.Counter("chunkstore_read_bytes_total")
+	s.mChunks = reg.Counter("chunkstore_chunk_opens_total")
+	s.hRead = reg.Histogram("chunkstore_chunk_read_seconds", nil)
+}
+
 // ReadChunk loads and decodes one chunk, verifying its CRC and accounting
 // the read against the limiter and the store's I/O counters.
 func (s *Store) ReadChunk(meta ChunkMeta) ([]Entry, error) {
+	start := time.Now()
 	data, err := os.ReadFile(filepath.Join(s.dir, meta.File))
 	if err != nil {
 		return nil, fmt.Errorf("chunkstore: read chunk %s: %w", meta.File, err)
@@ -223,6 +242,9 @@ func (s *Store) ReadChunk(meta ChunkMeta) ([]Entry, error) {
 	s.limiter.Acquire(int64(len(data)))
 	s.bytesRead.Add(int64(len(data)))
 	s.chunksRead.Add(1)
+	s.mBytes.Add(int64(len(data)))
+	s.mChunks.Inc()
+	s.hRead.ObserveDuration(time.Since(start))
 	dim, entries, err := decodeChunk(data)
 	if err != nil {
 		return nil, fmt.Errorf("chunkstore: chunk %s: %w", meta.File, err)

@@ -12,6 +12,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"github.com/uei-db/uei/internal/obs"
 )
 
 // DefaultLatencyThreshold is Table 1's 500 ms interactivity bound.
@@ -42,6 +44,14 @@ type Options struct {
 	ResidentRegions int
 	// Seed drives the uniform sample.
 	Seed int64
+	// Registry receives the index's runtime metrics (swap/prefetch
+	// counters, phase latency histograms, chunk-store I/O, memory gauges).
+	// Nil creates a private registry, so Stats() keeps counting either
+	// way; pass a shared registry to export the metrics.
+	Registry *obs.Registry
+	// Tracer, when non-nil, records per-phase spans (score, load, swap)
+	// of every exploration iteration.
+	Tracer *obs.Tracer
 }
 
 // withDefaults validates and fills zero values.
@@ -74,6 +84,8 @@ func (o Options) withDefaults() (Options, error) {
 }
 
 // Stats reports an Index's activity since Open, for experiment reports.
+// It is a value snapshot read from atomic instruments, so taking it is
+// safe while the exploration loop and prefetcher are running.
 type Stats struct {
 	// RegionSwaps counts distinct region loads installed into the cache.
 	RegionSwaps int

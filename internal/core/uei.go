@@ -12,6 +12,7 @@ import (
 	"github.com/uei-db/uei/internal/iothrottle"
 	"github.com/uei-db/uei/internal/learn"
 	"github.com/uei-db/uei/internal/memcache"
+	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/prefetch"
 	"github.com/uei-db/uei/internal/vec"
 )
@@ -57,7 +58,18 @@ type Index struct {
 	deferredFor int
 	pendingCell int
 
-	stats Stats
+	// reg is never nil (Open substitutes a private registry); the
+	// instruments below are atomic, so Stats() and a metrics endpoint can
+	// read them while the loop and the prefetcher goroutine mutate them.
+	reg       *obs.Registry
+	tracer    *obs.Tracer
+	mSwaps    *obs.Counter
+	mDeferred *obs.Counter
+	mPrefHits *obs.Counter
+	mEntries  *obs.Counter
+	hScore    *obs.Histogram
+	hLoad     *obs.Histogram
+	hSwap     *obs.Histogram
 }
 
 // Open loads the index over a directory produced by Build. limiter may be
@@ -90,6 +102,12 @@ func Open(dir string, opts Options, limiter *iothrottle.Limiter) (*Index, error)
 	if err := cache.SetMaxRegions(opts.ResidentRegions); err != nil {
 		return nil, err
 	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	store.Instrument(reg)
+	budget.Instrument(reg)
 	idx := &Index{
 		opts:        opts,
 		store:       store,
@@ -100,16 +118,30 @@ func Open(dir string, opts Options, limiter *iothrottle.Limiter) (*Index, error)
 		centers:     g.Centers(),
 		uncertainty: make([]float64, g.NumCells()),
 		pendingCell: memcache.NoRegion,
+		reg:         reg,
+		tracer:      opts.Tracer,
+		mSwaps:      reg.Counter("uei_region_swaps_total"),
+		mDeferred:   reg.Counter("uei_swaps_deferred_total"),
+		mPrefHits:   reg.Counter("uei_prefetch_hits_total"),
+		mEntries:    reg.Counter("uei_entries_visited_total"),
+		hScore:      reg.Histogram(obs.PhaseHistName(obs.PhaseScore), nil),
+		hLoad:       reg.Histogram(obs.PhaseHistName(obs.PhaseLoad), nil),
+		hSwap:       reg.Histogram(obs.PhaseHistName(obs.PhaseSwap), nil),
 	}
 	if opts.EnablePrefetch {
 		pf, err := prefetch.New(idx.loadCell)
 		if err != nil {
 			return nil, err
 		}
+		pf.Instrument(reg)
 		idx.pf = pf
 	}
 	return idx, nil
 }
+
+// Registry returns the index's metrics registry (the one passed in
+// Options.Registry, or the private one Open created).
+func (x *Index) Registry() *obs.Registry { return x.reg }
 
 // Close shuts down the prefetcher, if any.
 func (x *Index) Close() {
@@ -233,7 +265,9 @@ func (x *Index) loadCell(cell int) ([]uint32, [][]float64, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: loading cell %d: %w", cell, err)
 	}
-	x.stats.EntriesVisited += visited
+	// loadCell also runs on the prefetcher goroutine; the counter is
+	// atomic, so this is safe concurrent with Stats().
+	x.mEntries.Add(int64(visited))
 	ids := make([]uint32, len(rows))
 	vals := make([][]float64, len(rows))
 	for i, r := range rows {
@@ -246,20 +280,52 @@ func (x *Index) loadCell(cell int) ([]uint32, [][]float64, error) {
 // EnsureRegion makes the most uncertain cell's subspace resident
 // (Algorithm 2 lines 18-20), applying the §3.2 swap-deferral policy when
 // prefetching is enabled. It returns the resident cell after the call.
+//
+// The call is split into two observed phases: "score" covers symbolic
+// index re-scoring and top-k selection, "load" covers everything needed to
+// make the target resident (cache check, synchronous load, prefetch
+// take/defer/await) except the cache install itself, which installRegion
+// reports as the "swap" phase.
 func (x *Index) EnsureRegion(model learn.Classifier) (grid.CellID, error) {
+	score := x.tracer.StartPhase(obs.PhaseScore)
 	if !x.scoresValid {
 		if err := x.UpdateUncertainty(model); err != nil {
+			score.End(nil)
 			return 0, err
 		}
 	}
 	top, err := x.MostUncertainCells(2)
 	if err != nil {
+		score.End(nil)
 		return 0, err
 	}
+	x.hScore.ObserveDuration(score.End(map[string]float64{
+		"points": float64(len(x.centers)),
+		"cell":   float64(top[0]),
+	}))
+
 	target := top[0]
 	resident := x.cache.RegionCell()
+	load := x.tracer.StartPhase(obs.PhaseLoad)
+	bytes0, chunks0 := x.store.IOStats()
+	// endLoad closes the load phase with the I/O delta it caused. Under
+	// concurrent prefetching the delta can include background reads — it
+	// attributes I/O to the iteration that waited on it.
+	endLoad := func(outcome string) {
+		bytes1, chunks1 := x.store.IOStats()
+		x.hLoad.ObserveDuration(load.End(map[string]float64{
+			"cell":          float64(target),
+			"bytes_read":    float64(bytes1 - bytes0),
+			"chunks_read":   float64(chunks1 - chunks0),
+			"cached":        boolAttr(outcome == "cached"),
+			"prefetch_hit":  boolAttr(outcome == "prefetch_hit"),
+			"deferred":      boolAttr(outcome == "deferred"),
+			"blocking_load": boolAttr(outcome == "load"),
+		}))
+	}
 	if x.cache.HasRegion(int(target)) {
 		x.deferredFor = 0
+		endLoad("cached")
 		x.prefetchRunnerUp(top)
 		return target, nil
 	}
@@ -268,8 +334,10 @@ func (x *Index) EnsureRegion(model learn.Classifier) (grid.CellID, error) {
 		// Synchronous path: load and swap immediately.
 		ids, rows, err := x.loadCell(int(target))
 		if err != nil {
+			load.End(nil)
 			return 0, err
 		}
+		endLoad("load")
 		if err := x.installRegion(int(target), ids, rows); err != nil {
 			return 0, err
 		}
@@ -279,9 +347,11 @@ func (x *Index) EnsureRegion(model learn.Classifier) (grid.CellID, error) {
 	// Prefetching path. A completed background load wins instantly.
 	if r, ok := x.pf.TryTake(int(target)); ok {
 		if r.Err != nil {
+			load.End(nil)
 			return 0, r.Err
 		}
-		x.stats.PrefetchHits++
+		x.mPrefHits.Inc()
+		endLoad("prefetch_hit")
 		if err := x.installRegion(int(target), r.IDs, r.Rows); err != nil {
 			return 0, err
 		}
@@ -296,17 +366,21 @@ func (x *Index) EnsureRegion(model learn.Classifier) (grid.CellID, error) {
 	}
 	if x.deferredFor < theta && resident != memcache.NoRegion {
 		if _, err := x.pf.Start(int(target)); err != nil {
+			load.End(nil)
 			return 0, err
 		}
 		x.deferredFor++
-		x.stats.SwapsDeferred++
+		x.mDeferred.Inc()
+		endLoad("deferred")
 		return grid.CellID(resident), nil
 	}
 	// Deferral budget exhausted (or nothing resident yet): block.
 	r := x.pf.Await(int(target))
 	if r.Err != nil {
+		load.End(nil)
 		return 0, r.Err
 	}
+	endLoad("load")
 	if err := x.installRegion(int(target), r.IDs, r.Rows); err != nil {
 		return 0, err
 	}
@@ -314,17 +388,31 @@ func (x *Index) EnsureRegion(model learn.Classifier) (grid.CellID, error) {
 	return target, nil
 }
 
+// boolAttr encodes a flag as a trace attribute.
+func boolAttr(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // installRegion swaps a loaded region into the cache, tolerating budget
 // truncation (a partial region still helps; the sample keeps global
 // coverage).
 func (x *Index) installRegion(cell int, ids []uint32, rows [][]float64) error {
+	swap := x.tracer.StartPhase(obs.PhaseSwap)
 	err := x.cache.SetRegion(cell, ids, rows)
 	if err != nil && !isBudgetErr(err) {
+		swap.End(nil)
 		return err
 	}
-	x.stats.RegionSwaps++
+	x.mSwaps.Inc()
 	x.deferredFor = 0
 	x.pendingCell = memcache.NoRegion
+	x.hSwap.ObserveDuration(swap.End(map[string]float64{
+		"cell": float64(cell),
+		"rows": float64(len(ids)),
+	}))
 	return nil
 }
 
@@ -365,9 +453,16 @@ func (x *Index) InvalidateScores() { x.scoresValid = false }
 // memcache.NoRegion.
 func (x *Index) ResidentRegion() int { return x.cache.RegionCell() }
 
-// Stats returns a snapshot of activity counters.
+// Stats returns a snapshot of activity counters. All sources are atomic
+// instruments, so it is safe to call concurrently with an in-flight
+// iteration (e.g. from a metrics endpoint).
 func (x *Index) Stats() Stats {
-	s := x.stats
+	s := Stats{
+		RegionSwaps:    int(x.mSwaps.Value()),
+		SwapsDeferred:  int(x.mDeferred.Value()),
+		PrefetchHits:   int(x.mPrefHits.Value()),
+		EntriesVisited: int(x.mEntries.Value()),
+	}
 	s.BytesRead, s.ChunksRead = x.store.IOStats()
 	s.PeakMemory = x.budget.Peak()
 	return s
@@ -450,7 +545,7 @@ func (x *Index) ResultRetrieval(model learn.Classifier, minCellPosterior float64
 				return nil, err
 			}
 			for _, e := range entries {
-				x.stats.EntriesVisited++
+				x.mEntries.Inc()
 				seg, err := x.grid.SegmentOf(d, e.Value)
 				if err != nil {
 					return nil, err

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/oracle"
 )
 
@@ -56,6 +57,13 @@ type Config struct {
 	RegionTolerance float64
 	// WorkDir hosts the built stores; empty means a temporary directory.
 	WorkDir string
+	// Obs, when non-nil, receives runtime metrics from every index and
+	// session the harness opens (uei-bench's -metrics-addr endpoint
+	// serves it). Runs accumulate into the same registry.
+	Obs *obs.Registry
+	// Trace, when non-nil, records per-iteration phase spans for every
+	// run (uei-bench -trace).
+	Trace *obs.Tracer
 }
 
 // DefaultConfig returns the quick-mode configuration.

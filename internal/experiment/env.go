@@ -109,6 +109,8 @@ func (e *Env) OpenIndex(runSeed int64) (*core.Index, error) {
 		LatencyThreshold:  e.Cfg.LatencyThreshold,
 		EnablePrefetch:    e.Cfg.EnablePrefetch,
 		Seed:              runSeed,
+		Registry:          e.Cfg.Obs,
+		Tracer:            e.Cfg.Trace,
 	}, e.Limiter)
 }
 

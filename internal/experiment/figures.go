@@ -57,19 +57,19 @@ func FormatResponseTimeFigure(results []*ComparisonResult) string {
 	fmt.Fprintf(&b, "  %-8s %14s %14s %9s %12s %12s %16s\n",
 		"region", "UEI mean", "DBMS mean", "speedup", "UEI p95", "DBMS p95", "UEI <500ms frac")
 	for _, r := range results {
-		ueiMean := r.UEI.Latency.Mean()
-		dbmsMean := r.DBMS.Latency.Mean()
+		uei := r.UEI.Latency.Snapshot()
+		dbms := r.DBMS.Latency.Snapshot()
 		speedup := 0.0
-		if ueiMean > 0 {
-			speedup = float64(dbmsMean) / float64(ueiMean)
+		if uei.Mean > 0 {
+			speedup = float64(dbms.Mean) / float64(uei.Mean)
 		}
 		fmt.Fprintf(&b, "  %-8s %14s %14s %8.1fx %12s %12s %16.2f\n",
 			r.Class,
-			ueiMean.Round(time.Microsecond),
-			dbmsMean.Round(time.Microsecond),
+			uei.Mean.Round(time.Microsecond),
+			dbms.Mean.Round(time.Microsecond),
 			speedup,
-			r.UEI.Latency.Percentile(95).Round(time.Microsecond),
-			r.DBMS.Latency.Percentile(95).Round(time.Microsecond),
+			uei.P95.Round(time.Microsecond),
+			dbms.P95.Round(time.Microsecond),
 			r.UEI.Latency.FractionUnder(500*time.Millisecond))
 	}
 	b.WriteString("  (I/O volume per iteration)\n")

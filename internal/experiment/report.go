@@ -90,12 +90,13 @@ func ExportComparisonCSV(dir string, res *ComparisonResult) ([]string, error) {
 		if werr != nil {
 			break
 		}
+		lat := row.r.Latency.Snapshot()
 		werr = cw.Write([]string{
 			row.name,
-			ms(row.r.Latency.Mean()),
-			ms(row.r.Latency.Percentile(50)),
-			ms(row.r.Latency.Percentile(95)),
-			ms(row.r.Latency.Max()),
+			ms(lat.Mean),
+			ms(lat.P50),
+			ms(lat.P95),
+			ms(lat.Max),
 			strconv.FormatFloat(row.r.Latency.FractionUnder(500*time.Millisecond), 'f', 3, 64),
 			strconv.FormatFloat(row.r.BytesReadPerIteration, 'f', 0, 64),
 		})

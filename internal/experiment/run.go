@@ -180,6 +180,7 @@ func runOne(env *Env, region oracle.Region, scheme Scheme, runSeed int64, opt ru
 	}
 	var evalErr, hookErr error
 	var startBytes, endBytes int64
+	fGauge := ide.FMeasureGauge(env.Cfg.Obs)
 	cfg := ide.Config{
 		BatchSize:        env.Cfg.BatchSize,
 		MaxLabels:        maxLabels,
@@ -187,6 +188,8 @@ func runOne(env *Env, region oracle.Region, scheme Scheme, runSeed int64, opt ru
 		Strategy:         strategy,
 		Seed:             runSeed,
 		SeedWithPositive: true,
+		Registry:         env.Cfg.Obs,
+		Tracer:           env.Cfg.Trace,
 		OnIteration: func(it ide.IterationInfo) {
 			stats.latency.Record(it.ResponseTime)
 			stats.iterations = it.Iteration
@@ -197,6 +200,7 @@ func runOne(env *Env, region oracle.Region, scheme Scheme, runSeed int64, opt ru
 					return
 				}
 				stats.accuracy.Append(float64(it.LabelsGiven), f1)
+				fGauge.Set(f1)
 			}
 		},
 		// Exploration-phase I/O is what Figure 6 depends on: exclude
@@ -273,6 +277,8 @@ func (e *Env) openIndexWith(runSeed int64, segments, sampleSize int, prefetch bo
 		EnablePrefetch:    prefetch,
 		ResidentRegions:   residentRegions,
 		Seed:              runSeed,
+		Registry:          e.Cfg.Obs,
+		Tracer:            e.Cfg.Trace,
 	}, e.Limiter)
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"github.com/uei-db/uei/internal/al"
 	"github.com/uei-db/uei/internal/learn"
+	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/oracle"
 )
 
@@ -50,7 +51,22 @@ type Config struct {
 	// BeforeRetrieve, when set, runs after the last iteration and before
 	// result retrieval — the other boundary of the interactive loop.
 	BeforeRetrieve func()
+	// Tracer, when set, receives one root "iteration" span per iteration
+	// plus select/label/retrain child phases (providers add their own
+	// phases, e.g. UEI's score/load/swap). Share it with the provider's
+	// index so all spans land in one trace.
+	Tracer *obs.Tracer
+	// Registry, when set, receives the engine's instruments: the
+	// ide_iteration_seconds latency histogram, phase histograms for
+	// select/label/retrain, and ide_iterations_total / ide_labels_total
+	// counters. The ide_fmeasure gauge is defined here too, for harnesses
+	// that evaluate accuracy (see FMeasureGauge).
+	Registry *obs.Registry
 }
+
+// FMeasureGauge returns the registry gauge harnesses set after each
+// accuracy evaluation; it keeps the metric name in one place.
+func FMeasureGauge(reg *obs.Registry) *obs.Gauge { return reg.Gauge("ide_fmeasure") }
 
 // IterationInfo describes one completed exploration iteration.
 type IterationInfo struct {
@@ -95,6 +111,15 @@ type Session struct {
 	provider Provider
 	labeler  Labeler
 	rng      *rand.Rand
+
+	// Engine instruments (nil without Config.Registry; nil-safe no-ops).
+	hIteration *obs.Histogram
+	hSelect    *obs.Histogram
+	hLabel     *obs.Histogram
+	hRetrain   *obs.Histogram
+	mIters     *obs.Counter
+	mLabels    *obs.Counter
+	mRetrains  *obs.Counter
 
 	labeledIDs []uint32
 	labeledX   [][]float64
@@ -145,11 +170,19 @@ func NewSession(cfg Config, provider Provider, labeler Labeler) (*Session, error
 	if cfg.BatchSize < 0 {
 		return nil, fmt.Errorf("ide: BatchSize %d must be positive", cfg.BatchSize)
 	}
+	reg := cfg.Registry
 	return &Session{
-		cfg:      cfg,
-		provider: provider,
-		labeler:  labeler,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		cfg:        cfg,
+		provider:   provider,
+		labeler:    labeler,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		hIteration: reg.Histogram(obs.IterationHistName, nil),
+		hSelect:    reg.Histogram(obs.PhaseHistName(obs.PhaseSelect), nil),
+		hLabel:     reg.Histogram(obs.PhaseHistName(obs.PhaseLabel), nil),
+		hRetrain:   reg.Histogram(obs.PhaseHistName(obs.PhaseRetrain), nil),
+		mIters:     reg.Counter("ide_iterations_total"),
+		mLabels:    reg.Counter("ide_labels_total"),
+		mRetrains:  reg.Counter("ide_retrains_total"),
 	}, nil
 }
 
@@ -179,31 +212,51 @@ func (s *Session) Run() (*Result, error) {
 	sinceRetrain := 0
 	for s.labeler.Count() < s.cfg.MaxLabels {
 		iteration++
+		s.cfg.Tracer.BeginIteration(iteration)
 		start := time.Now()
 		if err := s.provider.BeforeSelect(s.model); err != nil {
 			return nil, fmt.Errorf("ide: iteration %d: %w", iteration, err)
 		}
+		sel := s.cfg.Tracer.StartPhase(obs.PhaseSelect)
 		id, row, score, pool, err := s.selectCandidate()
 		if err != nil {
+			sel.End(nil)
 			return nil, fmt.Errorf("ide: iteration %d: %w", iteration, err)
 		}
+		s.hSelect.ObserveDuration(sel.End(map[string]float64{"pool": float64(pool)}))
 		if pool == 0 {
 			break // unlabeled pool exhausted
 		}
+		lab := s.cfg.Tracer.StartPhase(obs.PhaseLabel)
 		label := s.labeler.Label(id, row)
+		s.hLabel.ObserveDuration(lab.End(map[string]float64{"id": float64(id)}))
 		s.addLabel(id, row, label)
 		s.provider.OnLabeled(id)
+		s.mLabels.Inc()
 
 		retrained := false
 		sinceRetrain++
 		if sinceRetrain >= s.cfg.BatchSize {
+			ret := s.cfg.Tracer.StartPhase(obs.PhaseRetrain)
 			if err := s.refit(); err != nil {
+				ret.End(nil)
 				return nil, fmt.Errorf("ide: iteration %d retrain: %w", iteration, err)
 			}
+			s.hRetrain.ObserveDuration(ret.End(map[string]float64{
+				"labeled": float64(len(s.labeledY)),
+			}))
+			s.mRetrains.Inc()
 			sinceRetrain = 0
 			retrained = true
 		}
 		elapsed := time.Since(start)
+		s.hIteration.ObserveDuration(elapsed)
+		s.mIters.Inc()
+		s.cfg.Tracer.EndIteration(map[string]float64{
+			"labels":    float64(s.labeler.Count()),
+			"pool":      float64(pool),
+			"retrained": boolAttr(retrained),
+		})
 		if s.cfg.OnIteration != nil {
 			s.cfg.OnIteration(IterationInfo{
 				Iteration:    iteration,
@@ -398,6 +451,14 @@ func (s *Session) refit() error {
 		}
 	}
 	return nil
+}
+
+// boolAttr encodes a flag as a trace attribute.
+func boolAttr(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (s *Session) classesPresent() (hasPos, hasNeg bool) {

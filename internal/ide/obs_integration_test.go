@@ -1,0 +1,165 @@
+package ide
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/uei-db/uei/internal/al"
+	"github.com/uei-db/uei/internal/core"
+	"github.com/uei-db/uei/internal/obs"
+)
+
+// TestTraceSpanSequence runs a real UEI exploration with tracing on and
+// asserts the contract the -trace flag documents: every iteration emits
+// score, load and retrain spans, in that order, each with positive
+// duration, under an iteration root span that covers them.
+func TestTraceSpanSequence(t *testing.T) {
+	f := newFixture(t, 2000, 0.02)
+	dir := t.TempDir()
+	if err := core.Build(dir, f.ds, core.BuildOptions{TargetChunkBytes: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tracer := obs.NewTracer(&buf)
+	reg := obs.NewRegistry()
+	idx, err := core.Open(dir, core.Options{
+		MemoryBudgetBytes: 1 << 20,
+		SampleSize:        200,
+		Seed:              3,
+		Registry:          reg,
+		Tracer:            tracer,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(idx.Close)
+	p, err := NewUEIProvider(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const maxLabels = 12
+	cfg := Config{
+		MaxLabels:        maxLabels,
+		BatchSize:        1, // retrain every iteration
+		EstimatorFactory: f.estimatorFactory(t),
+		Strategy:         al.LeastConfidence{},
+		Seed:             2,
+		SeedWithPositive: true,
+		Registry:         reg,
+		Tracer:           tracer,
+	}
+	sess, err := NewSession(cfg, p, OracleLabeler{O: f.orc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parse the JSONL stream back into per-iteration span sequences.
+	type iterTrace struct {
+		phases []obs.Event
+		root   *obs.Event
+	}
+	iters := map[int]*iterTrace{}
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var e obs.Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Iter == 0 {
+			continue // initialization activity before the loop starts
+		}
+		it := iters[e.Iter]
+		if it == nil {
+			it = &iterTrace{}
+			iters[e.Iter] = it
+		}
+		switch e.Type {
+		case "span":
+			it.phases = append(it.phases, e)
+		case "iteration":
+			ev := e
+			it.root = &ev
+		default:
+			t.Fatalf("unknown event type %q", e.Type)
+		}
+	}
+	if len(iters) != res.Iterations {
+		t.Fatalf("traced %d iterations, session ran %d", len(iters), res.Iterations)
+	}
+
+	for n := 1; n <= res.Iterations; n++ {
+		it := iters[n]
+		if it == nil {
+			t.Fatalf("iteration %d missing from trace", n)
+		}
+		if it.root == nil {
+			t.Fatalf("iteration %d has no root span", n)
+		}
+		if it.root.DurNS <= 0 {
+			t.Errorf("iteration %d root duration %d", n, it.root.DurNS)
+		}
+		order := map[string]int64{}
+		for _, sp := range it.phases {
+			if sp.DurNS <= 0 {
+				t.Errorf("iteration %d phase %s duration %d, want positive", n, sp.Phase, sp.DurNS)
+			}
+			if _, dup := order[sp.Phase]; !dup {
+				order[sp.Phase] = sp.StartNS
+			}
+			if end := sp.StartNS + sp.DurNS; sp.StartNS < it.root.StartNS || end > it.root.StartNS+it.root.DurNS {
+				t.Errorf("iteration %d phase %s [%d,%d] outside root [%d,%d]",
+					n, sp.Phase, sp.StartNS, end, it.root.StartNS, it.root.StartNS+it.root.DurNS)
+			}
+		}
+		for _, phase := range []string{obs.PhaseScore, obs.PhaseLoad, obs.PhaseRetrain} {
+			if _, ok := order[phase]; !ok {
+				t.Fatalf("iteration %d missing %s span (has %v)", n, phase, order)
+			}
+		}
+		if !(order[obs.PhaseScore] < order[obs.PhaseLoad] && order[obs.PhaseLoad] < order[obs.PhaseRetrain]) {
+			t.Errorf("iteration %d spans out of order: score@%d load@%d retrain@%d",
+				n, order[obs.PhaseScore], order[obs.PhaseLoad], order[obs.PhaseRetrain])
+		}
+	}
+
+	// The same run must have fed the registry's phase histograms.
+	snap := reg.Snapshot()
+	if got := snap.Histograms[obs.IterationHistName].Count; got != int64(res.Iterations) {
+		t.Errorf("iteration histogram count = %d, want %d", got, res.Iterations)
+	}
+	for _, phase := range []string{obs.PhaseScore, obs.PhaseLoad, obs.PhaseRetrain, obs.PhaseSelect, obs.PhaseLabel} {
+		h := snap.Histograms[obs.PhaseHistName(phase)]
+		if h.Count == 0 {
+			t.Errorf("phase histogram %s empty", phase)
+		}
+		if h.Sum <= 0 {
+			t.Errorf("phase histogram %s sum = %g", phase, h.Sum)
+		}
+	}
+	if snap.Counters["ide_iterations_total"] != int64(res.Iterations) {
+		t.Errorf("ide_iterations_total = %d, want %d", snap.Counters["ide_iterations_total"], res.Iterations)
+	}
+	if snap.Counters["chunkstore_read_bytes_total"] == 0 {
+		t.Error("chunkstore bytes-read counter never incremented")
+	}
+}
+
+// TestFMeasureGauge checks the named-gauge helper harnesses use to publish
+// model accuracy.
+func TestFMeasureGauge(t *testing.T) {
+	reg := obs.NewRegistry()
+	FMeasureGauge(reg).Set(0.75)
+	if got := reg.Snapshot().Gauges["ide_fmeasure"]; got != 0.75 {
+		t.Errorf("ide_fmeasure = %g", got)
+	}
+	FMeasureGauge(nil).Set(0.5) // nil registry must be a safe no-op
+}

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"github.com/uei-db/uei/internal/obs"
 )
 
 // ErrBudgetExceeded is returned when a reservation would push usage past
@@ -24,6 +26,23 @@ type Budget struct {
 	capacity int64
 	used     int64
 	peak     int64
+
+	// Resident-bytes gauges (nil until Instrument; nil-safe no-ops).
+	gUsed *obs.Gauge
+	gPeak *obs.Gauge
+}
+
+// Instrument publishes the ledger as gauges: memcache_used_bytes and
+// memcache_peak_bytes track reservations live, memcache_budget_bytes is
+// the fixed capacity they are judged against.
+func (b *Budget) Instrument(reg *obs.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gUsed = reg.Gauge("memcache_used_bytes")
+	b.gPeak = reg.Gauge("memcache_peak_bytes")
+	reg.Gauge("memcache_budget_bytes").SetInt(b.capacity)
+	b.gUsed.SetInt(b.used)
+	b.gPeak.SetInt(b.peak)
 }
 
 // NewBudget creates a ledger with the given capacity in bytes.
@@ -48,7 +67,9 @@ func (b *Budget) Reserve(n int64) error {
 	b.used += n
 	if b.used > b.peak {
 		b.peak = b.used
+		b.gPeak.SetInt(b.peak)
 	}
+	b.gUsed.SetInt(b.used)
 	return nil
 }
 
@@ -65,6 +86,7 @@ func (b *Budget) Release(n int64) {
 		panic(fmt.Sprintf("memcache: releasing %d bytes with only %d used", n, b.used))
 	}
 	b.used -= n
+	b.gUsed.SetInt(b.used)
 }
 
 // Used returns the current usage in bytes.

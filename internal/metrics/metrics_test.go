@@ -131,6 +131,58 @@ func TestLatencyRecorder(t *testing.T) {
 	}
 }
 
+func TestLatencyPercentileToleratesBadInput(t *testing.T) {
+	r := NewLatencyRecorder()
+	for _, ms := range []int{10, 20, 30} {
+		r.Record(time.Duration(ms) * time.Millisecond)
+	}
+	for _, p := range []float64{math.NaN(), -5, 0} {
+		if got := r.Percentile(p); got != 0 {
+			t.Errorf("Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	if got := r.Percentile(1e9); got != 30*time.Millisecond {
+		t.Errorf("Percentile(1e9) = %v, want clamp to max", got)
+	}
+	empty := NewLatencyRecorder()
+	if got := empty.Percentile(math.NaN()); got != 0 {
+		t.Errorf("empty Percentile(NaN) = %v", got)
+	}
+}
+
+func TestLatencySnapshot(t *testing.T) {
+	r := NewLatencyRecorder()
+	if s := r.Snapshot(); s.Count != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	for _, ms := range []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		r.Record(time.Duration(ms) * time.Millisecond)
+	}
+	s := r.Snapshot()
+	if s.Count != 10 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Mean != 55*time.Millisecond {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if s.P95 != 100*time.Millisecond {
+		t.Errorf("P95 = %v", s.P95)
+	}
+	if s.P99 != 100*time.Millisecond {
+		t.Errorf("P99 = %v", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("Max = %v", s.Max)
+	}
+	// The one-call snapshot must agree with the individual accessors.
+	if s.P50 != r.Percentile(50) || s.P95 != r.Percentile(95) || s.Max != r.Max() {
+		t.Error("snapshot disagrees with accessors")
+	}
+}
+
 func TestLatencyRecordAfterQuery(t *testing.T) {
 	r := NewLatencyRecorder()
 	r.Record(30 * time.Millisecond)

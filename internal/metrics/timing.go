@@ -42,9 +42,11 @@ func (r *LatencyRecorder) Mean() time.Duration {
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using the
-// nearest-rank method, or 0 when empty.
+// nearest-rank method. Out-of-domain input is tolerated rather than
+// punished: an empty recorder, NaN, or a non-positive p returns 0, and p
+// above 100 clamps to the maximum.
 func (r *LatencyRecorder) Percentile(p float64) time.Duration {
-	if len(r.samples) == 0 || p <= 0 {
+	if len(r.samples) == 0 || math.IsNaN(p) || p <= 0 {
 		return 0
 	}
 	if p > 100 {
@@ -55,7 +57,34 @@ func (r *LatencyRecorder) Percentile(p float64) time.Duration {
 	if rank < 1 {
 		rank = 1
 	}
+	if rank > len(r.samples) {
+		rank = len(r.samples)
+	}
 	return r.samples[rank-1]
+}
+
+// LatencySnapshot is a one-call summary of a recorder, so report code
+// doesn't re-sort per statistic or drift in which percentiles it quotes.
+type LatencySnapshot struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot computes count, mean, p50/p95/p99 and max in one pass over the
+// (sorted-once) samples.
+func (r *LatencyRecorder) Snapshot() LatencySnapshot {
+	return LatencySnapshot{
+		Count: r.Count(),
+		Mean:  r.Mean(),
+		P50:   r.Percentile(50),
+		P95:   r.Percentile(95),
+		P99:   r.Percentile(99),
+		Max:   r.Max(),
+	}
 }
 
 // Max returns the largest sample, or 0 when empty.

@@ -1,0 +1,35 @@
+// Package obs is the unified observability layer of the UEI stack: a
+// lock-cheap metrics registry, a per-iteration exploration tracer, and
+// exporters that make both visible to humans and scrapers.
+//
+// The paper's headline claim is per-iteration interactivity — every
+// exploration iteration must finish inside the σ = 500 ms bound even at a
+// restricted memory budget. Verifying (and later improving) that claim
+// requires attributing each iteration's wall time to its phases: symbolic
+// index scoring, chunk-store region loads, classifier retraining, prefetch
+// waits, and cache swaps. This package provides the substrate:
+//
+//   - Registry: named atomic counters, gauges, and fixed-bucket latency
+//     histograms. Instruments are created once and then updated with a
+//     single atomic operation, so they are safe (and cheap) to touch from
+//     the exploration loop and the prefetcher goroutine concurrently while
+//     an HTTP scraper snapshots them.
+//   - Tracer: span-like phase timings for the exploration loop, emitted as
+//     structured JSON Lines events to an io.Writer. Each iteration is a
+//     root span containing score/load/swap/select/label/retrain child
+//     phases with nanosecond durations and free-form numeric attributes
+//     (bytes read, pool sizes, cell ids).
+//   - Exporters: an expvar-style JSON snapshot, a Prometheus text-format
+//     dump, an http.Server bundling /metrics, /debug/vars, and
+//     net/http/pprof, and a phase-latency breakdown table (FormatSummary)
+//     that attributes total iteration wall time to named phases.
+//
+// All instrument methods are nil-receiver safe no-ops, and a nil *Registry
+// hands out nil instruments, so callers thread a single optional *Registry
+// through the stack without guarding every observation site.
+//
+// Metric naming follows Prometheus conventions: snake_case, a subsystem
+// prefix (uei_, chunkstore_, prefetch_, memcache_, ide_), unit suffixes
+// (_seconds, _bytes), and _total for counters. Phase latency histograms
+// share the phase_<name>_seconds pattern that FormatSummary keys on.
+package obs

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// WriteJSON emits the registry snapshot as an expvar-style JSON document
+// (the /debug/vars payload).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus emits the registry in the Prometheus text exposition
+// format (the /metrics payload): counters and gauges as single samples,
+// histograms as cumulative _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name,
+			strconv.FormatFloat(s.Gauges[name], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	var bounds map[string][]float64
+	if len(s.Histograms) > 0 {
+		bounds = r.histBounds()
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		bs := bounds[name]
+		for i, cum := range h.Buckets {
+			le := "+Inf"
+			if i < len(bs) {
+				le = strconv.FormatFloat(bs[i], 'g', -1, 64)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name,
+			strconv.FormatFloat(h.Sum, 'g', -1, 64), name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histBounds snapshots every histogram's bucket bounds for export.
+func (r *Registry) histBounds() map[string][]float64 {
+	out := map[string][]float64{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, h := range r.hists {
+		out[name] = h.Bounds()
+	}
+	return out
+}
+
+// Handler serves the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// MetricsServer is a running debug/metrics HTTP endpoint.
+type MetricsServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound address (useful with ":0").
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// Serve starts an HTTP server on addr exposing:
+//
+//	/metrics     Prometheus text format
+//	/debug/vars  expvar-style JSON snapshot
+//	/debug/pprof net/http/pprof profiles
+//
+// It returns once the listener is bound; serving continues in the
+// background until Close.
+func Serve(addr string, r *Registry) (*MetricsServer, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &MetricsServer{srv: srv, ln: ln}, nil
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func exportFixture() *Registry {
+	r := NewRegistry()
+	r.Counter("reads_total").Add(7)
+	r.Gauge("used_bytes").Set(1024.5)
+	h := r.Histogram("lat_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := exportFixture().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE reads_total counter\nreads_total 7\n",
+		"# TYPE used_bytes gauge\nused_bytes 1024.5\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 2.55\n",
+		"lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := exportFixture().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["reads_total"] != 7 || s.Gauges["used_bytes"] != 1024.5 {
+		t.Errorf("round-trip = %+v", s)
+	}
+	if s.Histograms["lat_seconds"].Count != 3 {
+		t.Errorf("histogram = %+v", s.Histograms["lat_seconds"])
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := exportFixture()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		client := &http.Client{Timeout: 5 * time.Second}
+		resp, err := client.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "reads_total 7") {
+		t.Errorf("/metrics = %q", out)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["reads_total"] != 7 {
+		t.Errorf("/debug/vars = %+v", s)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Error("pprof cmdline empty")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad", NewRegistry()); err == nil {
+		t.Error("expected listen error")
+	}
+}

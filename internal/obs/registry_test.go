@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // counters only go up
+	c.Add(0)
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value = %d, want 5", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Error("zero gauge should read 0")
+	}
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Errorf("Value = %g", g.Value())
+	}
+	g.SetInt(-2)
+	if g.Value() != -2 {
+		t.Errorf("Value = %g", g.Value())
+	}
+}
+
+func TestNilInstrumentsNoop(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Error("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.SetInt(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge must read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Error("nil histogram must snapshot empty")
+	}
+	if h.Bounds() != nil {
+		t.Error("nil histogram bounds must be nil")
+	}
+
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Error("nil registry must hand out nil instruments")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// A value equal to a bound lands in that bound's bucket (le semantics).
+	for _, v := range []float64{0.5, 1} { // bucket le=1
+		h.Observe(v)
+	}
+	h.Observe(2)          // bucket le=2, exactly on the boundary
+	h.Observe(3)          // bucket le=4
+	h.Observe(9)          // overflow
+	h.Observe(-1)         // clamps to 0 -> bucket le=1
+	h.Observe(math.NaN()) // dropped entirely
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("Count = %d, want 6 (NaN dropped)", s.Count)
+	}
+	// Buckets are cumulative: le=1, le=2, le=4, +Inf.
+	want := []int64{3, 4, 5, 6}
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Errorf("bucket[%d] = %d, want %d (all: %v)", i, s.Buckets[i], w, s.Buckets)
+		}
+	}
+	if s.Max != 9 {
+		t.Errorf("Max = %g", s.Max)
+	}
+	if got, want := s.Sum, 0.5+1+2+3+9+0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30, 40, 50, 100})
+	// 100 observations, uniformly one per unit in (0,100].
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("Mean = %g", s.Mean)
+	}
+	// Nearest-rank percentiles report the containing bucket's upper bound.
+	if s.P50 != 50 {
+		t.Errorf("P50 = %g, want 50", s.P50)
+	}
+	if s.P95 != 100 {
+		t.Errorf("P95 = %g, want 100", s.P95)
+	}
+	if s.P99 != 100 {
+		t.Errorf("P99 = %g, want 100", s.P99)
+	}
+	if s.Max != 100 {
+		t.Errorf("Max = %g", s.Max)
+	}
+}
+
+func TestHistogramPercentileClampsToMax(t *testing.T) {
+	h := newHistogram(DefaultLatencyBuckets())
+	// One tiny sample: the bucket upper bound (50µs) exceeds the observed
+	// max, so percentiles must clamp to the max actually seen.
+	h.Observe(10e-6)
+	s := h.Snapshot()
+	if s.P50 != 10e-6 || s.P99 != 10e-6 {
+		t.Errorf("percentiles %g/%g should clamp to observed max 10e-6", s.P50, s.P99)
+	}
+}
+
+func TestHistogramOverflowPercentile(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(5)
+	h.Observe(7)
+	s := h.Snapshot()
+	// Both samples overflow the last bound; the estimate degrades to max.
+	if s.P50 != 7 || s.P99 != 7 {
+		t.Errorf("overflow percentiles = %g/%g, want 7", s.P50, s.P99)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := newHistogram(DefaultLatencyBuckets())
+	h.ObserveDuration(250 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || math.Abs(s.Sum-0.25) > 1e-12 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same name must return the same counter")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("same name must return the same gauge")
+	}
+	h1 := r.Histogram("h", []float64{1, 2})
+	h2 := r.Histogram("h", []float64{5, 6, 7}) // later bounds ignored
+	if h1 != h2 {
+		t.Error("same name must return the same histogram")
+	}
+	if got := h1.Bounds(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("bounds = %v, want the first registration's", got)
+	}
+	if got := r.Histogram("defaults", nil).Bounds(); len(got) != len(DefaultLatencyBuckets()) {
+		t.Errorf("nil bounds should select the default buckets, got %v", got)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	s := r.Snapshot()
+	if s.Counters["c"] != 3 || s.Gauges["g"] != 1.5 || s.Histograms["h"].Count != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, each = 8, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c := r.Counter("c")
+			h := r.Histogram("h", []float64{0.5, 1})
+			g := r.Gauge("g")
+			for j := 0; j < each; j++ {
+				c.Inc()
+				h.Observe(float64(j%3) * 0.4)
+				g.SetInt(int64(j))
+				if j%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != goroutines*each {
+		t.Errorf("counter = %d, want %d", s.Counters["c"], goroutines*each)
+	}
+	h := s.Histograms["h"]
+	if h.Count != goroutines*each {
+		t.Errorf("histogram count = %d", h.Count)
+	}
+	// sum = goroutines * sum over j of (j%3)*0.4, accumulated in the same
+	// order the observers computed it.
+	var perGoroutine float64
+	for j := 0; j < each; j++ {
+		perGoroutine += float64(j%3) * 0.4
+	}
+	want := float64(goroutines) * perGoroutine
+	if math.Abs(h.Sum-want) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g (atomic CAS accumulation lost updates)", h.Sum, want)
+	}
+	if h.Buckets[len(h.Buckets)-1] != h.Count {
+		t.Error("cumulative buckets must end at total count")
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Phase names emitted by the instrumented stack. Components outside this
+// list may emit their own; FormatSummary keys on the registry's
+// phase_<name>_seconds histograms, not on this enumeration.
+const (
+	PhaseScore   = "score"   // symbolic-index re-scoring (Algorithm 2 line 17)
+	PhaseLoad    = "load"    // chunk-store region load / prefetch wait
+	PhaseSwap    = "swap"    // cache region install
+	PhaseSelect  = "select"  // candidate pool argmax scan
+	PhaseLabel   = "label"   // oracle / user labeling
+	PhaseRetrain = "retrain" // classifier refit
+)
+
+// PhaseHistName returns the registry histogram name for a phase, the
+// naming contract FormatSummary scans for.
+func PhaseHistName(phase string) string { return "phase_" + phase + "_seconds" }
+
+// Event is one JSON Lines trace record. Spans carry start offsets relative
+// to tracer creation and nanosecond durations, so even sub-microsecond
+// phases have positive extent.
+type Event struct {
+	// Type is "span" for phase spans and "iteration" for the per-iteration
+	// root span.
+	Type string `json:"type"`
+	// Iter is the exploration iteration the event belongs to (0 before the
+	// interactive loop starts).
+	Iter int `json:"iter"`
+	// Phase names the span ("score", "load", ...; "iteration" roots carry
+	// the empty phase).
+	Phase string `json:"phase,omitempty"`
+	// StartNS is the span start, in nanoseconds since the trace began.
+	StartNS int64 `json:"start_ns"`
+	// DurNS is the span duration in nanoseconds.
+	DurNS int64 `json:"dur_ns"`
+	// Attrs carries free-form numeric attributes (bytes read, pool size,
+	// cell id, hit/miss flags). encoding/json sorts the keys, keeping the
+	// emitted lines deterministic for a fixed clock.
+	Attrs map[string]float64 `json:"attrs,omitempty"`
+}
+
+// Tracer emits exploration trace events to a writer, one JSON object per
+// line. All methods are nil-receiver safe, so a nil *Tracer disables
+// tracing at zero cost beyond a branch; StartPhase on a nil tracer still
+// returns a live span whose End reports the measured duration (components
+// reuse it to feed their histograms).
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	now   func() time.Time
+	start time.Time
+	iter  int
+	// iterStart anchors the current iteration root span.
+	iterStart time.Time
+	err       error
+}
+
+// NewTracer wraps a writer. The caller owns the writer's lifecycle
+// (flush/close).
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{w: w, now: time.Now}
+	t.start = t.now()
+	return t
+}
+
+// SetNow replaces the clock, for deterministic tests. It rebases the trace
+// start on the new clock.
+func (t *Tracer) SetNow(now func() time.Time) {
+	if t == nil || now == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+	t.start = now()
+}
+
+// Err returns the first write error encountered, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// clockNow reads the tracer clock, tolerating a nil tracer.
+func (t *Tracer) clockNow() time.Time {
+	if t == nil {
+		return time.Now()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.now()
+}
+
+// BeginIteration opens iteration n's root span; child phases emitted until
+// EndIteration are tagged with n.
+func (t *Tracer) BeginIteration(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.iter = n
+	t.iterStart = t.now()
+}
+
+// EndIteration closes the current iteration root span, emitting an
+// "iteration" event covering its full extent.
+func (t *Tracer) EndIteration(attrs map[string]float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.now()
+	t.emitLocked(Event{
+		Type:    "iteration",
+		Iter:    t.iter,
+		StartNS: t.iterStart.Sub(t.start).Nanoseconds(),
+		DurNS:   end.Sub(t.iterStart).Nanoseconds(),
+		Attrs:   attrs,
+	})
+}
+
+// PhaseSpan is an open phase timing. End emits the span (when the parent
+// tracer is live) and always returns the measured duration.
+type PhaseSpan struct {
+	t     *Tracer
+	phase string
+	begin time.Time
+}
+
+// StartPhase opens a span. Valid on a nil tracer: the returned span still
+// measures, it just doesn't emit.
+func (t *Tracer) StartPhase(phase string) *PhaseSpan {
+	return &PhaseSpan{t: t, phase: phase, begin: t.clockNow()}
+}
+
+// End closes the span with optional attributes and returns its duration.
+func (s *PhaseSpan) End(attrs map[string]float64) time.Duration {
+	if s == nil {
+		return 0
+	}
+	end := s.t.clockNow()
+	d := end.Sub(s.begin)
+	if t := s.t; t != nil {
+		t.mu.Lock()
+		t.emitLocked(Event{
+			Type:    "span",
+			Iter:    t.iter,
+			Phase:   s.phase,
+			StartNS: s.begin.Sub(t.start).Nanoseconds(),
+			DurNS:   d.Nanoseconds(),
+			Attrs:   attrs,
+		})
+		t.mu.Unlock()
+	}
+	return d
+}
+
+// emitLocked writes one event line; the first failure is sticky and
+// silences the trace (exploration must not die because a trace disk
+// filled).
+func (t *Tracer) emitLocked(e Event) {
+	if t.err != nil || t.w == nil {
+		return
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		t.err = err
+		return
+	}
+	line = append(line, '\n')
+	if _, err := t.w.Write(line); err != nil {
+		t.err = err
+	}
+}

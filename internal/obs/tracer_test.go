@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// stepClock advances one millisecond per reading, making every emitted
+// timestamp and duration deterministic.
+func stepClock() func() time.Time {
+	base := time.Unix(1600000000, 0)
+	ticks := 0
+	return func() time.Time {
+		ticks++
+		return base.Add(time.Duration(ticks) * time.Millisecond)
+	}
+}
+
+func TestTracerGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetNow(stepClock()) // rebases start to tick 1
+
+	tr.BeginIteration(1)                                     // tick 2
+	score := tr.StartPhase(PhaseScore)                       // tick 3
+	score.End(map[string]float64{"points": 3125, "cell": 2}) // tick 4
+	load := tr.StartPhase(PhaseLoad)                         // tick 5
+	load.End(nil)                                            // tick 6
+	tr.EndIteration(map[string]float64{"labels": 1})         // tick 7
+
+	golden := filepath.Join("testdata", "trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace mismatch\ngot:\n%swant:\n%s", buf.Bytes(), want)
+	}
+	if tr.Err() != nil {
+		t.Errorf("Err = %v", tr.Err())
+	}
+}
+
+func TestTracerEventShape(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetNow(stepClock())
+	tr.BeginIteration(3)
+	tr.StartPhase(PhaseRetrain).End(map[string]float64{"labeled": 12})
+	tr.EndIteration(nil)
+
+	dec := json.NewDecoder(&buf)
+	var span, iter Event
+	if err := dec.Decode(&span); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&iter); err != nil {
+		t.Fatal(err)
+	}
+	if span.Type != "span" || span.Iter != 3 || span.Phase != PhaseRetrain {
+		t.Errorf("span = %+v", span)
+	}
+	if span.DurNS <= 0 {
+		t.Errorf("span duration %d must be positive", span.DurNS)
+	}
+	if span.Attrs["labeled"] != 12 {
+		t.Errorf("attrs = %v", span.Attrs)
+	}
+	if iter.Type != "iteration" || iter.Iter != 3 || iter.Phase != "" {
+		t.Errorf("iteration = %+v", iter)
+	}
+	if iter.DurNS <= span.DurNS {
+		t.Error("iteration root must cover its child span")
+	}
+}
+
+func TestNilTracerStillMeasures(t *testing.T) {
+	var tr *Tracer
+	tr.BeginIteration(1) // all no-ops, must not panic
+	tr.EndIteration(nil)
+	if tr.Err() != nil {
+		t.Error("nil tracer Err must be nil")
+	}
+	span := tr.StartPhase(PhaseScore)
+	time.Sleep(time.Millisecond)
+	if d := span.End(nil); d <= 0 {
+		t.Errorf("nil-tracer span duration = %v, want positive", d)
+	}
+	var s *PhaseSpan
+	if s.End(nil) != 0 {
+		t.Error("nil span End must return 0")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, errors.New("disk full")
+}
+
+func TestTracerStickyWriteError(t *testing.T) {
+	fw := &failWriter{}
+	tr := NewTracer(fw)
+	tr.SetNow(stepClock())
+	tr.StartPhase(PhaseScore).End(nil)
+	tr.StartPhase(PhaseLoad).End(nil)
+	tr.StartPhase(PhaseSwap).End(nil)
+	if tr.Err() == nil {
+		t.Fatal("expected a write error")
+	}
+	if fw.n != 1 {
+		t.Errorf("writer called %d times; the first failure must silence the trace", fw.n)
+	}
+}
+
+func TestPhaseHistName(t *testing.T) {
+	if got := PhaseHistName(PhaseScore); got != "phase_score_seconds" {
+		t.Errorf("PhaseHistName = %q", got)
+	}
+}

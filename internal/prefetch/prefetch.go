@@ -15,6 +15,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"github.com/uei-db/uei/internal/obs"
 )
 
 // ErrClosed is returned by operations on a closed prefetcher.
@@ -47,6 +49,41 @@ type Prefetcher struct {
 	emaNanos     float64
 	loads        int
 	closed       bool
+
+	// Observability instruments (nil until Instrument; nil-safe no-ops).
+	mStarts  *obs.Counter
+	mDropped *obs.Counter
+	mLoads   *obs.Counter
+	hLoad    *obs.Histogram
+	gQueue   *obs.Gauge
+}
+
+// Instrument registers the prefetcher's metrics: prefetch_starts_total
+// (background loads accepted), prefetch_dropped_total (requests dropped
+// because a different cell was in flight), prefetch_loads_total (completed
+// loads, sync or async), the load-time histogram prefetch_load_seconds
+// backing the τ estimate, and the queue-depth gauge prefetch_queue_depth
+// (in-flight plus buffered regions, 0-2 by construction).
+func (p *Prefetcher) Instrument(reg *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.mStarts = reg.Counter("prefetch_starts_total")
+	p.mDropped = reg.Counter("prefetch_dropped_total")
+	p.mLoads = reg.Counter("prefetch_loads_total")
+	p.hLoad = reg.Histogram("prefetch_load_seconds", nil)
+	p.gQueue = reg.Gauge("prefetch_queue_depth")
+}
+
+// updateQueueGaugeLocked publishes the in-flight + buffered depth.
+func (p *Prefetcher) updateQueueGaugeLocked() {
+	depth := 0
+	if p.inflightCell != NoCell {
+		depth++
+	}
+	if p.buffered != nil {
+		depth++
+	}
+	p.gQueue.SetInt(int64(depth))
 }
 
 // New creates a prefetcher over the given loader.
@@ -78,11 +115,14 @@ func (p *Prefetcher) Start(cell int) (bool, error) {
 		return true, nil
 	}
 	if p.inflightCell != NoCell {
+		p.mDropped.Inc()
 		return false, nil
 	}
 	done := make(chan struct{})
 	p.inflightCell = cell
 	p.inflightDone = done
+	p.mStarts.Inc()
+	p.updateQueueGaugeLocked()
 	go p.run(cell, done)
 	return true, nil
 }
@@ -98,6 +138,7 @@ func (p *Prefetcher) run(cell int, done chan struct{}) {
 	p.buffered = &Result{Cell: cell, IDs: ids, Rows: rows, Err: err, LoadTime: elapsed}
 	p.inflightCell = NoCell
 	p.inflightDone = nil
+	p.updateQueueGaugeLocked()
 	p.mu.Unlock()
 	close(done)
 }
@@ -110,6 +151,7 @@ func (p *Prefetcher) TryTake(cell int) (*Result, bool) {
 	if p.buffered != nil && p.buffered.Cell == cell {
 		r := p.buffered
 		p.buffered = nil
+		p.updateQueueGaugeLocked()
 		return r, true
 	}
 	return nil, false
@@ -128,6 +170,7 @@ func (p *Prefetcher) Await(cell int) *Result {
 	if p.buffered != nil && p.buffered.Cell == cell {
 		r := p.buffered
 		p.buffered = nil
+		p.updateQueueGaugeLocked()
 		p.mu.Unlock()
 		return r
 	}
@@ -156,6 +199,8 @@ func (p *Prefetcher) Await(cell int) *Result {
 // recordLocked folds one load time into the τ estimate (EMA, α = 0.3).
 func (p *Prefetcher) recordLocked(d time.Duration) {
 	p.loads++
+	p.mLoads.Inc()
+	p.hLoad.ObserveDuration(d)
 	if p.loads == 1 {
 		p.emaNanos = float64(d.Nanoseconds())
 		return
