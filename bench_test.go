@@ -16,6 +16,7 @@
 package uei_test
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"sync"
@@ -224,7 +225,7 @@ func BenchmarkChunkstoreMergeRegion(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := store.MergeRegion(boxes[i%len(boxes)]); err != nil {
+		if _, _, err := store.MergeRegion(context.Background(), boxes[i%len(boxes)]); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -237,7 +238,7 @@ func BenchmarkChunkstoreReadChunk(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		meta := chunks[i%len(chunks)]
-		if _, err := store.ReadChunk(meta); err != nil {
+		if _, err := store.ReadChunk(context.Background(), meta); err != nil {
 			b.Fatal(err)
 		}
 		bytes += meta.Bytes
@@ -310,7 +311,7 @@ func BenchmarkDBMSFullScan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0
-		if err := table.Scan(func(uint32, []float64) bool { n++; return true }); err != nil {
+		if err := table.Scan(context.Background(), func(uint32, []float64) bool { n++; return true }); err != nil {
 			b.Fatal(err)
 		}
 		if n != ds.Len() {

@@ -12,9 +12,12 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"github.com/uei-db/uei/internal/al"
@@ -102,6 +105,12 @@ func run() error {
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the exploration cleanly: the session aborts within one
+	// iteration, the prefetcher's in-flight load stops at its next chunk
+	// boundary, and deferred cleanup still runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	reg := obs.NewRegistry()
 	var tracer *obs.Tracer
 	if *tracePth != "" {
@@ -144,13 +153,13 @@ func run() error {
 		dir = tmp
 	}
 
-	idx, err := core.Open(dir, core.Options{
+	idx, err := core.Open(ctx, dir, core.Options{
 		MemoryBudgetBytes: *budget,
 		EnablePrefetch:    true,
 		Seed:              *seed,
 		Registry:          reg,
 		Tracer:            tracer,
-	}, nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -174,7 +183,7 @@ func run() error {
 	if *auto {
 		// Demo mode: rebuild the tuples from the store and synthesize a
 		// medium target region; a simulated user answers the questions.
-		rows, err := idx.Store().FetchRows(allRowIDs(st.RowCount()))
+		rows, err := idx.Store().FetchRows(ctx, allRowIDs(st.RowCount()))
 		if err != nil {
 			return err
 		}
@@ -239,8 +248,12 @@ func run() error {
 
 	fmt.Printf("\nexploring %d tuples; you will label up to %d examples.\n", st.RowCount(), *labels)
 	fmt.Println("answer y if the shown tuple matches what you are looking for.")
-	res, err := sess.Run()
+	res, err := sess.Run(ctx)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("\nexploration interrupted; exiting cleanly.")
+			return nil
+		}
 		return err
 	}
 
@@ -252,7 +265,7 @@ func run() error {
 	}
 	if show > 0 {
 		fmt.Printf("first %d results:\n", show)
-		rows, err := idx.Store().FetchRows(res.Positive[:show])
+		rows, err := idx.Store().FetchRows(ctx, res.Positive[:show])
 		if err != nil {
 			return err
 		}

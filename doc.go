@@ -22,14 +22,16 @@
 //   - the data substrate (Dataset, GenerateSky, CSV I/O), and
 //   - the evaluation oracle (Region, Oracle) for simulated users.
 //
-// A minimal end-to-end exploration:
+// A minimal end-to-end exploration (v2 API: context-first, functional
+// options, worker pool sized to GOMAXPROCS by default):
 //
+//	ctx := context.Background()
 //	ds, _ := uei.GenerateSky(uei.SkyConfig{N: 100_000, Seed: 1})
-//	_ = uei.Build("store", ds, uei.BuildOptions{})
-//	idx, _ := uei.Open("store", uei.Options{
+//	_ = uei.Build(ctx, "store", ds, uei.BuildOptions{})
+//	idx, _ := uei.Open(ctx, "store", uei.Options{
 //		MemoryBudgetBytes: ds.SizeBytes() / 100,
 //		EnablePrefetch:    true,
-//	}, nil)
+//	}, uei.WithWorkers(8))
 //	defer idx.Close()
 //
 //	provider, _ := uei.NewUEIProvider(idx)
@@ -38,7 +40,12 @@
 //		EstimatorFactory: func() uei.Classifier { return uei.NewDWKNN(7, nil) },
 //		Strategy:         uei.LeastConfidence{},
 //	}, provider, myLabeler) // myLabeler implements uei.Labeler
-//	res, _ := sess.Run()
+//	res, _ := sess.Run(ctx) // cancel ctx to abort within one iteration
+//
+// Errors crossing this boundary wrap the exported sentinels (ErrClosed,
+// ErrNotFitted, ErrBudgetExceeded, ErrNoCandidates), so errors.Is works
+// without reaching into internal packages. The v1 entry points survive as
+// deprecated *V1 shims.
 //
 // See the examples/ directory for runnable programs and cmd/uei-bench for
 // the harness that regenerates the paper's tables and figures.

@@ -1,0 +1,133 @@
+package uei_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/uei-db/uei"
+)
+
+// buildSmallStore builds a small store and returns its directory.
+func buildSmallStore(t *testing.T, n int) (string, *uei.Dataset) {
+	t.Helper()
+	ds, err := uei.GenerateSky(uei.SkyConfig{N: n, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := uei.Build(context.Background(), dir, ds, uei.BuildOptions{TargetChunkBytes: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	return dir, ds
+}
+
+// TestErrClosedRoundTrip: every index operation after Close must satisfy
+// errors.Is(err, uei.ErrClosed) across the facade boundary.
+func TestErrClosedRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	dir, ds := buildSmallStore(t, 500)
+	idx, err := uei.Open(ctx, dir, uei.Options{MemoryBudgetBytes: ds.SizeBytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Close()
+	idx.Close() // idempotent through the facade too
+
+	if err := idx.InitExploration(ctx); !errors.Is(err, uei.ErrClosed) {
+		t.Errorf("InitExploration after Close: want ErrClosed, got %v", err)
+	}
+	model := uei.NewDWKNN(5, nil)
+	if err := idx.UpdateUncertainty(ctx, model); !errors.Is(err, uei.ErrClosed) {
+		t.Errorf("UpdateUncertainty after Close: want ErrClosed, got %v", err)
+	}
+	if _, err := idx.EnsureRegion(ctx, model); !errors.Is(err, uei.ErrClosed) {
+		t.Errorf("EnsureRegion after Close: want ErrClosed, got %v", err)
+	}
+}
+
+// TestErrNotFittedRoundTrip: selection before scoring and prediction before
+// Fit both surface uei.ErrNotFitted.
+func TestErrNotFittedRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	dir, ds := buildSmallStore(t, 500)
+	idx, err := uei.Open(ctx, dir, uei.Options{MemoryBudgetBytes: ds.SizeBytes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+
+	// MostUncertainCells before any UpdateUncertainty: scores are stale.
+	if _, err := idx.MostUncertainCells(1); !errors.Is(err, uei.ErrNotFitted) {
+		t.Errorf("MostUncertainCells before scoring: want ErrNotFitted, got %v", err)
+	}
+	// An unfitted classifier rejects prediction with the same sentinel.
+	if _, err := uei.NewDWKNN(5, nil).PosteriorPositive([]float64{0, 0, 0, 0, 0}); !errors.Is(err, uei.ErrNotFitted) {
+		t.Errorf("unfitted PosteriorPositive: want ErrNotFitted, got %v", err)
+	}
+}
+
+// TestErrBudgetExceededRoundTrip: a memory budget too small for even one
+// sample tuple fails InitExploration with uei.ErrBudgetExceeded.
+func TestErrBudgetExceededRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	dir, _ := buildSmallStore(t, 200)
+	idx, err := uei.Open(ctx, dir, uei.Options{MemoryBudgetBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if err := idx.InitExploration(ctx); !errors.Is(err, uei.ErrBudgetExceeded) {
+		t.Errorf("want ErrBudgetExceeded, got %v", err)
+	}
+}
+
+// TestErrNoCandidatesRoundTrip: when the target region covers the whole
+// domain every label comes back positive, the engine keeps soliciting until
+// the pool runs dry, and Run fails with uei.ErrNoCandidates.
+func TestErrNoCandidatesRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	ds, err := uei.GenerateSky(uei.SkyConfig{N: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := uei.CreateTable(ctx, t.TempDir(), ds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	provider, err := uei.NewDBMSProvider(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := ds.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths := bounds.Widths()
+	center := make([]float64, len(widths))
+	for i, w := range widths {
+		center[i] = bounds.Min[i] + w/2
+		widths[i] = 10 * w // region swallows the whole domain
+	}
+	region, err := uei.NewRegion(center, widths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := uei.NewOracle(ds, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := uei.NewSession(uei.SessionConfig{
+		MaxLabels:        100,
+		EstimatorFactory: func() uei.Classifier { return uei.NewDWKNN(3, nil) },
+		Strategy:         uei.LeastConfidence{},
+		Seed:             9,
+	}, provider, uei.OracleLabeler{O: user})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(ctx); !errors.Is(err, uei.ErrNoCandidates) {
+		t.Errorf("want ErrNoCandidates, got %v", err)
+	}
+}

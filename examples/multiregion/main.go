@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -55,13 +56,14 @@ func run() error {
 	if err := core.Build(dir, ds, core.BuildOptions{TargetChunkBytes: 64 * 1024}); err != nil {
 		return err
 	}
-	idx, err := core.Open(dir, core.Options{
+	ctx := context.Background()
+	idx, err := core.Open(ctx, dir, core.Options{
 		MemoryBudgetBytes: ds.SizeBytes() / 40,
 		// Two resident regions: the exploration ping-pongs between the two
 		// interest areas, so caching both avoids thrashing (ablation A6).
 		ResidentRegions: 2,
 		Seed:            33,
-	}, nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -109,7 +111,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := sess.Run()
+	res, err := sess.Run(ctx)
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -52,12 +53,13 @@ func run() error {
 		return err
 	}
 	reg := obs.NewRegistry()
-	idx, err := core.Open(dir, core.Options{
+	ctx := context.Background()
+	idx, err := core.Open(ctx, dir, core.Options{
 		MemoryBudgetBytes: ds.SizeBytes() / 50,
 		EnablePrefetch:    true,
 		Seed:              42,
 		Registry:          reg,
-	}, nil)
+	})
 	if err != nil {
 		return err
 	}
@@ -99,7 +101,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	res, err := sess.Run()
+	res, err := sess.Run(ctx)
 	if err != nil {
 		return err
 	}

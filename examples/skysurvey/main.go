@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -48,6 +49,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: numTuples, Seed: 9})
 	if err != nil {
 		return err
@@ -109,7 +111,7 @@ func run() error {
 		if err != nil {
 			return nil, 0, err
 		}
-		res, err := sess.Run()
+		res, err := sess.Run(ctx)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -127,11 +129,12 @@ func run() error {
 		return lat, conf.F1(), nil
 	}
 
-	idx, err := core.Open(storeDir, core.Options{
+	idx, err := core.Open(ctx, storeDir, core.Options{
 		MemoryBudgetBytes: budget,
 		EnablePrefetch:    true,
 		Seed:              3,
-	}, limiter)
+		Limiter:           limiter,
+	})
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -90,10 +91,11 @@ func run() error {
 // explore runs one session and reports final accuracy and the labels
 // needed to reach F1 = 0.6.
 func explore(ds *dataset.Dataset, dir string, region oracle.Region, strategy al.Scorer, estimator func() learn.Classifier) (float64, string, error) {
-	idx, err := core.Open(dir, core.Options{
+	ctx := context.Background()
+	idx, err := core.Open(ctx, dir, core.Options{
 		MemoryBudgetBytes: ds.SizeBytes() / 40,
 		Seed:              29,
-	}, nil)
+	})
 	if err != nil {
 		return 0, "", err
 	}
@@ -149,7 +151,7 @@ func explore(ds *dataset.Dataset, dir string, region oracle.Region, strategy al.
 	if err != nil {
 		return 0, "", err
 	}
-	res, err := sess.Run()
+	res, err := sess.Run(ctx)
 	if err != nil {
 		return 0, "", err
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -57,8 +58,10 @@ func run() error {
 		return err
 	}
 
+	ctx := context.Background()
 	session := func(opts core.Options, limiter *iothrottle.Limiter) (*metrics.LatencyRecorder, core.Stats, error) {
-		idx, err := core.Open(dir, opts, limiter)
+		opts.Limiter = limiter
+		idx, err := core.Open(ctx, dir, opts)
 		if err != nil {
 			return nil, core.Stats{}, err
 		}
@@ -84,7 +87,7 @@ func run() error {
 		if err != nil {
 			return nil, core.Stats{}, err
 		}
-		if _, err := sess.Run(); err != nil {
+		if _, err := sess.Run(ctx); err != nil {
 			return nil, core.Stats{}, err
 		}
 		return lat, idx.Stats(), nil

@@ -1,6 +1,7 @@
 package uei_test
 
 import (
+	"context"
 	"testing"
 
 	"github.com/uei-db/uei"
@@ -15,14 +16,15 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	if err := uei.Build(dir, ds, uei.BuildOptions{TargetChunkBytes: 8 * 1024}); err != nil {
+	ctx := context.Background()
+	if err := uei.Build(ctx, dir, ds, uei.BuildOptions{TargetChunkBytes: 8 * 1024}); err != nil {
 		t.Fatal(err)
 	}
-	idx, err := uei.Open(dir, uei.Options{
+	idx, err := uei.Open(ctx, dir, uei.Options{
 		MemoryBudgetBytes: ds.SizeBytes() / 20,
 		EnablePrefetch:    false,
 		Seed:              101,
-	}, nil)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +57,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sess.Run()
+	res, err := sess.Run(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func TestFacadeBaselineEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	table, err := uei.CreateTable(dir, ds, 8, nil)
+	table, err := uei.CreateTable(context.Background(), dir, ds, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func TestFacadeBaselineEngine(t *testing.T) {
 	if table.RowCount() != 2000 {
 		t.Errorf("RowCount = %d", table.RowCount())
 	}
-	bt, err := uei.BuildBTree(dir, "ra", ds, 8, nil)
+	bt, err := uei.BuildBTree(context.Background(), dir, "ra", ds, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

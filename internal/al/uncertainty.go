@@ -1,10 +1,29 @@
 package al
 
 import (
+	"context"
 	"math"
 
 	"github.com/uei-db/uei/internal/learn"
 )
+
+// BatchScorer is a Scorer with a vectorized path over an in-memory
+// candidate matrix. The engine uses it when the pool is resident (the UEI
+// scheme keeps it in the cache anyway) to score all candidates with one
+// batched, parallel posterior sweep instead of one model call per row.
+// BatchScore must produce exactly the scores Score would, slot for slot.
+type BatchScorer interface {
+	Scorer
+	// BatchScore fills out[i] with Score(m, X[i]) using up to workers
+	// goroutines; ctx cancels mid-sweep.
+	BatchScore(ctx context.Context, m learn.Classifier, X [][]float64, out []float64, workers int) error
+}
+
+// batchPosteriors runs the shared posterior sweep behind the uncertainty
+// variants' BatchScore implementations.
+func batchPosteriors(ctx context.Context, m learn.Classifier, X [][]float64, out []float64, workers int) error {
+	return learn.Posteriors(ctx, m, X, out, workers)
+}
 
 // LeastConfidence is Eq. (1) of the paper, u(x) = 1 - p(ŷ|x): the
 // uncertainty-sampling variant UEI is built around. For a binary model the
@@ -17,6 +36,11 @@ func (LeastConfidence) Name() string { return "least-confidence" }
 // Score implements Scorer.
 func (LeastConfidence) Score(m learn.Classifier, x []float64) (float64, error) {
 	return learn.Uncertainty(m, x)
+}
+
+// BatchScore implements BatchScorer.
+func (LeastConfidence) BatchScore(ctx context.Context, m learn.Classifier, X [][]float64, out []float64, workers int) error {
+	return learn.Uncertainties(ctx, m, X, out, workers)
 }
 
 // Margin scores by the (negated) margin between the two class posteriors:
@@ -37,6 +61,17 @@ func (Margin) Score(m learn.Classifier, x []float64) (float64, error) {
 	return 1 - math.Abs(2*p-1), nil
 }
 
+// BatchScore implements BatchScorer.
+func (Margin) BatchScore(ctx context.Context, m learn.Classifier, X [][]float64, out []float64, workers int) error {
+	if err := batchPosteriors(ctx, m, X, out, workers); err != nil {
+		return err
+	}
+	for i, p := range out {
+		out[i] = 1 - math.Abs(2*p-1)
+	}
+	return nil
+}
+
 // Entropy scores by the Shannon entropy of the posterior distribution,
 // H(p) = -p log p - (1-p) log (1-p), in nats.
 type Entropy struct{}
@@ -51,6 +86,17 @@ func (Entropy) Score(m learn.Classifier, x []float64) (float64, error) {
 		return 0, err
 	}
 	return binaryEntropy(p), nil
+}
+
+// BatchScore implements BatchScorer.
+func (Entropy) BatchScore(ctx context.Context, m learn.Classifier, X [][]float64, out []float64, workers int) error {
+	if err := batchPosteriors(ctx, m, X, out, workers); err != nil {
+		return err
+	}
+	for i, p := range out {
+		out[i] = binaryEntropy(p)
+	}
+	return nil
 }
 
 func binaryEntropy(p float64) float64 {

@@ -1,6 +1,7 @@
 package chunkstore
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -61,11 +62,11 @@ func TestBuildExternalMatchesInMemoryBuild(t *testing.T) {
 		max[j] = center[j] + widths[j]*0.15
 	}
 	box := vec.NewBox(min, max)
-	a, _, err := memStore.MergeRegion(box)
+	a, _, err := memStore.MergeRegion(context.Background(), box)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := extStore.MergeRegion(box)
+	b, _, err := extStore.MergeRegion(context.Background(), box)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestBuildExternalReopen(t *testing.T) {
 	if st.RowCount() != 500 {
 		t.Errorf("RowCount = %d", st.RowCount())
 	}
-	rows, err := st.FetchRows([]uint32{0, 499})
+	rows, err := st.FetchRows(context.Background(), []uint32{0, 499})
 	if err != nil {
 		t.Fatal(err)
 	}

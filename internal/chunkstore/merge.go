@@ -1,6 +1,7 @@
 package chunkstore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -33,7 +34,7 @@ type partial struct {
 // The returned rows are sorted by id for determinism. MergeRegion also
 // reports how many posting entries were visited (the paper's e term) so
 // callers can verify the O(k·e) claim.
-func (s *Store) MergeRegion(box vec.Box) (rows []MergedRow, entriesVisited int, err error) {
+func (s *Store) MergeRegion(ctx context.Context, box vec.Box) (rows []MergedRow, entriesVisited int, err error) {
 	dims := s.Dims()
 	if box.Dims() != dims {
 		return nil, 0, fmt.Errorf("chunkstore: box has %d dims, store has %d", box.Dims(), dims)
@@ -46,7 +47,7 @@ func (s *Store) MergeRegion(box vec.Box) (rows []MergedRow, entriesVisited int, 
 		}
 		chunks = append(chunks, overlap...)
 	}
-	return s.MergeChunks(box, chunks)
+	return s.MergeChunks(ctx, box, chunks)
 }
 
 // MergeChunks is MergeRegion with an explicit chunk list, letting UEI's
@@ -54,7 +55,12 @@ func (s *Store) MergeRegion(box vec.Box) (rows []MergedRow, entriesVisited int, 
 // them from the manifest. The chunk list must cover (possibly with slack)
 // every chunk whose value range intersects the box on its own dimension;
 // extra chunks cost I/O but not correctness.
-func (s *Store) MergeChunks(box vec.Box, chunks []ChunkMeta) (rows []MergedRow, entriesVisited int, err error) {
+//
+// Chunk reads fan out concurrently (bounded by SetWorkers) through the
+// ordered read pipeline, overlapping I/O and decode with the hash-table
+// merge; entries are still applied strictly in chunk order, so the merged
+// rows are identical to the sequential path.
+func (s *Store) MergeChunks(ctx context.Context, box vec.Box, chunks []ChunkMeta) (rows []MergedRow, entriesVisited int, err error) {
 	dims := s.Dims()
 	if box.Dims() != dims {
 		return nil, 0, fmt.Errorf("chunkstore: box has %d dims, store has %d", box.Dims(), dims)
@@ -70,11 +76,8 @@ func (s *Store) MergeChunks(box vec.Box, chunks []ChunkMeta) (rows []MergedRow, 
 	table := make(map[uint32]*partial)
 	for d := 0; d < dims; d++ {
 		lo, hi := box.Min[d], box.Max[d]
-		for _, meta := range byDim[d] {
-			entries, err := s.ReadChunk(meta)
-			if err != nil {
-				return nil, 0, err
-			}
+		dd := d
+		err := s.ReadChunksOrdered(ctx, byDim[d], func(_ ChunkMeta, entries []Entry) error {
 			for _, e := range entries {
 				entriesVisited++
 				if e.Value < lo {
@@ -86,7 +89,7 @@ func (s *Store) MergeChunks(box vec.Box, chunks []ChunkMeta) (rows []MergedRow, 
 				for _, id := range e.Rows {
 					p := table[id]
 					if p == nil {
-						if d > 0 {
+						if dd > 0 {
 							// The row already failed an earlier dimension;
 							// creating it now could only produce a false
 							// positive with NaN holes, so skip it.
@@ -95,16 +98,20 @@ func (s *Store) MergeChunks(box vec.Box, chunks []ChunkMeta) (rows []MergedRow, 
 						p = &partial{vals: newNaNRow(dims)}
 						table[id] = p
 					}
-					if p.hits != d {
+					if p.hits != dd {
 						// Missed at least one earlier dimension.
 						continue
 					}
-					p.vals[d] = e.Value
+					p.vals[dd] = e.Value
 					p.hits++
 				}
 			}
-			// entries goes out of scope here: the chunk buffer is released
-			// and its space reused for the next chunk (§3.1).
+			// entries goes out of scope here: the decoded chunk buffer is
+			// released and its pipeline slot reused for the next read.
+			return nil
+		})
+		if err != nil {
+			return nil, 0, err
 		}
 		// Drop rows that did not land a value in this dimension; they can
 		// never complete, and pruning keeps the table within the region's
@@ -130,7 +137,7 @@ func (s *Store) MergeChunks(box vec.Box, chunks []ChunkMeta) (rows []MergedRow, 
 // chunk once (a single full pass over the store). It backs the
 // initialization-time uniform sample of Algorithm 2 line 12; per-iteration
 // code never calls it.
-func (s *Store) FetchRows(ids []uint32) ([]MergedRow, error) {
+func (s *Store) FetchRows(ctx context.Context, ids []uint32) ([]MergedRow, error) {
 	if len(ids) == 0 {
 		return nil, nil
 	}
@@ -143,19 +150,20 @@ func (s *Store) FetchRows(ids []uint32) ([]MergedRow, error) {
 		want[id] = &partial{vals: newNaNRow(dims)}
 	}
 	for d := 0; d < dims; d++ {
-		for _, meta := range s.manifest.Chunks[d] {
-			entries, err := s.ReadChunk(meta)
-			if err != nil {
-				return nil, err
-			}
+		dd := d
+		err := s.ReadChunksOrdered(ctx, s.manifest.Chunks[d], func(_ ChunkMeta, entries []Entry) error {
 			for _, e := range entries {
 				for _, id := range e.Rows {
 					if p, ok := want[id]; ok {
-						p.vals[d] = e.Value
+						p.vals[dd] = e.Value
 						p.hits++
 					}
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	out := make([]MergedRow, 0, len(want))

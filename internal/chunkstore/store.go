@@ -1,6 +1,7 @@
 package chunkstore
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -35,6 +36,9 @@ type Store struct {
 	dir      string
 	manifest *Manifest
 	limiter  *iothrottle.Limiter
+	// workers bounds the concurrent chunk reads of the ordered read
+	// pipeline (ReadChunksOrdered); <= 1 means fully sequential.
+	workers int
 
 	bytesRead  atomic.Int64
 	chunksRead atomic.Int64
@@ -231,9 +235,17 @@ func (s *Store) Instrument(reg *obs.Registry) {
 	s.hRead = reg.Histogram("chunkstore_chunk_read_seconds", nil)
 }
 
+// SetWorkers bounds the fan-out of concurrent chunk reads during cell
+// reconstruction. Values <= 1 keep every read path fully sequential.
+func (s *Store) SetWorkers(n int) { s.workers = n }
+
 // ReadChunk loads and decodes one chunk, verifying its CRC and accounting
-// the read against the limiter and the store's I/O counters.
-func (s *Store) ReadChunk(meta ChunkMeta) ([]Entry, error) {
+// the read against the limiter and the store's I/O counters. A canceled ctx
+// aborts before the read is issued.
+func (s *Store) ReadChunk(ctx context.Context, meta ChunkMeta) ([]Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	data, err := os.ReadFile(filepath.Join(s.dir, meta.File))
 	if err != nil {
@@ -253,6 +265,75 @@ func (s *Store) ReadChunk(meta ChunkMeta) ([]Entry, error) {
 		return nil, fmt.Errorf("chunkstore: chunk %s belongs to dimension %d, manifest says %d", meta.File, dim, meta.Dim)
 	}
 	return entries, nil
+}
+
+// ReadChunksOrdered reads and decodes the given chunks — concurrently, with
+// fan-out bounded by SetWorkers — and delivers them to visit strictly in
+// slice order, one at a time. It overlaps chunk I/O and CRC/decode with the
+// caller's merge CPU while preserving the sequential merge semantics, so
+// results are identical to a ReadChunk loop. At most `workers` decoded
+// chunks are in memory at once (the §3.1 one-chunk discipline relaxed to
+// the configured fan-out). With workers <= 1 it degrades to the plain loop.
+func (s *Store) ReadChunksOrdered(ctx context.Context, metas []ChunkMeta, visit func(meta ChunkMeta, entries []Entry) error) error {
+	w := s.workers
+	if w > len(metas) {
+		w = len(metas)
+	}
+	if w <= 1 {
+		for _, m := range metas {
+			entries, err := s.ReadChunk(ctx, m)
+			if err != nil {
+				return err
+			}
+			if err := visit(m, entries); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type res struct {
+		entries []Entry
+		err     error
+	}
+	results := make([]chan res, len(metas))
+	for i := range results {
+		results[i] = make(chan res, 1)
+	}
+	// done releases the dispatcher and any in-flight readers when the
+	// consumer returns early (error or cancellation), so no goroutine leaks.
+	done := make(chan struct{})
+	defer close(done)
+	// sem holds one token per dispatched-but-not-consumed chunk, bounding
+	// both concurrent reads and buffered decoded chunks to w.
+	sem := make(chan struct{}, w)
+	go func() {
+		for i, m := range metas {
+			select {
+			case sem <- struct{}{}:
+			case <-done:
+				return
+			}
+			go func(i int, m ChunkMeta) {
+				entries, err := s.ReadChunk(ctx, m)
+				select {
+				case results[i] <- res{entries, err}:
+				case <-done:
+				}
+			}(i, m)
+		}
+	}()
+	for i, m := range metas {
+		r := <-results[i]
+		if r.err != nil {
+			return r.err
+		}
+		<-sem
+		if err := visit(m, r.entries); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // IOStats returns cumulative bytes and chunk files read through this store

@@ -1,6 +1,7 @@
 package chunkstore
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"os"
@@ -146,7 +147,7 @@ func TestChunksOverlapping(t *testing.T) {
 func TestReadChunkAndIOStats(t *testing.T) {
 	st, _ := buildTestStore(t, 500, 4)
 	meta := st.Manifest().Chunks[1][0]
-	entries, err := st.ReadChunk(meta)
+	entries, err := st.ReadChunk(context.Background(), meta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestReadChunkDetectsCorruption(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.ReadChunk(meta); err == nil {
+	if _, err := st.ReadChunk(context.Background(), meta); err == nil {
 		t.Error("corrupted chunk read should fail")
 	}
 }
@@ -189,7 +190,7 @@ func TestReadChunkMissingFile(t *testing.T) {
 	st, _ := buildTestStore(t, 100, 6)
 	meta := st.Manifest().Chunks[0][0]
 	meta.File = "no_such_file.chk"
-	if _, err := st.ReadChunk(meta); err == nil {
+	if _, err := st.ReadChunk(context.Background(), meta); err == nil {
 		t.Error("missing chunk file should fail")
 	}
 }
@@ -210,7 +211,7 @@ func TestMergeRegionMatchesBruteForce(t *testing.T) {
 		}
 		box := vec.NewBox(min, max)
 
-		rows, visited, err := st.MergeRegion(box)
+		rows, visited, err := st.MergeRegion(context.Background(), box)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -237,7 +238,7 @@ func TestMergeRegionEmptyResult(t *testing.T) {
 	// A box beyond the data domain matches nothing.
 	min := []float64{3000, 3000, 400, 95, 1100}
 	box := vec.NewBox(min, []float64{3001, 3001, 401, 96, 1101})
-	rows, _, err := st.MergeRegion(box)
+	rows, _, err := st.MergeRegion(context.Background(), box)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestMergeRegionEmptyResult(t *testing.T) {
 func TestMergeRegionDimsMismatch(t *testing.T) {
 	st, _ := buildTestStore(t, 100, 10)
 	box := vec.NewBox([]float64{0}, []float64{1})
-	if _, _, err := st.MergeRegion(box); err == nil {
+	if _, _, err := st.MergeRegion(context.Background(), box); err == nil {
 		t.Error("dims mismatch should fail")
 	}
 }
@@ -257,7 +258,7 @@ func TestMergeRegionDimsMismatch(t *testing.T) {
 func TestFetchRows(t *testing.T) {
 	st, ds := buildTestStore(t, 600, 11)
 	ids := []uint32{0, 17, 599, 300}
-	rows, err := st.FetchRows(ids)
+	rows, err := st.FetchRows(context.Background(), ids)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,10 +275,10 @@ func TestFetchRows(t *testing.T) {
 			t.Fatalf("row %d values differ", r.ID)
 		}
 	}
-	if rows, err := st.FetchRows(nil); err != nil || rows != nil {
+	if rows, err := st.FetchRows(context.Background(), nil); err != nil || rows != nil {
 		t.Error("empty fetch should be a no-op")
 	}
-	if _, err := st.FetchRows([]uint32{10000}); err == nil {
+	if _, err := st.FetchRows(context.Background(), []uint32{10000}); err == nil {
 		t.Error("out-of-range id should fail")
 	}
 }
@@ -321,7 +322,7 @@ func TestQuickMergeEquivalence(t *testing.T) {
 			min[j], max[j] = math.Min(a, b), math.Max(a, b)
 		}
 		box := vec.NewBox(min, max)
-		rows, _, err := st.MergeRegion(box)
+		rows, _, err := st.MergeRegion(context.Background(), box)
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/learn"
+)
+
+// BenchmarkScorePhase measures the per-iteration hot path the tentpole
+// parallelizes: re-scoring every symbolic index point with the current
+// model (Algorithm 2's updateUncertainty). SegmentsPerDim = 10 over the
+// 5-dimensional sky schema gives 100,000 symbolic points — the scale at
+// which the sharded pool must beat the serial pass by ≥2× with 8 workers
+// on a multi-core host. CI's benchmark smoke job compares the workers=1
+// and workers=8 lines.
+func BenchmarkScorePhase(b *testing.B) {
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: 4000, Seed: 21})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	if err := Build(dir, ds, BuildOptions{TargetChunkBytes: 16 * 1024}); err != nil {
+		b.Fatal(err)
+	}
+
+	// The Table 1 estimator: DWKNN over ~50 labels, domain-scaled.
+	bounds, err := ds.Bounds()
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := learn.NewDWKNN(7, bounds.Widths())
+	var X [][]float64
+	var y []int
+	for i := 0; i < 50; i++ {
+		row := ds.CopyRow(dataset.RowID(i * (ds.Len() / 50)))
+		X = append(X, row)
+		y = append(y, i%2) // alternate labels: a crossing boundary
+	}
+	if err := model.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			idx, err := Open(ctx, dir, Options{
+				MemoryBudgetBytes: 1 << 24,
+				SegmentsPerDim:    10, // 10^5 = 100k symbolic index points
+				Workers:           workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer idx.Close()
+			if n := idx.NumIndexPoints(); n < 64_000 {
+				b.Fatalf("only %d symbolic points; benchmark needs >= 64k", n)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.InvalidateScores()
+				if err := idx.UpdateUncertainty(ctx, model); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(idx.NumIndexPoints()), "points/op")
+		})
+	}
+}

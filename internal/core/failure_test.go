@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -20,7 +21,7 @@ func TestCorruptedChunkSurfacesDuringRegionLoad(t *testing.T) {
 	if err := Build(dir, ds, BuildOptions{TargetChunkBytes: 1024}); err != nil {
 		t.Fatal(err)
 	}
-	idx, err := Open(dir, Options{MemoryBudgetBytes: 1 << 20, SampleSize: 20, Seed: 1}, nil)
+	idx, err := Open(context.Background(), dir, Options{MemoryBudgetBytes: 1 << 20, SampleSize: 20, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestCorruptedChunkSurfacesDuringRegionLoad(t *testing.T) {
 
 	region := testRegion(t, ds)
 	model := boundaryModel(t, ds, region, 60)
-	if _, err := idx.EnsureRegion(model); err == nil {
+	if _, err := idx.EnsureRegion(context.Background(), model); err == nil {
 		t.Fatal("region load over corrupted chunks should fail")
 	}
 }
@@ -63,7 +64,7 @@ func TestMissingChunkFileSurfaces(t *testing.T) {
 	if err := Build(dir, ds, BuildOptions{TargetChunkBytes: 1024}); err != nil {
 		t.Fatal(err)
 	}
-	idx, err := Open(dir, Options{MemoryBudgetBytes: 1 << 20, SampleSize: 20, Seed: 1}, nil)
+	idx, err := Open(context.Background(), dir, Options{MemoryBudgetBytes: 1 << 20, SampleSize: 20, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestMissingChunkFileSurfaces(t *testing.T) {
 	if removed == 0 {
 		t.Fatal("no chunk files found to remove")
 	}
-	if err := idx.InitExploration(); err == nil {
+	if err := idx.InitExploration(context.Background()); err == nil {
 		t.Fatal("sampling over missing chunks should fail")
 	}
 }
@@ -113,16 +114,16 @@ func TestOpenAfterRebuildRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for round := 0; round < 2; round++ {
-		idx, err := Open(dir, Options{MemoryBudgetBytes: 1 << 20, SampleSize: 50, Seed: int64(round)}, nil)
+		idx, err := Open(context.Background(), dir, Options{MemoryBudgetBytes: 1 << 20, SampleSize: 50, Seed: int64(round)})
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
-		if err := idx.InitExploration(); err != nil {
+		if err := idx.InitExploration(context.Background()); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
 		region := testRegion(t, ds)
 		model := boundaryModel(t, ds, region, 80)
-		if _, err := idx.EnsureRegion(model); err != nil {
+		if _, err := idx.EnsureRegion(context.Background(), model); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
 		idx.Close()

@@ -11,8 +11,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
+	"github.com/uei-db/uei/internal/iothrottle"
 	"github.com/uei-db/uei/internal/obs"
 )
 
@@ -52,6 +54,14 @@ type Options struct {
 	// Tracer, when non-nil, records per-phase spans (score, load, swap)
 	// of every exploration iteration.
 	Tracer *obs.Tracer
+	// Workers sizes the index's worker pool: symbolic-point scoring shards
+	// across it and cell reconstruction fans chunk reads out up to this
+	// bound. Zero selects runtime.GOMAXPROCS(0); 1 forces the fully serial
+	// hot path.
+	Workers int
+	// Limiter, when non-nil, meters chunk-store read bandwidth. (It was a
+	// positional parameter of Open before the v2 API.)
+	Limiter *iothrottle.Limiter
 }
 
 // withDefaults validates and fills zero values.
@@ -79,6 +89,12 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.ResidentRegions < 0 {
 		return o, fmt.Errorf("core: resident regions %d must be positive", o.ResidentRegions)
+	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("core: workers %d must not be negative", o.Workers)
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o, nil
 }

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestParallelScoringParity is the tentpole determinism guarantee: the same
+// store scored with 1, 4, and 8 workers must produce bit-identical
+// uncertainty vectors and the identical most-uncertain cell ranking. Run
+// under -race this also exercises the shard-disjointness of the pool writes.
+func TestParallelScoringParity(t *testing.T) {
+	ctx := context.Background()
+
+	type snapshot struct {
+		unc  []float64
+		top  []int
+		sync float64
+	}
+	score := func(workers int) snapshot {
+		idx, ds := openTestIndex(t, 1200, Options{Workers: workers, Seed: 9})
+		if err := idx.InitExploration(ctx); err != nil {
+			t.Fatal(err)
+		}
+		model := boundaryModel(t, ds, testRegion(t, ds), 40)
+		if err := idx.UpdateUncertainty(ctx, model); err != nil {
+			t.Fatal(err)
+		}
+		unc := append([]float64(nil), idx.Uncertainties()...)
+		cells, err := idx.MostUncertainCells(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := make([]int, len(cells))
+		for i, c := range cells {
+			top[i] = int(c)
+		}
+		return snapshot{unc: unc, top: top, sync: idx.MaxUncertainty()}
+	}
+
+	want := score(1)
+	for _, w := range []int{4, 8} {
+		got := score(w)
+		if len(got.unc) != len(want.unc) {
+			t.Fatalf("workers=%d: %d uncertainties, want %d", w, len(got.unc), len(want.unc))
+		}
+		for i := range want.unc {
+			if got.unc[i] != want.unc[i] {
+				t.Fatalf("workers=%d: uncertainty[%d] = %v, serial %v", w, i, got.unc[i], want.unc[i])
+			}
+		}
+		if len(got.top) != len(want.top) {
+			t.Fatalf("workers=%d: top-k size %d, want %d", w, len(got.top), len(want.top))
+		}
+		for i := range want.top {
+			if got.top[i] != want.top[i] {
+				t.Fatalf("workers=%d: top[%d] = cell %d, serial cell %d", w, i, got.top[i], want.top[i])
+			}
+		}
+		if got.sync != want.sync {
+			t.Fatalf("workers=%d: MaxUncertainty %v != %v", w, got.sync, want.sync)
+		}
+	}
+}
+
+// TestParallelExplorationParity runs the full per-iteration loop (score,
+// select, swap) in serial and with 8 workers and requires the identical
+// sequence of region swaps — byte-identical cell selections end to end.
+func TestParallelExplorationParity(t *testing.T) {
+	ctx := context.Background()
+
+	run := func(workers int) []int {
+		idx, ds := openTestIndex(t, 1500, Options{Workers: workers, Seed: 5})
+		if err := idx.InitExploration(ctx); err != nil {
+			t.Fatal(err)
+		}
+		region := testRegion(t, ds)
+		var swaps []int
+		for labels := 20; labels <= 60; labels += 10 {
+			model := boundaryModel(t, ds, region, labels)
+			if err := idx.UpdateUncertainty(ctx, model); err != nil {
+				t.Fatal(err)
+			}
+			cell, err := idx.EnsureRegion(ctx, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			swaps = append(swaps, int(cell))
+		}
+		return swaps
+	}
+
+	serial := run(1)
+	parallel := run(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("swap counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("iteration %d: serial swapped to cell %d, parallel to %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestCloseIdempotent: Close twice (plus the t.Cleanup Close) must not
+// panic, and operations after Close must fail with ErrClosed.
+func TestCloseIdempotent(t *testing.T) {
+	ctx := context.Background()
+	idx, ds := openTestIndex(t, 500, Options{Workers: 4})
+	if err := idx.InitExploration(ctx); err != nil {
+		t.Fatal(err)
+	}
+	model := boundaryModel(t, ds, testRegion(t, ds), 30)
+	if err := idx.UpdateUncertainty(ctx, model); err != nil {
+		t.Fatal(err)
+	}
+
+	idx.Close()
+	idx.Close()
+
+	if err := idx.InitExploration(ctx); !errors.Is(err, ErrClosed) {
+		t.Errorf("InitExploration after Close: want ErrClosed, got %v", err)
+	}
+	if err := idx.UpdateUncertainty(ctx, model); !errors.Is(err, ErrClosed) {
+		t.Errorf("UpdateUncertainty after Close: want ErrClosed, got %v", err)
+	}
+	if _, err := idx.EnsureRegion(ctx, model); !errors.Is(err, ErrClosed) {
+		t.Errorf("EnsureRegion after Close: want ErrClosed, got %v", err)
+	}
+}
+
+// TestCloseMidPrefetch closes the index while the prefetcher may hold an
+// in-flight background load; Close must block until the worker exits rather
+// than leak it, and a double Close afterwards stays safe.
+func TestCloseMidPrefetch(t *testing.T) {
+	ctx := context.Background()
+	idx, ds := openTestIndex(t, 2000, Options{
+		Workers:        4,
+		EnablePrefetch: true,
+		Seed:           3,
+	})
+	if err := idx.InitExploration(ctx); err != nil {
+		t.Fatal(err)
+	}
+	region := testRegion(t, ds)
+	model := boundaryModel(t, ds, region, 40)
+	if err := idx.UpdateUncertainty(ctx, model); err != nil {
+		t.Fatal(err)
+	}
+	// EnsureRegion schedules a background prefetch of the runner-up cell;
+	// Close immediately after races against that load.
+	if _, err := idx.EnsureRegion(ctx, model); err != nil {
+		t.Fatal(err)
+	}
+	idx.Close()
+	idx.Close()
+}
+
+// TestUpdateUncertaintyCanceled: a canceled context aborts the scoring pass
+// and surfaces context.Canceled.
+func TestUpdateUncertaintyCanceled(t *testing.T) {
+	idx, ds := openTestIndex(t, 800, Options{Workers: 4})
+	if err := idx.InitExploration(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	model := boundaryModel(t, ds, testRegion(t, ds), 30)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := idx.UpdateUncertainty(ctx, model); !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
+	}
+}

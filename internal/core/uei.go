@@ -1,21 +1,29 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/uei-db/uei/internal/chunkstore"
 	"github.com/uei-db/uei/internal/dataset"
 	"github.com/uei-db/uei/internal/grid"
-	"github.com/uei-db/uei/internal/iothrottle"
 	"github.com/uei-db/uei/internal/learn"
 	"github.com/uei-db/uei/internal/memcache"
 	"github.com/uei-db/uei/internal/obs"
+	"github.com/uei-db/uei/internal/pool"
 	"github.com/uei-db/uei/internal/prefetch"
 	"github.com/uei-db/uei/internal/vec"
 )
+
+// ErrClosed is returned by index operations after Close. It is re-exported
+// by the facade so callers can errors.Is against it across the API
+// boundary.
+var ErrClosed = errors.New("uei: index is closed")
 
 // BuildOptions configures the once-per-dataset index initialization phase
 // (Algorithm 2 lines 1-11).
@@ -58,6 +66,14 @@ type Index struct {
 	deferredFor int
 	pendingCell int
 
+	// pool shards symbolic-point scoring and top-k selection across
+	// Options.Workers goroutines; with one worker everything runs inline.
+	pool *pool.Pool
+	// closed flips once; closeOnce makes Close idempotent and safe to call
+	// concurrently with an in-flight prefetch load.
+	closed    atomic.Bool
+	closeOnce sync.Once
+
 	// reg is never nil (Open substitutes a private registry); the
 	// instruments below are atomic, so Stats() and a metrics endpoint can
 	// read them while the loop and the prefetcher goroutine mutate them.
@@ -72,17 +88,21 @@ type Index struct {
 	hSwap     *obs.Histogram
 }
 
-// Open loads the index over a directory produced by Build. limiter may be
-// nil for unthrottled I/O.
-func Open(dir string, opts Options, limiter *iothrottle.Limiter) (*Index, error) {
+// Open loads the index over a directory produced by Build. I/O throttling
+// and worker-pool sizing come from Options (Limiter, Workers).
+func Open(ctx context.Context, dir string, opts Options) (*Index, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	store, err := chunkstore.Open(dir, limiter)
+	store, err := chunkstore.Open(dir, opts.Limiter)
 	if err != nil {
 		return nil, err
 	}
+	store.SetWorkers(opts.Workers)
 	g, err := grid.New(store.Bounds(), opts.SegmentsPerDim)
 	if err != nil {
 		return nil, err
@@ -108,9 +128,12 @@ func Open(dir string, opts Options, limiter *iothrottle.Limiter) (*Index, error)
 	}
 	store.Instrument(reg)
 	budget.Instrument(reg)
+	pl := pool.New(opts.Workers)
+	pl.Instrument(reg)
 	idx := &Index{
 		opts:        opts,
 		store:       store,
+		pool:        pl,
 		grid:        g,
 		mapping:     mapping,
 		budget:      budget,
@@ -143,11 +166,17 @@ func Open(dir string, opts Options, limiter *iothrottle.Limiter) (*Index, error)
 // Options.Registry, or the private one Open created).
 func (x *Index) Registry() *obs.Registry { return x.reg }
 
-// Close shuts down the prefetcher, if any.
+// Close shuts down the prefetcher (canceling any in-flight background
+// load) and the worker pool. It is idempotent and safe to call while a
+// prefetch load is running; subsequent index operations return ErrClosed.
 func (x *Index) Close() {
-	if x.pf != nil {
-		x.pf.Close()
-	}
+	x.closeOnce.Do(func() {
+		x.closed.Store(true)
+		if x.pf != nil {
+			x.pf.Close()
+		}
+		x.pool.Close()
+	})
 }
 
 // Grid returns the symbolic-point lattice.
@@ -178,13 +207,16 @@ func (x *Index) sampleSize() int {
 // InitExploration fills the unlabeled cache U with the uniform sample γ
 // (Algorithm 2 line 12). It costs one streaming pass over the store and is
 // intended to run once per exploration session.
-func (x *Index) InitExploration() error {
+func (x *Index) InitExploration(ctx context.Context) error {
+	if x.closed.Load() {
+		return ErrClosed
+	}
 	gamma := x.sampleSize()
 	ids, err := memcache.SampleIDs(x.store.RowCount(), gamma, x.opts.Seed)
 	if err != nil {
 		return err
 	}
-	rows, err := x.store.FetchRows(ids)
+	rows, err := x.store.FetchRows(ctx, ids)
 	if err != nil {
 		return fmt.Errorf("core: sampling U: %w", err)
 	}
@@ -198,13 +230,18 @@ func (x *Index) InitExploration() error {
 
 // UpdateUncertainty re-scores every symbolic index point against the
 // current model (Algorithm 2 line 17, P <- updateUncertainty(P, M)).
-func (x *Index) UpdateUncertainty(model learn.Classifier) error {
-	for i, p := range x.centers {
-		u, err := learn.Uncertainty(model, p)
-		if err != nil {
-			return fmt.Errorf("core: scoring index point %d: %w", i, err)
-		}
-		x.uncertainty[i] = u
+// Scoring shards across the worker pool: each shard writes a disjoint
+// contiguous slice of the uncertainty vector, so the result is
+// byte-identical to the serial pass regardless of worker count.
+func (x *Index) UpdateUncertainty(ctx context.Context, model learn.Classifier) error {
+	if x.closed.Load() {
+		return ErrClosed
+	}
+	err := x.pool.Do(ctx, len(x.centers), func(lo, hi int) error {
+		return learn.UncertaintiesInto(ctx, model, x.centers[lo:hi], x.uncertainty[lo:hi])
+	})
+	if err != nil {
+		return fmt.Errorf("core: scoring index points: %w", err)
 	}
 	x.scoresValid = true
 	return nil
@@ -212,10 +249,12 @@ func (x *Index) UpdateUncertainty(model learn.Classifier) error {
 
 // MostUncertainCells returns the top-k cells by symbolic-point uncertainty,
 // descending, with cell id as the deterministic tie-breaker. k is clamped
-// to |P|.
+// to |P|. Selection shards across the worker pool: each shard reduces to
+// its local top-k and the merged candidates are re-ranked with the same
+// comparator, so the result equals the serial full sort's first k.
 func (x *Index) MostUncertainCells(k int) ([]grid.CellID, error) {
 	if !x.scoresValid {
-		return nil, fmt.Errorf("core: UpdateUncertainty has not run for the current model")
+		return nil, fmt.Errorf("core: UpdateUncertainty has not run for the current model: %w", learn.ErrNotFitted)
 	}
 	if k < 1 {
 		k = 1
@@ -223,20 +262,36 @@ func (x *Index) MostUncertainCells(k int) ([]grid.CellID, error) {
 	if k > len(x.uncertainty) {
 		k = len(x.uncertainty)
 	}
-	order := make([]int, len(x.uncertainty))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		ua, ub := x.uncertainty[order[a]], x.uncertainty[order[b]]
+	less := func(a, b int) bool {
+		ua, ub := x.uncertainty[a], x.uncertainty[b]
 		if ua != ub {
 			return ua > ub
 		}
-		return order[a] < order[b]
+		return a < b
+	}
+	var mu sync.Mutex
+	var candidates []int
+	err := x.pool.Do(context.Background(), len(x.uncertainty), func(lo, hi int) error {
+		local := make([]int, hi-lo)
+		for i := range local {
+			local[i] = lo + i
+		}
+		sort.Slice(local, func(a, b int) bool { return less(local[a], local[b]) })
+		if len(local) > k {
+			local = local[:k]
+		}
+		mu.Lock()
+		candidates = append(candidates, local...)
+		mu.Unlock()
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(candidates, func(a, b int) bool { return less(candidates[a], candidates[b]) })
 	out := make([]grid.CellID, k)
 	for i := 0; i < k; i++ {
-		out[i] = grid.CellID(order[i])
+		out[i] = grid.CellID(candidates[i])
 	}
 	return out, nil
 }
@@ -251,8 +306,8 @@ func (x *Index) CellUncertainty(id grid.CellID) (float64, error) {
 
 // loadCell reconstructs one cell's tuples via the mapping method m and the
 // chunk-store hash merge. It is the prefetcher's LoadFunc and the
-// synchronous load path.
-func (x *Index) loadCell(cell int) ([]uint32, [][]float64, error) {
+// synchronous load path; ctx aborts it at the next chunk boundary.
+func (x *Index) loadCell(ctx context.Context, cell int) ([]uint32, [][]float64, error) {
 	box, err := x.grid.CellBox(grid.CellID(cell))
 	if err != nil {
 		return nil, nil, err
@@ -261,7 +316,7 @@ func (x *Index) loadCell(cell int) ([]uint32, [][]float64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, visited, err := x.store.MergeChunks(box, chunks)
+	rows, visited, err := x.store.MergeChunks(ctx, box, chunks)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: loading cell %d: %w", cell, err)
 	}
@@ -286,10 +341,13 @@ func (x *Index) loadCell(cell int) ([]uint32, [][]float64, error) {
 // make the target resident (cache check, synchronous load, prefetch
 // take/defer/await) except the cache install itself, which installRegion
 // reports as the "swap" phase.
-func (x *Index) EnsureRegion(model learn.Classifier) (grid.CellID, error) {
+func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.CellID, error) {
+	if x.closed.Load() {
+		return 0, ErrClosed
+	}
 	score := x.tracer.StartPhase(obs.PhaseScore)
 	if !x.scoresValid {
-		if err := x.UpdateUncertainty(model); err != nil {
+		if err := x.UpdateUncertainty(ctx, model); err != nil {
 			score.End(nil)
 			return 0, err
 		}
@@ -332,7 +390,7 @@ func (x *Index) EnsureRegion(model learn.Classifier) (grid.CellID, error) {
 
 	if x.pf == nil {
 		// Synchronous path: load and swap immediately.
-		ids, rows, err := x.loadCell(int(target))
+		ids, rows, err := x.loadCell(ctx, int(target))
 		if err != nil {
 			load.End(nil)
 			return 0, err
@@ -375,7 +433,7 @@ func (x *Index) EnsureRegion(model learn.Classifier) (grid.CellID, error) {
 		return grid.CellID(resident), nil
 	}
 	// Deferral budget exhausted (or nothing resident yet): block.
-	r := x.pf.Await(int(target))
+	r := x.pf.Await(ctx, int(target))
 	if r.Err != nil {
 		load.End(nil)
 		return 0, r.Err
@@ -478,12 +536,25 @@ func (x *Index) Stats() Stats {
 // chunk slabs per cell). Fully reconstructed rows are kept when the model
 // classifies them positive. Setting minCellPosterior to 0 disables
 // pruning and yields the exact answer set of the model.
-func (x *Index) ResultRetrieval(model learn.Classifier, minCellPosterior float64) ([]uint32, error) {
+func (x *Index) ResultRetrieval(ctx context.Context, model learn.Classifier, minCellPosterior float64) ([]uint32, error) {
+	if x.closed.Load() {
+		return nil, ErrClosed
+	}
 	if minCellPosterior < 0 || minCellPosterior >= 0.5 {
 		return nil, fmt.Errorf("core: minCellPosterior %g outside [0, 0.5)", minCellPosterior)
 	}
 	dims := x.grid.Dims()
 	segs := x.grid.Segments()
+
+	// Score every cell center in one sharded batch pass; the posteriors are
+	// reused for the final trim below.
+	post := make([]float64, x.grid.NumCells())
+	err := x.pool.Do(ctx, len(x.centers), func(lo, hi int) error {
+		return learn.PosteriorsInto(ctx, model, x.centers[lo:hi], post[lo:hi])
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Mark passing cells and the per-dimension segments they touch.
 	anyPassing := false
@@ -492,11 +563,7 @@ func (x *Index) ResultRetrieval(model learn.Classifier, minCellPosterior float64
 		markedSeg[d] = make([]bool, segs[d])
 	}
 	for cell := 0; cell < x.grid.NumCells(); cell++ {
-		p, err := model.PosteriorPositive(x.centers[cell])
-		if err != nil {
-			return nil, err
-		}
-		if p < minCellPosterior {
+		if post[cell] < minCellPosterior {
 			continue
 		}
 		anyPassing = true
@@ -539,36 +606,41 @@ func (x *Index) ResultRetrieval(model learn.Classifier, minCellPosterior float64
 			order = append(order, seq)
 		}
 		sort.Ints(order)
-		for _, seq := range order {
-			entries, err := x.store.ReadChunk(chunkSet[seq])
-			if err != nil {
-				return nil, err
-			}
+		metas := make([]chunkstore.ChunkMeta, len(order))
+		for i, seq := range order {
+			metas[i] = chunkSet[seq]
+		}
+		dd := d
+		err := x.store.ReadChunksOrdered(ctx, metas, func(_ chunkstore.ChunkMeta, entries []chunkstore.Entry) error {
 			for _, e := range entries {
 				x.mEntries.Inc()
-				seg, err := x.grid.SegmentOf(d, e.Value)
+				seg, err := x.grid.SegmentOf(dd, e.Value)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				if !markedSeg[d][seg] {
+				if !markedSeg[dd][seg] {
 					continue
 				}
 				for _, id := range e.Rows {
 					p := table[id]
 					if p == nil {
-						if d > 0 {
+						if dd > 0 {
 							continue // already failed an earlier dimension
 						}
 						p = &retrievalPartial{vals: make([]float64, dims)}
 						table[id] = p
 					}
-					if p.hits != d {
+					if p.hits != dd {
 						continue
 					}
-					p.vals[d] = e.Value
+					p.vals[dd] = e.Value
 					p.hits++
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		for id, p := range table {
 			if p.hits != d+1 {
@@ -580,16 +652,14 @@ func (x *Index) ResultRetrieval(model learn.Classifier, minCellPosterior float64
 	// Final trim: exact passing-cell membership, then the classifier.
 	var out []uint32
 	for id, p := range table {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cell, err := x.grid.CellOf(p.vals)
 		if err != nil {
 			return nil, err
 		}
-		center := x.centers[cell]
-		post, err := model.PosteriorPositive(center)
-		if err != nil {
-			return nil, err
-		}
-		if post < minCellPosterior {
+		if post[cell] < minCellPosterior {
 			continue
 		}
 		cls, err := learn.Predict(model, p.vals)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"testing"
 	"time"
@@ -26,7 +27,7 @@ func openTestIndex(t *testing.T, n int, opts Options) (*Index, *dataset.Dataset)
 	if opts.MemoryBudgetBytes == 0 {
 		opts.MemoryBudgetBytes = 1 << 20
 	}
-	idx, err := Open(dir, opts, nil)
+	idx, err := Open(context.Background(), dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestOptionsValidation(t *testing.T) {
 		{MemoryBudgetBytes: 100, LatencyThreshold: -time.Second},
 	}
 	for i, o := range bad {
-		if _, err := Open(dir, o, nil); err == nil {
+		if _, err := Open(context.Background(), dir, o); err == nil {
 			t.Errorf("case %d: expected error for %+v", i, o)
 		}
 	}
@@ -126,7 +127,7 @@ func TestOpenDefaults(t *testing.T) {
 
 func TestInitExplorationRespectsGamma(t *testing.T) {
 	idx, _ := openTestIndex(t, 500, Options{SampleSize: 64, Seed: 5})
-	if err := idx.InitExploration(); err != nil {
+	if err := idx.InitExploration(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if idx.CandidateCount() != 64 {
@@ -150,7 +151,7 @@ func TestInitExplorationRespectsGamma(t *testing.T) {
 func TestInitExplorationDerivedGamma(t *testing.T) {
 	budget := int64(200) * memcache.TupleBytes(5)
 	idx, _ := openTestIndex(t, 5000, Options{MemoryBudgetBytes: budget, Seed: 2})
-	if err := idx.InitExploration(); err != nil {
+	if err := idx.InitExploration(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Derived γ is half the budget's tuple capacity.
@@ -166,7 +167,7 @@ func TestUpdateUncertaintyAndSelection(t *testing.T) {
 	if _, err := idx.MostUncertainCells(1); err == nil {
 		t.Error("selection before UpdateUncertainty should fail")
 	}
-	if err := idx.UpdateUncertainty(model); err != nil {
+	if err := idx.UpdateUncertainty(context.Background(), model); err != nil {
 		t.Fatal(err)
 	}
 	top, err := idx.MostUncertainCells(5)
@@ -217,12 +218,12 @@ func TestUpdateUncertaintyAndSelection(t *testing.T) {
 
 func TestEnsureRegionSyncSwap(t *testing.T) {
 	idx, ds := openTestIndex(t, 2000, Options{SampleSize: 100, Seed: 9})
-	if err := idx.InitExploration(); err != nil {
+	if err := idx.InitExploration(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	region := testRegion(t, ds)
 	model := boundaryModel(t, ds, region, 150)
-	cell, err := idx.EnsureRegion(model)
+	cell, err := idx.EnsureRegion(context.Background(), model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestEnsureRegionSyncSwap(t *testing.T) {
 		t.Errorf("only %d candidates inside the loaded cell box; dataset has %d", regionRows, want)
 	}
 	// Same target again: no new swap.
-	if _, err := idx.EnsureRegion(model); err != nil {
+	if _, err := idx.EnsureRegion(context.Background(), model); err != nil {
 		t.Fatal(err)
 	}
 	if idx.Stats().RegionSwaps != 1 {
@@ -264,12 +265,12 @@ func TestEnsureRegionSyncSwap(t *testing.T) {
 
 func TestEnsureRegionSwapsWhenModelChanges(t *testing.T) {
 	idx, ds := openTestIndex(t, 2000, Options{SampleSize: 50, Seed: 10})
-	if err := idx.InitExploration(); err != nil {
+	if err := idx.InitExploration(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	region := testRegion(t, ds)
 	m1 := boundaryModel(t, ds, region, 40)
-	first, err := idx.EnsureRegion(m1)
+	first, err := idx.EnsureRegion(context.Background(), m1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func TestEnsureRegionSwapsWhenModelChanges(t *testing.T) {
 	}
 	m2 := boundaryModel(t, ds, r2, 40)
 	idx.InvalidateScores()
-	second, err := idx.EnsureRegion(m2)
+	second, err := idx.EnsureRegion(context.Background(), m2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestEnsureRegionSwapsWhenModelChanges(t *testing.T) {
 
 func TestMarkLabeledEvicts(t *testing.T) {
 	idx, _ := openTestIndex(t, 300, Options{SampleSize: 30, Seed: 11})
-	if err := idx.InitExploration(); err != nil {
+	if err := idx.InitExploration(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	var victim uint32
@@ -324,13 +325,13 @@ func TestPrefetchPathEndToEnd(t *testing.T) {
 		EnablePrefetch:   true,
 		LatencyThreshold: time.Millisecond,
 	})
-	if err := idx.InitExploration(); err != nil {
+	if err := idx.InitExploration(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	region := testRegion(t, ds)
 	model := boundaryModel(t, ds, region, 120)
 	// First ensure: nothing resident, so it must block and install.
-	cell, err := idx.EnsureRegion(model)
+	cell, err := idx.EnsureRegion(context.Background(), model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func TestPrefetchPathEndToEnd(t *testing.T) {
 	}
 	m2 := boundaryModel(t, ds, r2, 120)
 	idx.InvalidateScores()
-	if err := idx.UpdateUncertainty(m2); err != nil {
+	if err := idx.UpdateUncertainty(context.Background(), m2); err != nil {
 		t.Fatal(err)
 	}
 	top, _ := idx.MostUncertainCells(1)
@@ -354,7 +355,7 @@ func TestPrefetchPathEndToEnd(t *testing.T) {
 		t.Skip("model change did not move the target cell")
 	}
 	for i := 0; i < 50; i++ {
-		got, err := idx.EnsureRegion(m2)
+		got, err := idx.EnsureRegion(context.Background(), m2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -374,7 +375,7 @@ func TestResultRetrievalMatchesOracle(t *testing.T) {
 	region := testRegion(t, ds)
 	// A well-trained model should retrieve roughly the oracle set.
 	model := boundaryModel(t, ds, region, 600)
-	got, err := idx.ResultRetrieval(model, 0)
+	got, err := idx.ResultRetrieval(context.Background(), model, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +406,7 @@ func TestResultRetrievalMatchesOracle(t *testing.T) {
 	// Pruned retrieval must be a subset of exact retrieval and much
 	// cheaper (fewer cells loaded).
 	idx.Store().ResetIOStats()
-	pruned, err := idx.ResultRetrieval(model, 0.05)
+	pruned, err := idx.ResultRetrieval(context.Background(), model, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,19 +423,19 @@ func TestResultRetrievalMatchesOracle(t *testing.T) {
 			t.Fatalf("pruned retrieval produced id %d absent from exact retrieval", id)
 		}
 	}
-	if _, err := idx.ResultRetrieval(model, 0.7); err == nil {
+	if _, err := idx.ResultRetrieval(context.Background(), model, 0.7); err == nil {
 		t.Error("cutoff >= 0.5 should fail")
 	}
 }
 
 func TestStatsEntriesVisited(t *testing.T) {
 	idx, ds := openTestIndex(t, 1500, Options{SampleSize: 40, Seed: 14})
-	if err := idx.InitExploration(); err != nil {
+	if err := idx.InitExploration(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	region := testRegion(t, ds)
 	model := boundaryModel(t, ds, region, 100)
-	if _, err := idx.EnsureRegion(model); err != nil {
+	if _, err := idx.EnsureRegion(context.Background(), model); err != nil {
 		t.Fatal(err)
 	}
 	st := idx.Stats()
@@ -456,12 +457,12 @@ func TestBudgetEnforcedDuringExploration(t *testing.T) {
 	// but the ledger must never exceed capacity.
 	budget := int64(60) * memcache.TupleBytes(5)
 	idx, ds := openTestIndex(t, 2000, Options{MemoryBudgetBytes: budget, SampleSize: 40, Seed: 15})
-	if err := idx.InitExploration(); err != nil {
+	if err := idx.InitExploration(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	region := testRegion(t, ds)
 	model := boundaryModel(t, ds, region, 100)
-	if _, err := idx.EnsureRegion(model); err != nil {
+	if _, err := idx.EnsureRegion(context.Background(), model); err != nil {
 		t.Fatal(err)
 	}
 	if used := idx.Budget().Used(); used > budget {

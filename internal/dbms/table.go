@@ -1,6 +1,7 @@
 package dbms
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -187,11 +188,15 @@ func (t *Table) Pool() *BufferPool { return t.pool }
 // Scan streams every row in id order through the buffer pool, calling fn
 // until it returns false. The row slice is reused across calls; callers
 // must copy it to retain it. This is the exhaustive per-iteration search of
-// the DBMS baseline.
-func (t *Table) Scan(fn func(id uint32, row []float64) bool) error {
+// the DBMS baseline. A canceled ctx aborts the scan at the next page
+// boundary.
+func (t *Table) Scan(ctx context.Context, fn func(id uint32, row []float64) bool) error {
 	dims := t.Dims()
 	row := make([]float64, dims)
 	for pid := PageID(0); int(pid) < t.meta.Pages; pid++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		page, err := t.pool.Fetch(pid)
 		if err != nil {
 			return err

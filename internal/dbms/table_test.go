@@ -1,6 +1,7 @@
 package dbms
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestTableScanMatchesDataset(t *testing.T) {
 		t.Fatalf("rows=%d dims=%d", tb.RowCount(), tb.Dims())
 	}
 	next := uint32(0)
-	err := tb.Scan(func(id uint32, row []float64) bool {
+	err := tb.Scan(context.Background(), func(id uint32, row []float64) bool {
 		if id != next {
 			t.Fatalf("scan out of order: got %d, want %d", id, next)
 		}
@@ -57,7 +58,7 @@ func TestTableScanMatchesDataset(t *testing.T) {
 func TestTableScanEarlyStop(t *testing.T) {
 	tb, _, _ := makeTable(t, 1000, 4)
 	n := 0
-	err := tb.Scan(func(uint32, []float64) bool {
+	err := tb.Scan(context.Background(), func(uint32, []float64) bool {
 		n++
 		return n < 10
 	})
@@ -117,7 +118,7 @@ func TestBufferPoolChurnOnScan(t *testing.T) {
 	}
 	for pass := 0; pass < 2; pass++ {
 		count := 0
-		err := tb.Scan(func(id uint32, row []float64) bool {
+		err := tb.Scan(context.Background(), func(id uint32, row []float64) bool {
 			if !vec.Equal(row, ds.Row(dataset.RowID(id))) {
 				t.Fatalf("pass %d row %d differs", pass, id)
 			}

@@ -64,6 +64,11 @@ type Config struct {
 	// Trace, when non-nil, records per-iteration phase spans for every
 	// run (uei-bench -trace).
 	Trace *obs.Tracer
+	// Workers sizes the index worker pool for every run. Zero keeps the
+	// paper's serial per-iteration path (1 worker), so measured latencies
+	// stay comparable to the published numbers; raise it to measure the
+	// parallel hot path.
+	Workers int
 }
 
 // DefaultConfig returns the quick-mode configuration.

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -101,9 +102,15 @@ func (e *Env) StoreDir() string { return e.storeDir }
 // TableDir returns the DBMS directory.
 func (e *Env) TableDir() string { return e.tableDir }
 
-// OpenIndex opens a fresh UEI index handle for one run.
-func (e *Env) OpenIndex(runSeed int64) (*core.Index, error) {
-	return core.Open(e.storeDir, core.Options{
+// OpenIndex opens a fresh UEI index handle for one run. The experiment
+// harness measures the paper's serial per-iteration costs, so the worker
+// pool stays at one unless the config raises it.
+func (e *Env) OpenIndex(ctx context.Context, runSeed int64) (*core.Index, error) {
+	workers := e.Cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	return core.Open(ctx, e.storeDir, core.Options{
 		SegmentsPerDim:    e.Cfg.SegmentsPerDim,
 		MemoryBudgetBytes: e.budgetBytes,
 		LatencyThreshold:  e.Cfg.LatencyThreshold,
@@ -111,7 +118,9 @@ func (e *Env) OpenIndex(runSeed int64) (*core.Index, error) {
 		Seed:              runSeed,
 		Registry:          e.Cfg.Obs,
 		Tracer:            e.Cfg.Trace,
-	}, e.Limiter)
+		Workers:           workers,
+		Limiter:           e.Limiter,
+	})
 }
 
 // OpenTable opens a fresh DBMS handle whose buffer pool consumes the same

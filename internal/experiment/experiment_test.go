@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -69,7 +70,7 @@ func TestSetupAndBudget(t *testing.T) {
 	if env.BudgetBytes() <= 0 {
 		t.Error("budget not resolved")
 	}
-	idx, err := env.OpenIndex(1)
+	idx, err := env.OpenIndex(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

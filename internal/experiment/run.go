@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/uei-db/uei/internal/al"
@@ -228,7 +229,7 @@ func runOne(env *Env, region oracle.Region, scheme Scheme, runSeed int64, opt ru
 	if err != nil {
 		return nil, err
 	}
-	res, err := sess.Run()
+	res, err := sess.Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +270,11 @@ func (e *Env) bytesRead(scheme Scheme, provider ide.Provider) (int64, error) {
 
 // openIndexWith opens an index with per-run overrides.
 func (e *Env) openIndexWith(runSeed int64, segments, sampleSize int, prefetch bool, residentRegions int) (*core.Index, error) {
-	return core.Open(e.storeDir, core.Options{
+	workers := e.Cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	return core.Open(context.Background(), e.storeDir, core.Options{
 		SegmentsPerDim:    segments,
 		MemoryBudgetBytes: e.budgetBytes,
 		SampleSize:        sampleSize,
@@ -279,7 +284,9 @@ func (e *Env) openIndexWith(runSeed int64, segments, sampleSize int, prefetch bo
 		Seed:              runSeed,
 		Registry:          e.Cfg.Obs,
 		Tracer:            e.Cfg.Trace,
-	}, e.Limiter)
+		Workers:           workers,
+		Limiter:           e.Limiter,
+	})
 }
 
 // RunComparison runs both schemes for one region class, averaging across

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -220,7 +221,7 @@ func TestBuildMappingAndLoadCell(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rows, _, err := st.MergeRegion(box)
+		rows, _, err := st.MergeRegion(context.Background(), box)
 		if err != nil {
 			t.Fatal(err)
 		}

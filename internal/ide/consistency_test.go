@@ -1,6 +1,7 @@
 package ide
 
 import (
+	"context"
 	"testing"
 
 	"github.com/uei-db/uei/internal/al"
@@ -31,17 +32,17 @@ func TestRetrievalConsistencyAcrossProviders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sess.Run()
+	res, err := sess.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	model := res.Model
 
-	fromDBMS, err := dbmsP.Retrieve(model)
+	fromDBMS, err := dbmsP.Retrieve(context.Background(), model)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fromUEI, err := uei.Retrieve(model)
+	fromUEI, err := uei.Retrieve(context.Background(), model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,13 +76,13 @@ func TestPrunedRetrievalIsSubset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sess.Run()
+	res, err := sess.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	uei.RetrievalCutoff = 0
-	exact, err := uei.Retrieve(res.Model)
+	exact, err := uei.Retrieve(context.Background(), res.Model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestPrunedRetrievalIsSubset(t *testing.T) {
 		exactSet[id] = true
 	}
 	uei.RetrievalCutoff = 0.1
-	pruned, err := uei.Retrieve(res.Model)
+	pruned, err := uei.Retrieve(context.Background(), res.Model)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package ide
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -11,6 +13,11 @@ import (
 	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/oracle"
 )
+
+// ErrNoCandidates is returned when the unlabeled candidate pool is empty
+// at a point where the session needs one (initial example acquisition). It
+// is re-exported by the facade for errors.Is across the API boundary.
+var ErrNoCandidates = errors.New("ide: no unlabeled candidates available")
 
 // Config parameterizes an exploration session.
 type Config struct {
@@ -62,6 +69,12 @@ type Config struct {
 	// counters. The ide_fmeasure gauge is defined here too, for harnesses
 	// that evaluate accuracy (see FMeasureGauge).
 	Registry *obs.Registry
+	// Workers enables batch candidate scoring during selection when > 1
+	// and the Strategy implements al.BatchScorer: the pool is materialized
+	// into a reusable scratch buffer and scored in parallel shards instead
+	// of one streaming Score call per row. Selection stays deterministic
+	// (first-seen argmax). Values <= 1 keep the streaming path.
+	Workers int
 }
 
 // FMeasureGauge returns the registry gauge harnesses set after each
@@ -125,6 +138,11 @@ type Session struct {
 	labeledX   [][]float64
 	labeledY   []int
 	model      learn.Classifier
+	// Batch-selection scratch, reused across iterations to avoid
+	// re-allocating the materialized pool every selection.
+	batchIDs    []uint32
+	batchRows   [][]float64
+	batchScores []float64
 	// resumed marks sessions restored from a Snapshot; Run then reports
 	// the pre-labeled tuples to the provider and skips acquisition when
 	// both classes are already present.
@@ -187,8 +205,12 @@ func NewSession(cfg Config, provider Provider, labeler Labeler) (*Session, error
 }
 
 // Run executes the full exploration and returns the retrieved results.
-func (s *Session) Run() (*Result, error) {
-	if err := s.provider.Prepare(); err != nil {
+// ctx bounds the whole session: it is checked at every iteration boundary
+// and threaded into every provider call, so cancellation aborts within one
+// iteration (a region load in flight stops at its next chunk boundary) and
+// Run returns an error satisfying errors.Is(err, ctx.Err()).
+func (s *Session) Run(ctx context.Context) (*Result, error) {
+	if err := s.provider.Prepare(ctx); err != nil {
 		return nil, fmt.Errorf("ide: provider prepare: %w", err)
 	}
 	if s.resumed {
@@ -197,7 +219,7 @@ func (s *Session) Run() (*Result, error) {
 		}
 	}
 	if hasPos, hasNeg := s.classesPresent(); !hasPos || !hasNeg {
-		if err := s.acquireInitialExamples(); err != nil {
+		if err := s.acquireInitialExamples(ctx); err != nil {
 			return nil, err
 		}
 	}
@@ -211,14 +233,17 @@ func (s *Session) Run() (*Result, error) {
 	iteration := 0
 	sinceRetrain := 0
 	for s.labeler.Count() < s.cfg.MaxLabels {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("ide: session canceled after %d iterations: %w", iteration, err)
+		}
 		iteration++
 		s.cfg.Tracer.BeginIteration(iteration)
 		start := time.Now()
-		if err := s.provider.BeforeSelect(s.model); err != nil {
+		if err := s.provider.BeforeSelect(ctx, s.model); err != nil {
 			return nil, fmt.Errorf("ide: iteration %d: %w", iteration, err)
 		}
 		sel := s.cfg.Tracer.StartPhase(obs.PhaseSelect)
-		id, row, score, pool, err := s.selectCandidate()
+		id, row, score, pool, err := s.selectCandidate(ctx)
 		if err != nil {
 			sel.End(nil)
 			return nil, fmt.Errorf("ide: iteration %d: %w", iteration, err)
@@ -275,7 +300,7 @@ func (s *Session) Run() (*Result, error) {
 	if s.cfg.BeforeRetrieve != nil {
 		s.cfg.BeforeRetrieve()
 	}
-	positive, err := s.provider.Retrieve(s.model)
+	positive, err := s.provider.Retrieve(ctx, s.model)
 	if err != nil {
 		return nil, fmt.Errorf("ide: result retrieval: %w", err)
 	}
@@ -286,6 +311,11 @@ func (s *Session) Run() (*Result, error) {
 		Model:      s.model,
 	}, nil
 }
+
+// RunV1 runs the session without cancellation.
+//
+// Deprecated: use Run with a context.
+func (s *Session) RunV1() (*Result, error) { return s.Run(context.Background()) }
 
 // Model returns the current predictive model (nil before the first fit).
 func (s *Session) Model() learn.Classifier { return s.model }
@@ -298,7 +328,7 @@ func (s *Session) LabeledCount() int { return len(s.labeledY) }
 // positive comes from the user directly; negatives come from uniform
 // random candidates (on sparse-target workloads a random tuple is negative
 // with overwhelming probability).
-func (s *Session) acquireInitialExamples() error {
+func (s *Session) acquireInitialExamples(ctx context.Context) error {
 	if s.cfg.SeedWithPositive {
 		if s.cfg.SeedCount > 1 {
 			seeder := s.labeler.(MultiPositiveSeeder)
@@ -312,7 +342,7 @@ func (s *Session) acquireInitialExamples() error {
 				s.provider.OnLabeled(id)
 			}
 		} else {
-			id, row, ok := s.findSeedPositive()
+			id, row, ok := s.findSeedPositive(ctx)
 			if !ok {
 				return fmt.Errorf("ide: no relevant tuple exists to seed the exploration")
 			}
@@ -326,12 +356,12 @@ func (s *Session) acquireInitialExamples() error {
 		if attempts > 100*s.cfg.MaxLabels {
 			return fmt.Errorf("ide: initial example acquisition stalled after %d attempts", attempts)
 		}
-		id, row, ok, err := s.randomCandidate()
+		id, row, ok, err := s.randomCandidate(ctx)
 		if err != nil {
 			return err
 		}
 		if !ok {
-			return fmt.Errorf("ide: candidate pool exhausted during initial acquisition")
+			return fmt.Errorf("ide: initial acquisition: %w", ErrNoCandidates)
 		}
 		label := s.labeler.Label(id, row)
 		s.addLabel(id, row, label)
@@ -347,12 +377,12 @@ func (s *Session) acquireInitialExamples() error {
 // findSeedPositive locates one relevant example: preferably a relevant
 // candidate already in the pool, otherwise any relevant tuple from the
 // oracle's ground truth (the "user brings an example" case).
-func (s *Session) findSeedPositive() (uint32, []float64, bool) {
+func (s *Session) findSeedPositive(ctx context.Context) (uint32, []float64, bool) {
 	var id uint32
 	var row []float64
 	found := false
 	seeder := s.labeler.(PositiveSeeder)
-	s.provider.Candidates(func(cid uint32, crow []float64) bool {
+	s.provider.Candidates(ctx, func(cid uint32, crow []float64) bool {
 		if seeder.IsRelevant(cid) {
 			id = cid
 			row = append([]float64(nil), crow...)
@@ -369,11 +399,11 @@ func (s *Session) findSeedPositive() (uint32, []float64, bool) {
 
 // randomCandidate draws one uniform candidate with a size-1 reservoir over
 // the stream.
-func (s *Session) randomCandidate() (uint32, []float64, bool, error) {
+func (s *Session) randomCandidate(ctx context.Context) (uint32, []float64, bool, error) {
 	var id uint32
 	var row []float64
 	n := 0
-	err := s.provider.Candidates(func(cid uint32, crow []float64) bool {
+	err := s.provider.Candidates(ctx, func(cid uint32, crow []float64) bool {
 		n++
 		if s.rng.Intn(n) == 0 {
 			id = cid
@@ -390,17 +420,22 @@ func (s *Session) randomCandidate() (uint32, []float64, bool, error) {
 	return id, append([]float64(nil), row...), true, nil
 }
 
-// selectCandidate streams the pool and returns the argmax-scoring
-// candidate (Eq. 2), copying its row. Ties keep the first candidate seen,
-// which combined with sorted candidate streams makes selection
-// deterministic.
-func (s *Session) selectCandidate() (uint32, []float64, float64, int, error) {
+// selectCandidate returns the argmax-scoring candidate (Eq. 2), copying
+// its row. Ties keep the first candidate seen, which combined with sorted
+// candidate streams makes selection deterministic. With Workers > 1 and a
+// BatchScorer strategy it materializes the pool and scores it in parallel
+// shards; the serial argmax over the score vector uses the same strict
+// comparison, so both paths select the same candidate.
+func (s *Session) selectCandidate(ctx context.Context) (uint32, []float64, float64, int, error) {
+	if bs, ok := s.cfg.Strategy.(al.BatchScorer); ok && s.cfg.Workers > 1 {
+		return s.selectCandidateBatch(ctx, bs)
+	}
 	var bestID uint32
 	var bestRow []float64
 	bestScore := math.Inf(-1)
 	pool := 0
 	var scoreErr error
-	err := s.provider.Candidates(func(id uint32, row []float64) bool {
+	err := s.provider.Candidates(ctx, func(id uint32, row []float64) bool {
 		score, err := s.cfg.Strategy.Score(s.model, row)
 		if err != nil {
 			scoreErr = err
@@ -424,6 +459,46 @@ func (s *Session) selectCandidate() (uint32, []float64, float64, int, error) {
 		return 0, nil, 0, 0, nil
 	}
 	return bestID, append([]float64(nil), bestRow...), bestScore, pool, nil
+}
+
+// selectCandidateBatch materializes the candidate pool into reusable
+// scratch buffers and scores it with one sharded BatchScore call. The
+// candidate stream's rows may be reused by the provider, so each row is
+// copied into scratch; buffers persist across iterations, making the
+// steady-state allocation cost near zero.
+func (s *Session) selectCandidateBatch(ctx context.Context, strat al.BatchScorer) (uint32, []float64, float64, int, error) {
+	n := 0
+	err := s.provider.Candidates(ctx, func(id uint32, row []float64) bool {
+		if n < len(s.batchRows) {
+			s.batchIDs[n] = id
+			s.batchRows[n] = append(s.batchRows[n][:0], row...)
+		} else {
+			s.batchIDs = append(s.batchIDs, id)
+			s.batchRows = append(s.batchRows, append([]float64(nil), row...))
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		return 0, nil, 0, 0, err
+	}
+	if n == 0 {
+		return 0, nil, 0, 0, nil
+	}
+	if cap(s.batchScores) < n {
+		s.batchScores = make([]float64, n)
+	}
+	scores := s.batchScores[:n]
+	if err := strat.BatchScore(ctx, s.model, s.batchRows[:n], scores, s.cfg.Workers); err != nil {
+		return 0, nil, 0, 0, err
+	}
+	best := 0
+	for i := 1; i < n; i++ {
+		if scores[i] > scores[best] {
+			best = i
+		}
+	}
+	return s.batchIDs[best], append([]float64(nil), s.batchRows[best]...), scores[best], n, nil
 }
 
 // addLabel appends to L.

@@ -1,6 +1,7 @@
 package ide
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -53,7 +54,7 @@ func (f *fixture) ueiProvider(t *testing.T, sample int) *UEIProvider {
 	if err := core.Build(dir, f.ds, core.BuildOptions{TargetChunkBytes: 2048}); err != nil {
 		t.Fatal(err)
 	}
-	idx, err := core.Open(dir, core.Options{MemoryBudgetBytes: 1 << 20, SampleSize: sample, Seed: 3}, nil)
+	idx, err := core.Open(context.Background(), dir, core.Options{MemoryBudgetBytes: 1 << 20, SampleSize: sample, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestDBMSSessionConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sess.Run()
+	res, err := sess.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestUEISessionConverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sess.Run()
+	res, err := sess.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestSessionDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sess.Run(); err != nil {
+		if _, err := sess.Run(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		return picks
@@ -242,7 +243,7 @@ func TestSessionWithoutSeedPositive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sess.Run()
+	res, err := sess.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func TestSessionBatchRetraining(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.Run(); err != nil {
+	if _, err := sess.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if retrains == 0 {
@@ -302,7 +303,7 @@ func TestSessionPoolExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sess.Run()
+	res, err := sess.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +337,7 @@ func TestUEIResponseTimeBeatsFullScanPool(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := sess.Run(); err != nil {
+		if _, err := sess.Run(context.Background()); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if name == "uei" {
@@ -369,7 +370,7 @@ func TestIterationResponseTimeRecorded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.Run(); err != nil {
+	if _, err := sess.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if len(times) == 0 {

@@ -2,6 +2,7 @@ package ide
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -23,13 +24,13 @@ func TestTraceSpanSequence(t *testing.T) {
 	var buf bytes.Buffer
 	tracer := obs.NewTracer(&buf)
 	reg := obs.NewRegistry()
-	idx, err := core.Open(dir, core.Options{
+	idx, err := core.Open(context.Background(), dir, core.Options{
 		MemoryBudgetBytes: 1 << 20,
 		SampleSize:        200,
 		Seed:              3,
 		Registry:          reg,
 		Tracer:            tracer,
-	}, nil)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestTraceSpanSequence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sess.Run()
+	res, err := sess.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package ide
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.Run(); err != nil {
+	if _, err := sess.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	snap := sess.Snapshot()
@@ -90,7 +91,7 @@ func TestResumeContinuesExploration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess1.Run(); err != nil {
+	if _, err := sess1.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	snap := sess1.Snapshot()
@@ -112,7 +113,7 @@ func TestResumeContinuesExploration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sess2.Run()
+	res, err := sess2.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package ide
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/uei-db/uei/internal/core"
@@ -14,27 +15,29 @@ import (
 )
 
 // Provider supplies unlabeled candidates each iteration and materializes
-// the final result set. Implementations are single-goroutine.
+// the final result set. Implementations are single-goroutine; the context
+// threaded into each method bounds that call's I/O (region loads, table
+// scans) and descends from the one passed to Session.Run.
 type Provider interface {
 	// Name identifies the scheme in reports ("uei", "dbms").
 	Name() string
 	// Prepare runs once before the exploration loop (e.g. filling UEI's
 	// uniform cache).
-	Prepare() error
+	Prepare(ctx context.Context) error
 	// BeforeSelect runs at the start of every iteration with the current
 	// model; UEI re-scores its symbolic points and swaps regions here. It
 	// is part of the user-perceived response time.
-	BeforeSelect(model learn.Classifier) error
+	BeforeSelect(ctx context.Context, model learn.Classifier) error
 	// Candidates streams the current unlabeled pool. The row slice passed
 	// to fn may be reused between calls; callers must copy rows they keep.
-	Candidates(fn func(id uint32, row []float64) bool) error
+	Candidates(ctx context.Context, fn func(id uint32, row []float64) bool) error
 	// OnLabeled removes a tuple from the unlabeled pool.
 	OnLabeled(id uint32)
 	// ModelUpdated tells the provider the classifier was retrained.
 	ModelUpdated()
 	// Retrieve returns the ids the final model classifies positive
 	// (Algorithm 1 line 13 / Algorithm 2 line 26).
-	Retrieve(model learn.Classifier) ([]uint32, error)
+	Retrieve(ctx context.Context, model learn.Classifier) ([]uint32, error)
 }
 
 // UEIProvider adapts a core.Index to the Provider interface.
@@ -57,17 +60,17 @@ func NewUEIProvider(idx *core.Index) (*UEIProvider, error) {
 func (p *UEIProvider) Name() string { return "uei" }
 
 // Prepare implements Provider: it fills the γ-sample cache.
-func (p *UEIProvider) Prepare() error { return p.idx.InitExploration() }
+func (p *UEIProvider) Prepare(ctx context.Context) error { return p.idx.InitExploration(ctx) }
 
 // BeforeSelect implements Provider: Algorithm 2 lines 15-20 (re-score P,
 // choose p*, load g* — with prefetch/deferral inside the index).
-func (p *UEIProvider) BeforeSelect(model learn.Classifier) error {
-	_, err := p.idx.EnsureRegion(model)
+func (p *UEIProvider) BeforeSelect(ctx context.Context, model learn.Classifier) error {
+	_, err := p.idx.EnsureRegion(ctx, model)
 	return err
 }
 
 // Candidates implements Provider: the resident sample plus loaded region.
-func (p *UEIProvider) Candidates(fn func(id uint32, row []float64) bool) error {
+func (p *UEIProvider) Candidates(_ context.Context, fn func(id uint32, row []float64) bool) error {
 	p.idx.Candidates(fn)
 	return nil
 }
@@ -79,8 +82,8 @@ func (p *UEIProvider) OnLabeled(id uint32) { p.idx.MarkLabeled(id) }
 func (p *UEIProvider) ModelUpdated() { p.idx.InvalidateScores() }
 
 // Retrieve implements Provider using UEI's grid-pruned retrieval.
-func (p *UEIProvider) Retrieve(model learn.Classifier) ([]uint32, error) {
-	return p.idx.ResultRetrieval(model, p.RetrievalCutoff)
+func (p *UEIProvider) Retrieve(ctx context.Context, model learn.Classifier) ([]uint32, error) {
+	return p.idx.ResultRetrieval(ctx, model, p.RetrievalCutoff)
 }
 
 // Index exposes the wrapped index for statistics.
@@ -108,15 +111,15 @@ func (p *DBMSProvider) Name() string { return "dbms" }
 
 // Prepare implements Provider (nothing to warm: the baseline has no
 // exploration-specific structures, only the buffer pool).
-func (p *DBMSProvider) Prepare() error { return nil }
+func (p *DBMSProvider) Prepare(context.Context) error { return nil }
 
 // BeforeSelect implements Provider (no per-iteration setup).
-func (p *DBMSProvider) BeforeSelect(learn.Classifier) error { return nil }
+func (p *DBMSProvider) BeforeSelect(context.Context, learn.Classifier) error { return nil }
 
 // Candidates implements Provider with a full table scan, skipping labeled
 // tuples.
-func (p *DBMSProvider) Candidates(fn func(id uint32, row []float64) bool) error {
-	return p.table.Scan(func(id uint32, row []float64) bool {
+func (p *DBMSProvider) Candidates(ctx context.Context, fn func(id uint32, row []float64) bool) error {
+	return p.table.Scan(ctx, func(id uint32, row []float64) bool {
 		if p.labeled[id] {
 			return true
 		}
@@ -131,10 +134,10 @@ func (p *DBMSProvider) OnLabeled(id uint32) { p.labeled[id] = true }
 func (p *DBMSProvider) ModelUpdated() {}
 
 // Retrieve implements Provider with one more full scan.
-func (p *DBMSProvider) Retrieve(model learn.Classifier) ([]uint32, error) {
+func (p *DBMSProvider) Retrieve(ctx context.Context, model learn.Classifier) ([]uint32, error) {
 	var out []uint32
 	var scanErr error
-	err := p.table.Scan(func(id uint32, row []float64) bool {
+	err := p.table.Scan(ctx, func(id uint32, row []float64) bool {
 		cls, err := learn.Predict(model, row)
 		if err != nil {
 			scanErr = err

@@ -25,9 +25,11 @@ const (
 // successfully fitted yet.
 var ErrNotFitted = errors.New("learn: classifier is not fitted")
 
-// Classifier is a binary probabilistic model. Implementations must be
-// usable from a single goroutine; callers that share a classifier across
-// goroutines must synchronize externally.
+// Classifier is a binary probabilistic model. Fit must be called from a
+// single goroutine; after a successful Fit, PosteriorPositive must be
+// read-only with respect to the model, because the parallel scorer shards
+// query points across goroutines against one shared classifier. (All
+// classifiers in this package comply; see also BatchClassifier.)
 type Classifier interface {
 	// Fit (re)trains the model on the labeled set. X rows are copied or
 	// retained read-only; y[i] must be ClassNegative or ClassPositive, and

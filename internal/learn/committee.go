@@ -106,6 +106,48 @@ func (c *Committee) PosteriorPositive(x []float64) (float64, error) {
 	return clampProb(sum / float64(len(c.Members))), nil
 }
 
+// BatchPosterior implements BatchClassifier: the mean member posterior,
+// computed member-by-member so each member's own batch path (and scratch
+// reuse) applies. Read-only after Fit, safe on disjoint shards.
+func (c *Committee) BatchPosterior(X [][]float64, out []float64) error {
+	if !c.fitted {
+		return ErrNotFitted
+	}
+	if len(X) != len(out) {
+		return fmt.Errorf("learn: %d queries but %d output slots", len(X), len(out))
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	tmp := make([]float64, len(X))
+	for _, m := range c.Members {
+		if bm, ok := m.(BatchClassifier); ok {
+			if err := bm.BatchPosterior(X, tmp); err != nil {
+				return err
+			}
+		} else {
+			for i, x := range X {
+				p, err := m.PosteriorPositive(x)
+				if err != nil {
+					return err
+				}
+				tmp[i] = p
+			}
+		}
+		for i, p := range tmp {
+			out[i] += p
+		}
+	}
+	// Divide (not multiply by a reciprocal) so the result is bit-identical
+	// to PosteriorPositive's sum/n — the parallel scorer's parity guarantee
+	// depends on it.
+	n := float64(len(c.Members))
+	for i := range out {
+		out[i] = clampProb(out[i] / n)
+	}
+	return nil
+}
+
 // VoteDisagreement returns the fraction of members whose hard vote differs
 // from the majority, in [0, 0.5]. Query-by-committee selects the point that
 // maximizes it.

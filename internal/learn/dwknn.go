@@ -94,14 +94,62 @@ func (c *DWKNN) PosteriorPositive(x []float64) (float64, error) {
 	if len(x) != c.dims {
 		return 0, fmt.Errorf("learn: query has %d dims, model has %d", len(x), c.dims)
 	}
+	s := newDWKNNScratch(c)
+	return c.posterior(x, s), nil
+}
+
+// BatchPosterior implements BatchClassifier: it reuses one scratch buffer
+// across the whole batch, so the per-query cost is pure distance math with
+// no allocation. It is read-only and safe to call concurrently on disjoint
+// shards (the parallel scorer shards query points across workers).
+func (c *DWKNN) BatchPosterior(X [][]float64, out []float64) error {
+	if !c.fitted {
+		return ErrNotFitted
+	}
+	if len(X) != len(out) {
+		return fmt.Errorf("learn: %d queries but %d output slots", len(X), len(out))
+	}
+	s := newDWKNNScratch(c)
+	for i, x := range X {
+		if len(x) != c.dims {
+			return fmt.Errorf("learn: query %d has %d dims, model has %d", i, len(x), c.dims)
+		}
+		out[i] = c.posterior(x, s)
+	}
+	return nil
+}
+
+// dwknnScratch holds the per-call buffers of the k-NN search so batch
+// evaluation allocates once per shard instead of once per query.
+type dwknnScratch struct {
+	q     []float64
+	all   []neighbor
+	dists []float64
+}
+
+func newDWKNNScratch(c *DWKNN) *dwknnScratch {
 	k := c.K
 	if k > len(c.x) {
 		k = len(c.x)
 	}
-	nb := c.nearest(x, k)
+	return &dwknnScratch{
+		q:     make([]float64, c.dims),
+		all:   make([]neighbor, len(c.x)),
+		dists: make([]float64, k),
+	}
+}
+
+// posterior computes the dual-weighted positive posterior for one
+// (dimension-checked) query using the caller's scratch.
+func (c *DWKNN) posterior(x []float64, s *dwknnScratch) float64 {
+	k := c.K
+	if k > len(c.x) {
+		k = len(c.x)
+	}
+	nb := c.nearestInto(x, k, s)
 
 	// Distances (not squared) drive the weights.
-	dists := make([]float64, len(nb))
+	dists := s.dists[:len(nb)]
 	for i, n := range nb {
 		dists[i] = math.Sqrt(n.d2)
 	}
@@ -127,19 +175,20 @@ func (c *DWKNN) PosteriorPositive(x []float64) (float64, error) {
 				pos++
 			}
 		}
-		return clampProb(float64(pos) / float64(len(nb))), nil
+		return clampProb(float64(pos) / float64(len(nb)))
 	}
-	return clampProb(wPos / wAll), nil
+	return clampProb(wPos / wAll)
 }
 
-// nearest returns the k training points closest to x (scaled space), sorted
-// by ascending distance with index as tie-breaker for determinism.
-func (c *DWKNN) nearest(x []float64, k int) []neighbor {
-	q := make([]float64, c.dims)
+// nearestInto returns the k training points closest to x (scaled space),
+// sorted by ascending distance with index as tie-breaker for determinism.
+// The result aliases s.all and is valid until the next call.
+func (c *DWKNN) nearestInto(x []float64, k int, s *dwknnScratch) []neighbor {
+	q := s.q
 	for j, v := range x {
 		q[j] = v / c.scales[j]
 	}
-	all := make([]neighbor, len(c.x))
+	all := s.all[:len(c.x)]
 	for i, row := range c.x {
 		var d2 float64
 		for j, v := range row {

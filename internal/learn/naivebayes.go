@@ -121,3 +121,20 @@ func (c *GaussianNB) PosteriorPositive(x []float64) (float64, error) {
 	e1 := math.Exp(logLik[1] - m)
 	return clampProb(e1 / (e0 + e1)), nil
 }
+
+// BatchPosterior implements BatchClassifier. The per-query evaluation is
+// already allocation-free, so the batch path is a plain read-only loop,
+// safe to run concurrently on disjoint shards.
+func (c *GaussianNB) BatchPosterior(X [][]float64, out []float64) error {
+	if len(X) != len(out) {
+		return fmt.Errorf("learn: %d queries but %d output slots", len(X), len(out))
+	}
+	for i, x := range X {
+		p, err := c.PosteriorPositive(x)
+		if err != nil {
+			return err
+		}
+		out[i] = p
+	}
+	return nil
+}

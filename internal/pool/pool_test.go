@@ -1,0 +1,105 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/uei-db/uei/internal/obs"
+)
+
+// TestDoCoversRange checks every index is visited exactly once, at several
+// worker counts, including n smaller than the worker count.
+func TestDoCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 3, 7, 100, 1000} {
+			p := New(workers)
+			visits := make([]int32, n)
+			err := p.Do(context.Background(), n, func(lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// TestDoFirstErrorWins checks the lowest-shard error is returned.
+func TestDoFirstErrorWins(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := p.Do(context.Background(), 100, func(lo, hi int) error {
+		if lo == 0 {
+			return errA
+		}
+		return errB
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("got %v, want %v", err, errA)
+	}
+}
+
+// TestDoCanceledContext checks a pre-canceled context short-circuits.
+func TestDoCanceledContext(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := p.Do(ctx, 10, func(lo, hi int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("shard ran despite canceled context")
+	}
+}
+
+// TestCloseIdempotent checks Close can be called repeatedly.
+func TestCloseIdempotent(t *testing.T) {
+	p := New(4)
+	p.Close()
+	p.Close()
+}
+
+// TestDefaultWorkers checks zero selects GOMAXPROCS.
+func TestDefaultWorkers(t *testing.T) {
+	p := New(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers = %d", p.Workers())
+	}
+}
+
+// TestInstrument checks the pool publishes its metrics.
+func TestInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(2)
+	defer p.Close()
+	p.Instrument(reg)
+	if err := p.Do(context.Background(), 10, func(lo, hi int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("uei_pool_runs_total").Value(); v != 1 {
+		t.Fatalf("runs counter = %d", v)
+	}
+	if v := reg.Counter("uei_pool_shards_total").Value(); v != 2 {
+		t.Fatalf("shards counter = %d", v)
+	}
+	if v := reg.Gauge("uei_pool_workers").Value(); v != 2 {
+		t.Fatalf("workers gauge = %g", v)
+	}
+}

@@ -10,6 +10,7 @@
 package prefetch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -23,8 +24,10 @@ import (
 var ErrClosed = errors.New("prefetch: prefetcher is closed")
 
 // LoadFunc loads a region's tuples from secondary storage. Implementations
-// must be safe to call from the prefetcher's goroutine.
-type LoadFunc func(cell int) (ids []uint32, rows [][]float64, err error)
+// must be safe to call from the prefetcher's goroutine and must honor ctx:
+// background loads receive a context the prefetcher cancels at Close, which
+// is what makes shutdown deterministic while a load is in flight.
+type LoadFunc func(ctx context.Context, cell int) (ids []uint32, rows [][]float64, err error)
 
 // Result is a completed region load.
 type Result struct {
@@ -41,6 +44,10 @@ const NoCell = -1
 // Prefetcher coordinates asynchronous region loads.
 type Prefetcher struct {
 	load LoadFunc
+	// baseCtx parents every background load; cancel aborts an in-flight
+	// load promptly at Close.
+	baseCtx context.Context
+	cancel  context.CancelFunc
 
 	mu           sync.Mutex
 	inflightCell int
@@ -91,7 +98,8 @@ func New(load LoadFunc) (*Prefetcher, error) {
 	if load == nil {
 		return nil, fmt.Errorf("prefetch: nil load function")
 	}
-	return &Prefetcher{load: load, inflightCell: NoCell}, nil
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Prefetcher{load: load, baseCtx: ctx, cancel: cancel, inflightCell: NoCell}, nil
 }
 
 // Start begins loading cell in the background. It reports whether a load
@@ -130,7 +138,7 @@ func (p *Prefetcher) Start(cell int) (bool, error) {
 // run executes one background load and buffers its result.
 func (p *Prefetcher) run(cell int, done chan struct{}) {
 	start := time.Now()
-	ids, rows, err := p.load(cell)
+	ids, rows, err := p.load(p.baseCtx, cell)
 	elapsed := time.Since(start)
 
 	p.mu.Lock()
@@ -160,8 +168,9 @@ func (p *Prefetcher) TryTake(cell int) (*Result, bool) {
 // Await returns the region for cell, blocking on an in-flight load of that
 // cell or performing a synchronous load otherwise. The synchronous path
 // also updates τ, since it is exactly the load the prefetcher tries to
-// hide.
-func (p *Prefetcher) Await(cell int) *Result {
+// hide. A canceled ctx aborts the wait (and the synchronous load) and
+// returns a Result carrying ctx.Err().
+func (p *Prefetcher) Await(ctx context.Context, cell int) *Result {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -177,7 +186,11 @@ func (p *Prefetcher) Await(cell int) *Result {
 	if p.inflightCell == cell {
 		done := p.inflightDone
 		p.mu.Unlock()
-		<-done
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return &Result{Cell: cell, Err: ctx.Err()}
+		}
 		if r, ok := p.TryTake(cell); ok {
 			return r
 		}
@@ -188,7 +201,7 @@ func (p *Prefetcher) Await(cell int) *Result {
 	}
 
 	start := time.Now()
-	ids, rows, err := p.load(cell)
+	ids, rows, err := p.load(ctx, cell)
 	elapsed := time.Since(start)
 	p.mu.Lock()
 	p.recordLocked(elapsed)
@@ -242,7 +255,11 @@ func (p *Prefetcher) Theta(sigma time.Duration) int {
 	return theta
 }
 
-// Close waits for any in-flight load and shuts the prefetcher down.
+// Close cancels any in-flight load, waits for its goroutine to exit, and
+// shuts the prefetcher down. Cancellation (rather than waiting the load
+// out) makes shutdown deterministic even mid-read: the loader observes
+// ctx.Done at its next chunk boundary and returns promptly. Close is
+// idempotent and safe to call concurrently with an in-flight load.
 func (p *Prefetcher) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -252,6 +269,7 @@ func (p *Prefetcher) Close() {
 	p.closed = true
 	done := p.inflightDone
 	p.mu.Unlock()
+	p.cancel()
 	if done != nil {
 		<-done
 	}

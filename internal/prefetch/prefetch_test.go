@@ -1,6 +1,7 @@
 package prefetch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -12,7 +13,7 @@ import (
 // slowLoader returns a LoadFunc that sleeps, then returns a row tagged with
 // the cell id, counting invocations.
 func slowLoader(delay time.Duration, calls *atomic.Int64) LoadFunc {
-	return func(cell int) ([]uint32, [][]float64, error) {
+	return func(_ context.Context, cell int) ([]uint32, [][]float64, error) {
 		calls.Add(1)
 		time.Sleep(delay)
 		return []uint32{uint32(cell)}, [][]float64{{float64(cell)}}, nil
@@ -32,7 +33,7 @@ func TestAwaitSynchronous(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer p.Close()
-	r := p.Await(7)
+	r := p.Await(context.Background(), 7)
 	if r.Err != nil || len(r.IDs) != 1 || r.IDs[0] != 7 {
 		t.Fatalf("Await = %+v", r)
 	}
@@ -92,7 +93,7 @@ func TestStartBusyDropsRequest(t *testing.T) {
 	if ok, _ := p.Start(1); !ok {
 		t.Error("re-start of the in-flight cell should report true")
 	}
-	p.Await(1)
+	p.Await(context.Background(), 1)
 }
 
 func TestAwaitJoinsInflight(t *testing.T) {
@@ -100,7 +101,7 @@ func TestAwaitJoinsInflight(t *testing.T) {
 	p, _ := New(slowLoader(10*time.Millisecond, &calls))
 	defer p.Close()
 	p.Start(5)
-	r := p.Await(5)
+	r := p.Await(context.Background(), 5)
 	if r.Err != nil || r.Cell != 5 {
 		t.Fatalf("r = %+v", r)
 	}
@@ -114,20 +115,20 @@ func TestAwaitDifferentCellLoadsSynchronously(t *testing.T) {
 	p, _ := New(slowLoader(5*time.Millisecond, &calls))
 	defer p.Close()
 	p.Start(1)
-	r := p.Await(2) // different cell: must not wait for cell 1's buffer
+	r := p.Await(context.Background(), 2) // different cell: must not wait for cell 1's buffer
 	if r.Cell != 2 || r.Err != nil {
 		t.Fatalf("r = %+v", r)
 	}
-	p.Await(1)
+	p.Await(context.Background(), 1)
 }
 
 func TestLoadErrorPropagates(t *testing.T) {
 	boom := errors.New("disk on fire")
-	p, _ := New(func(cell int) ([]uint32, [][]float64, error) {
+	p, _ := New(func(_ context.Context, cell int) ([]uint32, [][]float64, error) {
 		return nil, nil, boom
 	})
 	defer p.Close()
-	r := p.Await(1)
+	r := p.Await(context.Background(), 1)
 	if !errors.Is(r.Err, boom) {
 		t.Errorf("err = %v", r.Err)
 	}
@@ -156,7 +157,7 @@ func TestTheta(t *testing.T) {
 	}
 	// Seed τ with a synchronous load of known-ish duration, then check the
 	// formula against the recorded τ directly.
-	p.Await(1)
+	p.Await(context.Background(), 1)
 	tau := p.AvgLoadTime()
 	if tau <= 0 {
 		t.Skip("load too fast to measure on this machine")
@@ -189,14 +190,14 @@ func TestClose(t *testing.T) {
 	if _, err := p.Start(2); !errors.Is(err, ErrClosed) {
 		t.Errorf("Start after close = %v", err)
 	}
-	if r := p.Await(2); !errors.Is(r.Err, ErrClosed) {
+	if r := p.Await(context.Background(), 2); !errors.Is(r.Err, ErrClosed) {
 		t.Errorf("Await after close = %v", r.Err)
 	}
 }
 
 func TestConcurrentUse(t *testing.T) {
 	var calls atomic.Int64
-	p, _ := New(func(cell int) ([]uint32, [][]float64, error) {
+	p, _ := New(func(_ context.Context, cell int) ([]uint32, [][]float64, error) {
 		calls.Add(1)
 		return []uint32{uint32(cell)}, [][]float64{{float64(cell)}}, nil
 	})
@@ -209,7 +210,7 @@ func TestConcurrentUse(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				cell := g*100 + i
 				p.Start(cell)
-				r := p.Await(cell)
+				r := p.Await(context.Background(), cell)
 				if r.Err != nil || r.Cell != cell {
 					t.Errorf("goroutine %d: %+v", g, r)
 					return
@@ -226,17 +227,17 @@ func TestConcurrentUse(t *testing.T) {
 func TestEMAMovesTowardRecentLoads(t *testing.T) {
 	delays := []time.Duration{50 * time.Millisecond, time.Millisecond, time.Millisecond, time.Millisecond, time.Millisecond}
 	i := 0
-	p, _ := New(func(cell int) ([]uint32, [][]float64, error) {
+	p, _ := New(func(_ context.Context, cell int) ([]uint32, [][]float64, error) {
 		d := delays[i%len(delays)]
 		i++
 		time.Sleep(d)
 		return nil, nil, nil
 	})
 	defer p.Close()
-	p.Await(0)
+	p.Await(context.Background(), 0)
 	first := p.AvgLoadTime()
 	for c := 1; c < 5; c++ {
-		p.Await(c)
+		p.Await(context.Background(), c)
 	}
 	if last := p.AvgLoadTime(); last >= first {
 		t.Errorf("EMA did not decay: first=%v last=%v", first, last)
@@ -244,7 +245,7 @@ func TestEMAMovesTowardRecentLoads(t *testing.T) {
 }
 
 func ExamplePrefetcher_Theta() {
-	p, _ := New(func(cell int) ([]uint32, [][]float64, error) { return nil, nil, nil })
+	p, _ := New(func(_ context.Context, cell int) ([]uint32, [][]float64, error) { return nil, nil, nil })
 	defer p.Close()
 	fmt.Println(p.Theta(500 * time.Millisecond))
 	// Output: 1

@@ -1,6 +1,7 @@
 package uei
 
 import (
+	"context"
 	"io"
 
 	"github.com/uei-db/uei/internal/al"
@@ -10,8 +11,86 @@ import (
 	"github.com/uei-db/uei/internal/ide"
 	"github.com/uei-db/uei/internal/iothrottle"
 	"github.com/uei-db/uei/internal/learn"
+	"github.com/uei-db/uei/internal/memcache"
+	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/oracle"
 )
+
+// --- sentinel errors ---
+//
+// The facade re-exports the internal sentinels so callers can errors.Is
+// against them without importing internal packages. Every error that
+// crosses the facade boundary wraps (never stringifies) these.
+var (
+	// ErrClosed is returned by index operations after Index.Close.
+	ErrClosed = core.ErrClosed
+	// ErrNotFitted is returned when a prediction or scoring path runs
+	// before the model has been fitted (or with stale scores).
+	ErrNotFitted = learn.ErrNotFitted
+	// ErrBudgetExceeded is returned when a region load would overflow the
+	// memory budget; region installs tolerate it by truncating.
+	ErrBudgetExceeded = memcache.ErrBudgetExceeded
+	// ErrNoCandidates is returned when a session needs an unlabeled
+	// candidate and the pool is empty.
+	ErrNoCandidates = ide.ErrNoCandidates
+)
+
+// --- v2 call options ---
+
+// apiConfig collects the cross-cutting knobs the v2 constructors accept as
+// functional options.
+type apiConfig struct {
+	limiter  *IOLimiter
+	workers  int
+	registry *Registry
+	tracer   *Tracer
+}
+
+// Option configures a facade constructor (Open, CreateTable, OpenTable,
+// BuildBTree). Options replace the positional limiter parameters of the v1
+// API; see the README migration table.
+type Option func(*apiConfig)
+
+// WithIOLimiter meters the construct's read bandwidth. nil (the default)
+// means unlimited.
+func WithIOLimiter(l *IOLimiter) Option { return func(c *apiConfig) { c.limiter = l } }
+
+// WithWorkers sizes the worker pool that parallelizes the per-iteration
+// hot path (symbolic-point scoring, chunk-read fan-out). Zero — the
+// default — selects runtime.GOMAXPROCS(0); 1 forces the serial path. It
+// takes precedence over Options.Workers when both are set.
+func WithWorkers(n int) Option { return func(c *apiConfig) { c.workers = n } }
+
+// WithRegistry exports the construct's metrics to a shared registry. It
+// takes precedence over Options.Registry when both are set.
+func WithRegistry(r *Registry) Option { return func(c *apiConfig) { c.registry = r } }
+
+// WithTracer records per-phase spans of every exploration iteration. It
+// takes precedence over Options.Tracer when both are set.
+func WithTracer(t *Tracer) Option { return func(c *apiConfig) { c.tracer = t } }
+
+func applyOptions(o []Option) apiConfig {
+	var c apiConfig
+	for _, fn := range o {
+		fn(&c)
+	}
+	return c
+}
+
+// --- observability (internal/obs) ---
+
+type (
+	// Registry is a metrics registry (counters, gauges, histograms).
+	Registry = obs.Registry
+	// Tracer records per-phase spans of exploration iterations.
+	Tracer = obs.Tracer
+)
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewTracer returns a tracer writing JSON span records to w.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
 
 // --- the index (internal/core) ---
 
@@ -29,14 +108,45 @@ type (
 // Build runs the Index Initialization phase (Algorithm 2 lines 1-11) into
 // dir: vertical decomposition, per-dimension sorting, equal-size chunking,
 // and manifest persistence.
-func Build(dir string, ds *Dataset, opts BuildOptions) error {
+func Build(ctx context.Context, dir string, ds *Dataset, opts BuildOptions) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return core.Build(dir, ds, opts)
 }
 
-// Open loads an index built by Build. limiter may be nil for unthrottled
-// I/O.
-func Open(dir string, opts Options, limiter *IOLimiter) (*Index, error) {
-	return core.Open(dir, opts, limiter)
+// Open loads an index built by Build. Cross-cutting knobs (I/O limiter,
+// worker-pool size, metrics registry, tracer) arrive as Options fields or
+// functional options; the functional options win when both are set.
+func Open(ctx context.Context, dir string, opts Options, o ...Option) (*Index, error) {
+	c := applyOptions(o)
+	if c.limiter != nil {
+		opts.Limiter = c.limiter
+	}
+	if c.workers != 0 {
+		opts.Workers = c.workers
+	}
+	if c.registry != nil {
+		opts.Registry = c.registry
+	}
+	if c.tracer != nil {
+		opts.Tracer = c.tracer
+	}
+	return core.Open(ctx, dir, opts)
+}
+
+// BuildV1 is the pre-context Build.
+//
+// Deprecated: use Build with a context.
+func BuildV1(dir string, ds *Dataset, opts BuildOptions) error {
+	return Build(context.Background(), dir, ds, opts)
+}
+
+// OpenV1 is the pre-context Open with its positional limiter.
+//
+// Deprecated: use Open with a context and WithIOLimiter.
+func OpenV1(dir string, opts Options, limiter *IOLimiter) (*Index, error) {
+	return Open(context.Background(), dir, opts, WithIOLimiter(limiter))
 }
 
 // --- the exploration engine (internal/ide) ---
@@ -218,18 +328,51 @@ type (
 )
 
 // CreateTable bulk-loads a dataset into a new heap file in dir.
-func CreateTable(dir string, ds *Dataset, poolFrames int, limiter *IOLimiter) (*Table, error) {
-	return dbms.CreateTable(dir, ds, poolFrames, limiter)
+func CreateTable(ctx context.Context, dir string, ds *Dataset, poolFrames int, o ...Option) (*Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := applyOptions(o)
+	return dbms.CreateTable(dir, ds, poolFrames, c.limiter)
 }
 
 // OpenTable opens an existing heap table read-only.
-func OpenTable(dir string, poolFrames int, limiter *IOLimiter) (*Table, error) {
-	return dbms.OpenTable(dir, poolFrames, limiter)
+func OpenTable(ctx context.Context, dir string, poolFrames int, o ...Option) (*Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := applyOptions(o)
+	return dbms.OpenTable(dir, poolFrames, c.limiter)
 }
 
 // BuildBTree bulk-loads a B+ tree over one column of the dataset.
-func BuildBTree(dir, column string, ds *Dataset, poolFrames int, limiter *IOLimiter) (*BTree, error) {
-	return dbms.BuildIndex(dir, column, ds, poolFrames, limiter)
+func BuildBTree(ctx context.Context, dir, column string, ds *Dataset, poolFrames int, o ...Option) (*BTree, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := applyOptions(o)
+	return dbms.BuildIndex(dir, column, ds, poolFrames, c.limiter)
+}
+
+// CreateTableV1 is the pre-context CreateTable with its positional limiter.
+//
+// Deprecated: use CreateTable with a context and WithIOLimiter.
+func CreateTableV1(dir string, ds *Dataset, poolFrames int, limiter *IOLimiter) (*Table, error) {
+	return CreateTable(context.Background(), dir, ds, poolFrames, WithIOLimiter(limiter))
+}
+
+// OpenTableV1 is the pre-context OpenTable with its positional limiter.
+//
+// Deprecated: use OpenTable with a context and WithIOLimiter.
+func OpenTableV1(dir string, poolFrames int, limiter *IOLimiter) (*Table, error) {
+	return OpenTable(context.Background(), dir, poolFrames, WithIOLimiter(limiter))
+}
+
+// BuildBTreeV1 is the pre-context BuildBTree with its positional limiter.
+//
+// Deprecated: use BuildBTree with a context and WithIOLimiter.
+func BuildBTreeV1(dir, column string, ds *Dataset, poolFrames int, limiter *IOLimiter) (*BTree, error) {
+	return BuildBTree(context.Background(), dir, column, ds, poolFrames, WithIOLimiter(limiter))
 }
 
 // --- I/O bandwidth model (internal/iothrottle) ---
