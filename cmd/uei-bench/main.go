@@ -25,6 +25,7 @@ import (
 	"github.com/uei-db/uei/internal/experiment"
 	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/oracle"
+	"github.com/uei-db/uei/internal/server"
 )
 
 func main() {
@@ -75,7 +76,7 @@ func run() error {
 		cfg.Trace = obs.NewTracer(w)
 	}
 	if *metrA != "" {
-		srv, err := obs.Serve(*metrA, reg)
+		srv, err := server.ServeDebug(*metrA, reg)
 		if err != nil {
 			return err
 		}

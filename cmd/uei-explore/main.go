@@ -28,6 +28,7 @@ import (
 	"github.com/uei-db/uei/internal/learn"
 	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/oracle"
+	"github.com/uei-db/uei/internal/server"
 )
 
 func main() {
@@ -124,7 +125,7 @@ func run() error {
 		tracer = obs.NewTracer(w)
 	}
 	if *metrAddr != "" {
-		srv, err := obs.Serve(*metrAddr, reg)
+		srv, err := server.ServeDebug(*metrAddr, reg)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,117 @@
+// Command uei-serve hosts concurrent interactive explorations over one
+// shared UEI store as an HTTP/JSON service: each client session runs its
+// own active-learning loop on a private view of the index, a global memory
+// budget is arbitrated across sessions, and saturation surfaces as
+// backpressure (429/503 + Retry-After) instead of failures.
+//
+// Usage:
+//
+//	uei-serve -store ./store -addr :8080
+//	uei-serve -gen 100000 -addr :8080      # self-contained demo store
+//
+// Walkthrough (simulated user; see the README's Serving section for the
+// interactive protocol):
+//
+//	curl -s -XPOST localhost:8080/v1/sessions \
+//	  -d '{"max_labels":25,"oracle":{"selectivity":0.004}}'
+//	curl -s -XPOST localhost:8080/v1/sessions/s000001/step
+//	curl -s localhost:8080/v1/sessions/s000001/result
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/uei-db/uei/internal/core"
+	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/obs"
+	"github.com/uei-db/uei/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uei-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		storeDir    = flag.String("store", "", "existing UEI store directory (from uei-ingest)")
+		gen         = flag.Int("gen", 0, "generate a synthetic store of this many tuples first")
+		seed        = flag.Int64("seed", 1, "seed for generation and default session sampling")
+		addr        = flag.String("addr", ":8080", "listen address for the session API (and /metrics, /debug)")
+		budget      = flag.Int64("budget", 64<<20, "global memory budget in bytes, partitioned across sessions")
+		minBudget   = flag.Int64("min-session-budget", 256<<10, "smallest viable per-session budget share in bytes")
+		maxSessions = flag.Int("max-sessions", 16, "cap on live (non-evicted) sessions")
+		queueDepth  = flag.Int("queue-depth", 2, "per-session bound on queued+running steps")
+		stepConc    = flag.Int("step-concurrency", 0, "server-wide concurrent step cap (0 = GOMAXPROCS)")
+		idle        = flag.Duration("idle-timeout", 5*time.Minute, "evict sessions idle this long (0 disables)")
+		snapDir     = flag.String("snapshot-dir", "", "directory for evicted sessions' snapshots (default <store>/sessions)")
+		maxLabels   = flag.Int("default-max-labels", 100, "label budget for sessions that do not specify one")
+		prefetch    = flag.Bool("prefetch", false, "enable per-session background region prefetch (trades resume determinism for latency)")
+		workers     = flag.Int("workers", 0, "shared worker pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	// SIGINT/SIGTERM starts the graceful drain: the listener stops
+	// accepting, in-flight steps finish, and live sessions are evicted to
+	// snapshots so a restarted server resumes them transparently.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	dir := *storeDir
+	if dir == "" {
+		if *gen <= 0 {
+			return fmt.Errorf("either -store or -gen is required")
+		}
+		tmp, err := os.MkdirTemp("", "uei-serve-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		fmt.Printf("generating %d synthetic tuples and building a store in %s...\n", *gen, tmp)
+		ds, err := dataset.GenerateSky(dataset.SkyConfig{N: *gen, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := core.Build(tmp, ds, core.BuildOptions{TargetChunkBytes: 64 * 1024}); err != nil {
+			return err
+		}
+		dir = tmp
+	}
+
+	reg := obs.NewRegistry()
+	m, err := server.NewManager(ctx, server.Config{
+		StoreDir:              dir,
+		TotalBudgetBytes:      *budget,
+		MinSessionBudgetBytes: *minBudget,
+		MaxSessions:           *maxSessions,
+		MaxQueuedSteps:        *queueDepth,
+		StepConcurrency:       *stepConc,
+		IdleTimeout:           *idle,
+		SnapshotDir:           *snapDir,
+		DefaultMaxLabels:      *maxLabels,
+		EnablePrefetch:        *prefetch,
+		Workers:               *workers,
+		Seed:                  *seed,
+		Registry:              reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("serving %d tuples on http://%s/v1/sessions (budget %d bytes, %d session slots)\n",
+		m.Index().Store().RowCount(), *addr, *budget, *maxSessions)
+	fmt.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof); Ctrl-C drains\n", *addr)
+	err = server.Serve(ctx, *addr, m)
+	if ctx.Err() != nil && err == nil {
+		fmt.Println("drained; all live sessions snapshotted.")
+	}
+	return err
+}

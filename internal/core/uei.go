@@ -69,6 +69,9 @@ type Index struct {
 	// pool shards symbolic-point scoring and top-k selection across
 	// Options.Workers goroutines; with one worker everything runs inline.
 	pool *pool.Pool
+	// isView marks per-session views (NewView): the pool and store are
+	// borrowed from the parent, so Close must not shut them down.
+	isView bool
 	// closed flips once; closeOnce makes Close idempotent and safe to call
 	// concurrently with an in-flight prefetch load.
 	closed    atomic.Bool
@@ -169,13 +172,17 @@ func (x *Index) Registry() *obs.Registry { return x.reg }
 // Close shuts down the prefetcher (canceling any in-flight background
 // load) and the worker pool. It is idempotent and safe to call while a
 // prefetch load is running; subsequent index operations return ErrClosed.
+// On a view (NewView) only the view's private state stops: the shared pool
+// and store stay up for the parent and its other views.
 func (x *Index) Close() {
 	x.closeOnce.Do(func() {
 		x.closed.Store(true)
 		if x.pf != nil {
 			x.pf.Close()
 		}
-		x.pool.Close()
+		if !x.isView {
+			x.pool.Close()
+		}
 	})
 }
 

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"time"
+
+	"github.com/uei-db/uei/internal/memcache"
+	"github.com/uei-db/uei/internal/obs"
+	"github.com/uei-db/uei/internal/prefetch"
+)
+
+// ViewOptions configures a per-session view of a shared Index. Zero values
+// inherit the parent's setting where one exists; MemoryBudgetBytes is
+// required (it is the view's slice of the global budget, granted by the
+// serving layer's arbiter).
+type ViewOptions struct {
+	// MemoryBudgetBytes caps the view's resident unlabeled data. Required.
+	MemoryBudgetBytes int64
+	// SampleSize is the view's γ; zero derives it from the budget.
+	SampleSize int
+	// Seed drives the view's uniform sample (per-session, so concurrent
+	// sessions explore distinct samples).
+	Seed int64
+	// EnablePrefetch turns on background region loading for this view.
+	EnablePrefetch bool
+	// ResidentRegions bounds the view's cached regions; zero selects 1.
+	ResidentRegions int
+	// LatencyThreshold is σ; zero inherits the parent's.
+	LatencyThreshold time.Duration
+	// Tracer, when non-nil, records this view's per-phase spans.
+	Tracer *obs.Tracer
+}
+
+// NewView derives an independent exploration state over the parent's
+// storage: the chunk store, grid, chunk mapping, symbolic index point set,
+// worker pool, and metrics registry are shared (they are immutable or
+// concurrency-safe), while the memory budget, unlabeled cache, uncertainty
+// vector, and prefetcher are private to the view. This is what lets many
+// concurrent sessions explore one index: each gets its own U, L-driven
+// scores, and region residency, but storage is opened (and the pool's
+// goroutines started) exactly once.
+//
+// Views are independent of each other but not of the parent's lifetime:
+// close every view before closing the parent (a view's Close never touches
+// the shared pool or store). Like the parent, a view is single-goroutine
+// with respect to exploration calls.
+func (x *Index) NewView(vo ViewOptions) (*Index, error) {
+	if x.closed.Load() {
+		return nil, ErrClosed
+	}
+	opts := x.opts
+	opts.MemoryBudgetBytes = vo.MemoryBudgetBytes
+	opts.SampleSize = vo.SampleSize
+	opts.Seed = vo.Seed
+	opts.EnablePrefetch = vo.EnablePrefetch
+	opts.ResidentRegions = vo.ResidentRegions
+	if opts.ResidentRegions == 0 {
+		opts.ResidentRegions = 1
+	}
+	if vo.LatencyThreshold != 0 {
+		opts.LatencyThreshold = vo.LatencyThreshold
+	}
+	opts.Tracer = vo.Tracer
+	if _, err := opts.withDefaults(); err != nil {
+		return nil, err
+	}
+	budget, err := memcache.NewBudget(opts.MemoryBudgetBytes)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := memcache.NewCache(budget, x.store.Dims())
+	if err != nil {
+		return nil, err
+	}
+	if err := cache.SetMaxRegions(opts.ResidentRegions); err != nil {
+		return nil, err
+	}
+	v := &Index{
+		opts:    opts,
+		store:   x.store,
+		grid:    x.grid,
+		mapping: x.mapping,
+		budget:  budget,
+		cache:   cache,
+		centers: x.centers,
+		// The registry's instruments are get-or-create by name, so every
+		// view's swap/prefetch counters and phase histograms aggregate into
+		// the same server-wide series.
+		pool:        x.pool,
+		isView:      true,
+		uncertainty: make([]float64, x.grid.NumCells()),
+		pendingCell: memcache.NoRegion,
+		reg:         x.reg,
+		tracer:      vo.Tracer,
+		mSwaps:      x.reg.Counter("uei_region_swaps_total"),
+		mDeferred:   x.reg.Counter("uei_swaps_deferred_total"),
+		mPrefHits:   x.reg.Counter("uei_prefetch_hits_total"),
+		mEntries:    x.reg.Counter("uei_entries_visited_total"),
+		hScore:      x.reg.Histogram(obs.PhaseHistName(obs.PhaseScore), nil),
+		hLoad:       x.reg.Histogram(obs.PhaseHistName(obs.PhaseLoad), nil),
+		hSwap:       x.reg.Histogram(obs.PhaseHistName(obs.PhaseSwap), nil),
+	}
+	if opts.EnablePrefetch {
+		pf, err := prefetch.New(v.loadCell)
+		if err != nil {
+			return nil, err
+		}
+		pf.Instrument(x.reg)
+		v.pf = pf
+	}
+	return v, nil
+}
+
+// IsView reports whether this Index is a per-session view of a shared
+// parent (its Close leaves the shared pool and store running).
+func (x *Index) IsView() bool { return x.isView }

@@ -19,6 +19,12 @@ import (
 // is re-exported by the facade for errors.Is across the API boundary.
 var ErrNoCandidates = errors.New("ide: no unlabeled candidates available")
 
+// ErrExplorationDone is returned by Propose when the session has nothing
+// left to solicit — the label budget is spent or the unlabeled pool ran
+// dry. It signals the caller to move on to Finish (result retrieval). It
+// is re-exported by the facade for errors.Is across the API boundary.
+var ErrExplorationDone = errors.New("ide: exploration complete")
+
 // Config parameterizes an exploration session.
 type Config struct {
 	// BatchSize is B of Algorithm 1: the model retrains after every B new
@@ -147,6 +153,52 @@ type Session struct {
 	// the pre-labeled tuples to the provider and skips acquisition when
 	// both classes are already present.
 	resumed bool
+
+	// Step-machine state. The loop is a state machine so it can be driven
+	// step-wise (Propose / Resolve / Feed / Finish) — e.g. over HTTP, where
+	// the label arrives in a later request — as well as synchronously by
+	// Run, which is implemented on top of the same transitions.
+	phase             sessionPhase
+	iteration         int
+	sinceRetrain      int
+	bootstrapAttempts int
+	pending           *Proposal
+	iterStart         time.Time
+}
+
+// sessionPhase names the step machine's states.
+type sessionPhase int
+
+const (
+	// phaseNew: provider not prepared yet; the first Propose runs
+	// preparation, snapshot replay, and positive seeding.
+	phaseNew sessionPhase = iota
+	// phaseBootstrap: initial example acquisition (Algorithm 2 line 13) —
+	// Propose draws uniform random candidates until L holds both classes.
+	phaseBootstrap
+	// phaseReady: model fitted; Propose runs a selection iteration.
+	phaseReady
+	// phaseDone: budget spent or pool exhausted; only Finish remains.
+	phaseDone
+)
+
+// Proposal is one label solicitation: the tuple the engine wants the user
+// to judge next. Selection proposals carry the strategy score and pool
+// size; bootstrap proposals (initial example acquisition) are uniform
+// random draws made before the first model exists.
+type Proposal struct {
+	// ID is the solicited tuple.
+	ID uint32
+	// Row is the tuple's feature vector (owned by the caller).
+	Row []float64
+	// Score is the strategy score (selection proposals only).
+	Score float64
+	// Pool is the number of candidates scanned (selection proposals only).
+	Pool int
+	// Bootstrap marks initial-acquisition draws.
+	Bootstrap bool
+	// Iteration is the 1-based selection iteration (0 for bootstrap).
+	Iteration int
 }
 
 // NewSession validates the configuration and builds a session.
@@ -209,9 +261,57 @@ func NewSession(cfg Config, provider Provider, labeler Labeler) (*Session, error
 // and threaded into every provider call, so cancellation aborts within one
 // iteration (a region load in flight stops at its next chunk boundary) and
 // Run returns an error satisfying errors.Is(err, ctx.Err()).
+//
+// Run is the synchronous driver of the step machine: it alternates Propose
+// and Resolve until Propose reports ErrExplorationDone, then Finishes.
+// Step-wise callers (the serving layer) interleave the same calls with
+// arbitrary think time in between and get identical selections.
 func (s *Session) Run(ctx context.Context) (*Result, error) {
+	for {
+		if _, err := s.Propose(ctx); err != nil {
+			if errors.Is(err, ErrExplorationDone) {
+				break
+			}
+			return nil, err
+		}
+		if _, err := s.Resolve(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return s.Finish(ctx)
+}
+
+// Propose advances the session to its next label solicitation and returns
+// it. The first call prepares the provider (and replays a resumed
+// snapshot); while L lacks a class it returns uniform random bootstrap
+// proposals; afterwards it runs one selection iteration (Algorithm 2 lines
+// 15-21) per call. Calling Propose again without resolving returns the
+// same outstanding proposal. When the label budget is spent or the pool is
+// exhausted it returns ErrExplorationDone.
+func (s *Session) Propose(ctx context.Context) (*Proposal, error) {
+	if s.pending != nil {
+		return s.pending, nil
+	}
+	if s.phase == phaseNew {
+		if err := s.start(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if s.phase == phaseBootstrap {
+		return s.proposeBootstrap(ctx)
+	}
+	if s.phase == phaseDone {
+		return nil, ErrExplorationDone
+	}
+	return s.proposeSelect(ctx)
+}
+
+// start runs once, lazily, on the first Propose: provider preparation,
+// snapshot replay, and — when the labeled set lacks a class — positive
+// seeding. It leaves the session in phaseBootstrap or phaseReady.
+func (s *Session) start(ctx context.Context) error {
 	if err := s.provider.Prepare(ctx); err != nil {
-		return nil, fmt.Errorf("ide: provider prepare: %w", err)
+		return fmt.Errorf("ide: provider prepare: %w", err)
 	}
 	if s.resumed {
 		for _, id := range s.labeledIDs {
@@ -219,84 +319,197 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 	if hasPos, hasNeg := s.classesPresent(); !hasPos || !hasNeg {
-		if err := s.acquireInitialExamples(ctx); err != nil {
-			return nil, err
+		if s.cfg.SeedWithPositive {
+			if err := s.seedPositives(ctx); err != nil {
+				return err
+			}
+		}
+		if hasPos, hasNeg := s.classesPresent(); !hasPos || !hasNeg {
+			s.phase = phaseBootstrap
+			return nil
 		}
 	}
+	return s.finishBootstrap()
+}
+
+// finishBootstrap transitions from acquisition to the interactive loop:
+// the first model fit and the AfterPrepare boundary hook.
+func (s *Session) finishBootstrap() error {
 	if err := s.refit(); err != nil {
-		return nil, err
+		return err
 	}
 	if s.cfg.AfterPrepare != nil {
 		s.cfg.AfterPrepare()
 	}
+	s.phase = phaseReady
+	return nil
+}
 
-	iteration := 0
-	sinceRetrain := 0
-	for s.labeler.Count() < s.cfg.MaxLabels {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("ide: session canceled after %d iterations: %w", iteration, err)
-		}
-		iteration++
-		s.cfg.Tracer.BeginIteration(iteration)
-		start := time.Now()
-		if err := s.provider.BeforeSelect(ctx, s.model); err != nil {
-			return nil, fmt.Errorf("ide: iteration %d: %w", iteration, err)
-		}
-		sel := s.cfg.Tracer.StartPhase(obs.PhaseSelect)
-		id, row, score, pool, err := s.selectCandidate(ctx)
-		if err != nil {
-			sel.End(nil)
-			return nil, fmt.Errorf("ide: iteration %d: %w", iteration, err)
-		}
-		s.hSelect.ObserveDuration(sel.End(map[string]float64{"pool": float64(pool)}))
-		if pool == 0 {
-			break // unlabeled pool exhausted
-		}
-		lab := s.cfg.Tracer.StartPhase(obs.PhaseLabel)
-		label := s.labeler.Label(id, row)
-		s.hLabel.ObserveDuration(lab.End(map[string]float64{"id": float64(id)}))
-		s.addLabel(id, row, label)
-		s.provider.OnLabeled(id)
-		s.mLabels.Inc()
-
-		retrained := false
-		sinceRetrain++
-		if sinceRetrain >= s.cfg.BatchSize {
-			ret := s.cfg.Tracer.StartPhase(obs.PhaseRetrain)
-			if err := s.refit(); err != nil {
-				ret.End(nil)
-				return nil, fmt.Errorf("ide: iteration %d retrain: %w", iteration, err)
-			}
-			s.hRetrain.ObserveDuration(ret.End(map[string]float64{
-				"labeled": float64(len(s.labeledY)),
-			}))
-			s.mRetrains.Inc()
-			sinceRetrain = 0
-			retrained = true
-		}
-		elapsed := time.Since(start)
-		s.hIteration.ObserveDuration(elapsed)
-		s.mIters.Inc()
-		s.cfg.Tracer.EndIteration(map[string]float64{
-			"labels":    float64(s.labeler.Count()),
-			"pool":      float64(pool),
-			"retrained": boolAttr(retrained),
-		})
-		if s.cfg.OnIteration != nil {
-			s.cfg.OnIteration(IterationInfo{
-				Iteration:    iteration,
-				LabelsGiven:  s.labeler.Count(),
-				SelectedID:   id,
-				Label:        label,
-				Score:        score,
-				PoolSize:     pool,
-				ResponseTime: elapsed,
-				Retrained:    retrained,
-				Model:        s.model,
-			})
-		}
+// proposeBootstrap draws one uniform random candidate for the initial
+// example acquisition (Algorithm 2 line 13: on sparse-target workloads a
+// random tuple is negative with overwhelming probability).
+func (s *Session) proposeBootstrap(ctx context.Context) (*Proposal, error) {
+	if s.labeler.Count() >= s.cfg.MaxLabels {
+		hasPos, hasNeg := s.classesPresent()
+		return nil, fmt.Errorf("ide: label budget exhausted before both classes were observed (pos=%v neg=%v)", hasPos, hasNeg)
 	}
+	if s.bootstrapAttempts > 100*s.cfg.MaxLabels {
+		return nil, fmt.Errorf("ide: initial example acquisition stalled after %d attempts", s.bootstrapAttempts)
+	}
+	s.bootstrapAttempts++
+	id, row, ok, err := s.randomCandidate(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("ide: initial acquisition: %w", ErrNoCandidates)
+	}
+	s.pending = &Proposal{ID: id, Row: row, Bootstrap: true}
+	return s.pending, nil
+}
 
+// proposeSelect runs the pre-label half of one selection iteration:
+// provider preparation (region swap), candidate scoring, and the argmax
+// choice. The iteration clock starts here and stops in Resolve, so in
+// Run-mode the user's labeling time is part of the response time exactly
+// as before the step refactor.
+func (s *Session) proposeSelect(ctx context.Context) (*Proposal, error) {
+	if s.labeler.Count() >= s.cfg.MaxLabels {
+		s.phase = phaseDone
+		return nil, ErrExplorationDone
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("ide: session canceled after %d iterations: %w", s.iteration, err)
+	}
+	s.iteration++
+	s.cfg.Tracer.BeginIteration(s.iteration)
+	s.iterStart = time.Now()
+	if err := s.provider.BeforeSelect(ctx, s.model); err != nil {
+		return nil, fmt.Errorf("ide: iteration %d: %w", s.iteration, err)
+	}
+	sel := s.cfg.Tracer.StartPhase(obs.PhaseSelect)
+	id, row, score, pool, err := s.selectCandidate(ctx)
+	if err != nil {
+		sel.End(nil)
+		return nil, fmt.Errorf("ide: iteration %d: %w", s.iteration, err)
+	}
+	s.hSelect.ObserveDuration(sel.End(map[string]float64{"pool": float64(pool)}))
+	if pool == 0 {
+		s.phase = phaseDone // unlabeled pool exhausted
+		return nil, ErrExplorationDone
+	}
+	s.pending = &Proposal{ID: id, Row: row, Score: score, Pool: pool, Iteration: s.iteration}
+	return s.pending, nil
+}
+
+// Resolve answers the outstanding proposal by asking the session's own
+// labeler (the oracle simulation, or a human at a terminal) and applies
+// the label. For selection proposals it completes the iteration — batch
+// retraining, metrics, the OnIteration callback — and returns its
+// IterationInfo; bootstrap resolutions return nil info.
+func (s *Session) Resolve(ctx context.Context) (*IterationInfo, error) {
+	p := s.pending
+	if p == nil {
+		return nil, fmt.Errorf("ide: no outstanding proposal to resolve")
+	}
+	if p.Bootstrap {
+		s.pending = nil
+		label := s.labeler.Label(p.ID, p.Row)
+		s.addLabel(p.ID, p.Row, label)
+		s.provider.OnLabeled(p.ID)
+		if hasPos, hasNeg := s.classesPresent(); hasPos && hasNeg {
+			if err := s.finishBootstrap(); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+	s.pending = nil
+	lab := s.cfg.Tracer.StartPhase(obs.PhaseLabel)
+	label := s.labeler.Label(p.ID, p.Row)
+	s.hLabel.ObserveDuration(lab.End(map[string]float64{"id": float64(p.ID)}))
+	return s.completeIteration(p, label)
+}
+
+// Feed answers the outstanding proposal with an externally supplied label
+// (an HTTP client, a UI) instead of the session's labeler asking for it.
+// It requires the session to have been built with an *ExternalLabeler so
+// label accounting stays in one place.
+func (s *Session) Feed(ctx context.Context, label oracle.Label) (*IterationInfo, error) {
+	ext, ok := s.labeler.(*ExternalLabeler)
+	if !ok {
+		return nil, fmt.Errorf("ide: Feed requires an *ExternalLabeler, session has %T", s.labeler)
+	}
+	if s.pending == nil {
+		return nil, fmt.Errorf("ide: no outstanding proposal to feed")
+	}
+	ext.stage(label)
+	return s.Resolve(ctx)
+}
+
+// Pending returns the outstanding proposal, or nil.
+func (s *Session) Pending() *Proposal { return s.pending }
+
+// Iterations returns the number of selection iterations started so far.
+func (s *Session) Iterations() int { return s.iteration }
+
+// completeIteration applies a selection label and runs the iteration's
+// tail: batch retraining, latency accounting, tracing, and the
+// OnIteration callback.
+func (s *Session) completeIteration(p *Proposal, label oracle.Label) (*IterationInfo, error) {
+	s.addLabel(p.ID, p.Row, label)
+	s.provider.OnLabeled(p.ID)
+	s.mLabels.Inc()
+
+	retrained := false
+	s.sinceRetrain++
+	if s.sinceRetrain >= s.cfg.BatchSize {
+		ret := s.cfg.Tracer.StartPhase(obs.PhaseRetrain)
+		if err := s.refit(); err != nil {
+			ret.End(nil)
+			return nil, fmt.Errorf("ide: iteration %d retrain: %w", p.Iteration, err)
+		}
+		s.hRetrain.ObserveDuration(ret.End(map[string]float64{
+			"labeled": float64(len(s.labeledY)),
+		}))
+		s.mRetrains.Inc()
+		s.sinceRetrain = 0
+		retrained = true
+	}
+	elapsed := time.Since(s.iterStart)
+	s.hIteration.ObserveDuration(elapsed)
+	s.mIters.Inc()
+	s.cfg.Tracer.EndIteration(map[string]float64{
+		"labels":    float64(s.labeler.Count()),
+		"pool":      float64(p.Pool),
+		"retrained": boolAttr(retrained),
+	})
+	info := IterationInfo{
+		Iteration:    p.Iteration,
+		LabelsGiven:  s.labeler.Count(),
+		SelectedID:   p.ID,
+		Label:        label,
+		Score:        p.Score,
+		PoolSize:     p.Pool,
+		ResponseTime: elapsed,
+		Retrained:    retrained,
+		Model:        s.model,
+	}
+	if s.cfg.OnIteration != nil {
+		s.cfg.OnIteration(info)
+	}
+	return &info, nil
+}
+
+// Finish runs result retrieval (Algorithm 1 line 13) with the current
+// model and summarizes the session.
+func (s *Session) Finish(ctx context.Context) (*Result, error) {
+	if s.pending != nil {
+		return nil, fmt.Errorf("ide: proposal for tuple %d is outstanding; resolve it before Finish", s.pending.ID)
+	}
+	if s.model == nil {
+		return nil, fmt.Errorf("ide: finish before the first model fit: %w", learn.ErrNotFitted)
+	}
 	if s.cfg.BeforeRetrieve != nil {
 		s.cfg.BeforeRetrieve()
 	}
@@ -306,7 +519,7 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 	}
 	return &Result{
 		LabelsUsed: s.labeler.Count(),
-		Iterations: iteration,
+		Iterations: s.iteration,
 		Positive:   positive,
 		Model:      s.model,
 	}, nil
@@ -323,54 +536,30 @@ func (s *Session) Model() learn.Classifier { return s.model }
 // LabeledCount returns the size of L.
 func (s *Session) LabeledCount() int { return len(s.labeledY) }
 
-// acquireInitialExamples fills L until it holds at least one positive and
-// one negative example (Algorithm 2 line 13). With SeedWithPositive the
-// positive comes from the user directly; negatives come from uniform
-// random candidates (on sparse-target workloads a random tuple is negative
-// with overwhelming probability).
-func (s *Session) acquireInitialExamples(ctx context.Context) error {
-	if s.cfg.SeedWithPositive {
-		if s.cfg.SeedCount > 1 {
-			seeder := s.labeler.(MultiPositiveSeeder)
-			ids, rows := seeder.SeedPositives(s.cfg.SeedCount)
-			if len(ids) == 0 {
-				return fmt.Errorf("ide: no relevant tuples exist to seed the exploration")
-			}
-			for i, id := range ids {
-				label := s.labeler.Label(id, rows[i])
-				s.addLabel(id, rows[i], label)
-				s.provider.OnLabeled(id)
-			}
-		} else {
-			id, row, ok := s.findSeedPositive(ctx)
-			if !ok {
-				return fmt.Errorf("ide: no relevant tuple exists to seed the exploration")
-			}
-			label := s.labeler.Label(id, row)
-			s.addLabel(id, row, label)
+// seedPositives bootstraps L with known-relevant examples supplied by the
+// labeler (Config.SeedWithPositive): the standard IDE assumption that the
+// user shows an instance of what they seek.
+func (s *Session) seedPositives(ctx context.Context) error {
+	if s.cfg.SeedCount > 1 {
+		seeder := s.labeler.(MultiPositiveSeeder)
+		ids, rows := seeder.SeedPositives(s.cfg.SeedCount)
+		if len(ids) == 0 {
+			return fmt.Errorf("ide: no relevant tuples exist to seed the exploration")
+		}
+		for i, id := range ids {
+			label := s.labeler.Label(id, rows[i])
+			s.addLabel(id, rows[i], label)
 			s.provider.OnLabeled(id)
 		}
+		return nil
 	}
-	hasPos, hasNeg := s.classesPresent()
-	for attempts := 0; (!hasPos || !hasNeg) && s.labeler.Count() < s.cfg.MaxLabels; attempts++ {
-		if attempts > 100*s.cfg.MaxLabels {
-			return fmt.Errorf("ide: initial example acquisition stalled after %d attempts", attempts)
-		}
-		id, row, ok, err := s.randomCandidate(ctx)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return fmt.Errorf("ide: initial acquisition: %w", ErrNoCandidates)
-		}
-		label := s.labeler.Label(id, row)
-		s.addLabel(id, row, label)
-		s.provider.OnLabeled(id)
-		hasPos, hasNeg = s.classesPresent()
+	id, row, ok := s.findSeedPositive(ctx)
+	if !ok {
+		return fmt.Errorf("ide: no relevant tuple exists to seed the exploration")
 	}
-	if !hasPos || !hasNeg {
-		return fmt.Errorf("ide: label budget exhausted before both classes were observed (pos=%v neg=%v)", hasPos, hasNeg)
-	}
+	label := s.labeler.Label(id, row)
+	s.addLabel(id, row, label)
+	s.provider.OnLabeled(id)
 	return nil
 }
 

@@ -37,6 +37,38 @@ type MultiPositiveSeeder interface {
 	SeedPositives(n int) (ids []uint32, rows [][]float64)
 }
 
+// ExternalLabeler adapts labels that arrive from outside the process — an
+// HTTP client, a UI — to the Labeler interface. The engine never blocks on
+// it: Session.Feed stages the answer and resolves the outstanding proposal
+// within the same call, so a session driven this way is fully passive
+// between requests.
+type ExternalLabeler struct {
+	n      int
+	staged oracle.Label
+	armed  bool
+}
+
+// Label implements Labeler by returning the answer staged by Session.Feed.
+// Calling it without a staged answer (e.g. driving Session.Resolve or Run
+// directly over an ExternalLabeler) is a programming error.
+func (l *ExternalLabeler) Label(uint32, []float64) oracle.Label {
+	if !l.armed {
+		panic("ide: ExternalLabeler.Label without a staged answer; drive the session with Feed")
+	}
+	l.armed = false
+	l.n++
+	return l.staged
+}
+
+// Count implements Labeler.
+func (l *ExternalLabeler) Count() int { return l.n }
+
+// stage arms the labeler with the next answer; only Session.Feed calls it.
+func (l *ExternalLabeler) stage(label oracle.Label) {
+	l.staged = label
+	l.armed = true
+}
+
 // OracleLabeler adapts the §4.1 user simulation to the Labeler interface.
 type OracleLabeler struct {
 	O *oracle.Oracle

@@ -30,6 +30,7 @@ type Budget struct {
 	// Resident-bytes gauges (nil until Instrument; nil-safe no-ops).
 	gUsed *obs.Gauge
 	gPeak *obs.Gauge
+	gCap  *obs.Gauge
 }
 
 // Instrument publishes the ledger as gauges: memcache_used_bytes and
@@ -40,7 +41,8 @@ func (b *Budget) Instrument(reg *obs.Registry) {
 	defer b.mu.Unlock()
 	b.gUsed = reg.Gauge("memcache_used_bytes")
 	b.gPeak = reg.Gauge("memcache_peak_bytes")
-	reg.Gauge("memcache_budget_bytes").SetInt(b.capacity)
+	b.gCap = reg.Gauge("memcache_budget_bytes")
+	b.gCap.SetInt(b.capacity)
 	b.gUsed.SetInt(b.used)
 	b.gPeak.SetInt(b.peak)
 }
@@ -87,6 +89,23 @@ func (b *Budget) Release(n int64) {
 	}
 	b.used -= n
 	b.gUsed.SetInt(b.used)
+}
+
+// Resize changes the ledger's capacity in place. Growing takes effect
+// immediately. Shrinking below current usage is allowed and evicts
+// nothing here: every further Reserve fails with ErrBudgetExceeded until
+// usage drains under the new capacity — the backpressure the serving
+// layer's arbiter relies on when it re-partitions one fixed global budget
+// across a changing set of live sessions.
+func (b *Budget) Resize(capacity int64) error {
+	if capacity <= 0 {
+		return fmt.Errorf("memcache: budget capacity %d must be positive", capacity)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.capacity = capacity
+	b.gCap.SetInt(b.capacity)
+	return nil
 }
 
 // Used returns the current usage in bytes.

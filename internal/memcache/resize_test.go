@@ -1,0 +1,53 @@
+package memcache
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestBudgetResize: shrinking below usage evicts nothing but refuses new
+// reservations until usage drains; growing lifts the ceiling immediately.
+func TestBudgetResize(t *testing.T) {
+	b, err := NewBudget(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reserve(800); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shrink below current usage: allowed, nothing reclaimed here.
+	if err := b.Resize(500); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Capacity(); got != 500 {
+		t.Fatalf("Capacity = %d, want 500", got)
+	}
+	if got := b.Used(); got != 800 {
+		t.Fatalf("Used = %d, want 800 (resize must not evict)", got)
+	}
+	if b.Available() >= 0 {
+		t.Fatalf("Available = %d, want negative while over-committed", b.Available())
+	}
+	if err := b.Reserve(1); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Reserve while over-committed: want ErrBudgetExceeded, got %v", err)
+	}
+
+	// Draining under the new capacity restores admission.
+	b.Release(400)
+	if err := b.Reserve(50); err != nil {
+		t.Fatalf("Reserve after draining: %v", err)
+	}
+
+	// Growing takes effect immediately.
+	if err := b.Resize(2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reserve(1500); err != nil {
+		t.Fatalf("Reserve after growing: %v", err)
+	}
+
+	if err := b.Resize(0); err == nil {
+		t.Error("Resize(0) should fail")
+	}
+}

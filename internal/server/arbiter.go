@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/uei-db/uei/internal/memcache"
+	"github.com/uei-db/uei/internal/obs"
+)
+
+// Arbiter partitions one global memory budget across live sessions. Every
+// live session holds an equal share (total / live); shares are recomputed
+// when a session is admitted or released, and the change is pushed into
+// each session's memcache.Budget with Resize. Shrinking a share below a
+// session's current usage is deliberate: the budget refuses further
+// reservations until the session's next region swap drains it (region
+// installs truncate to fit), so rebalancing never evicts data mid-iteration
+// — it converts memory pressure into backpressure.
+//
+// Admission fails (ErrSaturated) once equal shares would drop below the
+// configured minimum: a session that cannot hold a useful sample plus a
+// region slice would thrash, so it is cheaper to make the client wait.
+//
+// The Arbiter owns its own leaf mutex and calls only Budget.Resize (itself
+// a leaf) while holding it, so it can be invoked from any manager or
+// session context without lock-ordering concerns.
+type Arbiter struct {
+	mu      sync.Mutex
+	total   int64
+	min     int64
+	grants  map[string]int64
+	budgets map[string]*memcache.Budget
+
+	gShare *obs.Gauge
+	gLive  *obs.Gauge
+}
+
+// NewArbiter builds an arbiter over a total byte budget with a minimum
+// viable per-session share.
+func NewArbiter(total, min int64, reg *obs.Registry) (*Arbiter, error) {
+	if total <= 0 {
+		return nil, fmt.Errorf("server: arbiter total budget %d must be positive", total)
+	}
+	if min <= 0 || min > total {
+		return nil, fmt.Errorf("server: arbiter minimum share %d must be in (0, %d]", min, total)
+	}
+	a := &Arbiter{
+		total:   total,
+		min:     min,
+		grants:  make(map[string]int64),
+		budgets: make(map[string]*memcache.Budget),
+		gShare:  reg.Gauge("uei_server_budget_share_bytes"),
+		gLive:   reg.Gauge("uei_server_budget_sessions"),
+	}
+	a.gShare.SetInt(total)
+	return a, nil
+}
+
+// Admit reserves an equal share for a new session and shrinks every other
+// live session's share to make room. It fails with ErrSaturated when the
+// resulting share would be below the viable minimum.
+func (a *Arbiter) Admit(id string) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.grants[id]; ok {
+		return 0, fmt.Errorf("server: session %s is already admitted", id)
+	}
+	share := a.total / int64(len(a.grants)+1)
+	if share < a.min {
+		return 0, fmt.Errorf("server: admitting session %s would shrink per-session budgets to %d bytes (min %d): %w",
+			id, share, a.min, ErrSaturated)
+	}
+	a.grants[id] = share
+	a.rebalanceLocked()
+	return share, nil
+}
+
+// Attach registers the session's budget so later rebalances reach it, and
+// snaps it to the current grant.
+func (a *Arbiter) Attach(id string, b *memcache.Budget) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	grant, ok := a.grants[id]
+	if !ok {
+		return fmt.Errorf("server: attach before admit for session %s", id)
+	}
+	a.budgets[id] = b
+	return b.Resize(grant)
+}
+
+// Release returns the session's share to the pool and grows the remaining
+// sessions' shares.
+func (a *Arbiter) Release(id string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.grants[id]; !ok {
+		return
+	}
+	delete(a.grants, id)
+	delete(a.budgets, id)
+	a.rebalanceLocked()
+}
+
+// Grant returns the session's current share (0 if not admitted).
+func (a *Arbiter) Grant(id string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.grants[id]
+}
+
+// Sessions returns the number of admitted sessions.
+func (a *Arbiter) Sessions() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.grants)
+}
+
+// rebalanceLocked recomputes equal shares and pushes them into every
+// attached budget. Resize only fails on non-positive capacity, which the
+// admission minimum rules out.
+func (a *Arbiter) rebalanceLocked() {
+	n := int64(len(a.grants))
+	a.gLive.SetInt(n)
+	if n == 0 {
+		a.gShare.SetInt(a.total)
+		return
+	}
+	share := a.total / n
+	for id := range a.grants {
+		a.grants[id] = share
+		if b := a.budgets[id]; b != nil {
+			_ = b.Resize(share)
+		}
+	}
+	a.gShare.SetInt(share)
+}

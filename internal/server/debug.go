@@ -1,0 +1,68 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/uei-db/uei/internal/obs"
+)
+
+// DebugRoutes mounts the shared observability endpoints on mux:
+//
+//	/metrics     Prometheus text format
+//	/debug/vars  expvar-style JSON snapshot
+//	/debug/pprof net/http/pprof profiles
+//
+// uei-serve mounts them next to the session API; uei-explore and uei-bench
+// serve them standalone via ServeDebug. Keeping the wiring here means every
+// binary exposes the same surface.
+func DebugRoutes(mux *http.ServeMux, reg *obs.Registry) {
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// DebugServer is a standalone metrics/debug endpoint with graceful
+// shutdown.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down gracefully: the listener stops accepting and
+// in-flight scrapes finish (bounded at a few seconds), so a Ctrl-C during a
+// Prometheus scrape does not truncate the exposition.
+func (d *DebugServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	return d.srv.Shutdown(ctx)
+}
+
+// ServeDebug starts a standalone HTTP endpoint on addr with the
+// DebugRoutes surface. It returns once the listener is bound; serving
+// continues in the background until Close.
+func ServeDebug(addr string, reg *obs.Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	DebugRoutes(mux, reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{srv: srv, ln: ln}, nil
+}

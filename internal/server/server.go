@@ -1,0 +1,130 @@
+// Package server is the multi-session exploration service: it hosts many
+// concurrent active-learning sessions (the Algorithm 1 loop of internal/ide)
+// over one shared Index, multiplexing the paper's single-user workload into
+// the IDEBench-style many-users-one-dataset serving shape.
+//
+// The package owns four serving concerns the core engine deliberately does
+// not have:
+//
+//   - Session lifecycle — create / step / result / delete, with per-session
+//     state machines. Idle sessions are evicted to an ide.Snapshot on disk
+//     and transparently resumed on their next request, so a session's
+//     memory cost is only paid while it is actually exploring.
+//   - Budget arbitration — one global memory budget (the paper's 400 MB
+//     class constraint) is partitioned into equal shares across live
+//     sessions by the Arbiter; shares are resized as sessions come and go,
+//     and memcache.ErrBudgetExceeded becomes backpressure (503 +
+//     Retry-After), never data loss.
+//   - Admission control — a hard cap on live sessions, a bounded work queue
+//     per session (429 when a client races itself), and a server-wide step
+//     concurrency limit sized to the shared worker pool.
+//   - Observability — step latency, queue depth, admission rejects, and
+//     evictions on the same registry (and /metrics endpoint) the index and
+//     engine already export to.
+package server
+
+import (
+	"errors"
+	"time"
+
+	"github.com/uei-db/uei/internal/obs"
+)
+
+// Serving sentinels; the HTTP layer maps each to a distinct status code
+// (see statusFor) and every error that crosses the package boundary wraps
+// them, so errors.Is works for programmatic callers too.
+var (
+	// ErrSaturated is returned when the server cannot admit another live
+	// session (session cap reached, or the budget arbiter cannot carve out
+	// a viable share). Clients should back off and retry.
+	ErrSaturated = errors.New("server: saturated; retry later")
+	// ErrQueueFull is returned when a session's bounded work queue is full
+	// — the client has more requests in flight than the queue admits.
+	ErrQueueFull = errors.New("server: session queue full; retry later")
+	// ErrUnknownSession is returned for operations on session ids that do
+	// not exist (never created, or deleted).
+	ErrUnknownSession = errors.New("server: unknown session")
+	// ErrDraining is returned for new work arriving during graceful
+	// shutdown.
+	ErrDraining = errors.New("server: draining; not accepting new work")
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// StoreDir is the chunk-store directory (from Build / uei-ingest).
+	// Required unless the Manager is constructed over an existing Index.
+	StoreDir string
+	// TotalBudgetBytes is the global memory budget partitioned across live
+	// sessions — the serving analogue of the paper's 400 MB constraint.
+	// Required.
+	TotalBudgetBytes int64
+	// MinSessionBudgetBytes is the smallest share the arbiter will hand a
+	// session; admission fails once equal shares would drop below it.
+	// Zero selects 256 KiB.
+	MinSessionBudgetBytes int64
+	// MaxSessions caps live (non-evicted) sessions. Zero selects 16.
+	MaxSessions int
+	// MaxQueuedSteps bounds each session's work queue (queued + running).
+	// Zero selects 2.
+	MaxQueuedSteps int
+	// StepConcurrency bounds steps executing at once across all sessions,
+	// so a burst cannot oversubscribe the shared worker pool. Zero selects
+	// the index's worker count.
+	StepConcurrency int
+	// IdleTimeout evicts sessions idle this long to a snapshot on disk.
+	// Zero disables the janitor (sessions are still evicted on drain).
+	IdleTimeout time.Duration
+	// SnapshotDir holds evicted sessions' labeled sets. Zero value selects
+	// a directory inside StoreDir.
+	SnapshotDir string
+	// EnablePrefetch turns on background region loading per session view.
+	// Off by default: prefetch trades determinism for latency, and resumed
+	// sessions replay identically only without it.
+	EnablePrefetch bool
+	// DefaultMaxLabels is the label budget for sessions that do not ask
+	// for one. Zero selects 100.
+	DefaultMaxLabels int
+	// Workers sizes the shared index worker pool. Zero selects GOMAXPROCS.
+	Workers int
+	// SegmentsPerDim configures the shared index grid. Zero selects 5.
+	SegmentsPerDim int
+	// Seed drives store generation helpers and default session seeds.
+	Seed int64
+	// Registry receives the server's metrics; nil creates a private one.
+	Registry *obs.Registry
+}
+
+// withDefaults validates and fills zero values.
+func (c Config) withDefaults() (Config, error) {
+	if c.TotalBudgetBytes <= 0 {
+		return c, errors.New("server: TotalBudgetBytes must be positive")
+	}
+	if c.MinSessionBudgetBytes == 0 {
+		c.MinSessionBudgetBytes = 256 << 10
+	}
+	if c.MinSessionBudgetBytes < 0 || c.MinSessionBudgetBytes > c.TotalBudgetBytes {
+		return c, errors.New("server: MinSessionBudgetBytes must be in (0, TotalBudgetBytes]")
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 16
+	}
+	if c.MaxSessions < 0 {
+		return c, errors.New("server: MaxSessions must be positive")
+	}
+	if c.MaxQueuedSteps == 0 {
+		c.MaxQueuedSteps = 2
+	}
+	if c.MaxQueuedSteps < 0 {
+		return c, errors.New("server: MaxQueuedSteps must be positive")
+	}
+	if c.DefaultMaxLabels == 0 {
+		c.DefaultMaxLabels = 100
+	}
+	if c.DefaultMaxLabels < 0 {
+		return c, errors.New("server: DefaultMaxLabels must be positive")
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c, nil
+}

@@ -1,0 +1,64 @@
+package uei
+
+import (
+	"context"
+
+	"github.com/uei-db/uei/internal/ide"
+	"github.com/uei-db/uei/internal/server"
+)
+
+// --- the multi-session exploration server (internal/server) ---
+
+type (
+	// SessionManager hosts concurrent exploration sessions over one shared
+	// index, with budget arbitration, admission control, and idle eviction.
+	SessionManager = server.Manager
+	// ServerConfig parameterizes NewSessionManager.
+	ServerConfig = server.Config
+	// SessionSpec describes one hosted session (label budget, seed, oracle
+	// simulation vs interactive labeling).
+	SessionSpec = server.SessionSpec
+	// OracleSpec describes a simulated user's target region.
+	OracleSpec = server.OracleSpec
+	// SessionInfo is a hosted session's externally visible state.
+	SessionInfo = server.SessionInfo
+	// StepRequest carries the optional label answering a proposal.
+	StepRequest = server.StepRequest
+	// StepResponse is one step's outcome.
+	StepResponse = server.StepResponse
+	// Proposal is one label solicitation from a step-driven Session.
+	Proposal = ide.Proposal
+	// ExternalLabeler adapts labels arriving from outside the process
+	// (HTTP, a UI) to the Labeler interface; drive the session with Feed.
+	ExternalLabeler = ide.ExternalLabeler
+)
+
+// Server sentinels, re-exported for errors.Is across the API boundary.
+var (
+	// ErrExplorationDone is returned by Session.Propose when the label
+	// budget is spent or the candidate pool is exhausted; call Finish.
+	ErrExplorationDone = ide.ErrExplorationDone
+	// ErrServerSaturated is returned when the server cannot admit another
+	// live session; back off and retry.
+	ErrServerSaturated = server.ErrSaturated
+	// ErrQueueFull is returned when a session's bounded step queue is full.
+	ErrQueueFull = server.ErrQueueFull
+	// ErrUnknownSession is returned for operations on nonexistent sessions.
+	ErrUnknownSession = server.ErrUnknownSession
+	// ErrDraining is returned for new work arriving during graceful
+	// shutdown.
+	ErrDraining = server.ErrDraining
+)
+
+// NewSessionManager opens the shared index from cfg.StoreDir and prepares
+// the serving machinery; Close drains it.
+func NewSessionManager(ctx context.Context, cfg ServerConfig) (*SessionManager, error) {
+	return server.NewManager(ctx, cfg)
+}
+
+// Serve runs the session API plus the metrics/debug endpoints on addr until
+// ctx is canceled, then drains gracefully: in-flight steps finish, live
+// sessions are evicted to snapshots, and the shared index closes.
+func Serve(ctx context.Context, addr string, m *SessionManager) error {
+	return server.Serve(ctx, addr, m)
+}

@@ -1,0 +1,208 @@
+package uei_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/uei-db/uei"
+)
+
+// serveFixture builds a small store and returns its directory plus the
+// dataset used to build it.
+func serveFixture(t *testing.T, n int) (string, *uei.Dataset) {
+	t.Helper()
+	ds, err := uei.GenerateSky(uei.SkyConfig{N: n, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := uei.Build(context.Background(), dir, ds, uei.BuildOptions{TargetChunkBytes: 8 * 1024}); err != nil {
+		t.Fatal(err)
+	}
+	return dir, ds
+}
+
+// TestFacadeSnapshotRoundTrip pauses an exploration through the public API
+// and resumes it in a second process-worth of state: Session -> Snapshot ->
+// Save -> ReadSnapshot -> NewSessionFromSnapshot over a freshly opened
+// index. With the sample pinned (same seed and sample size), the resumed
+// session must select exactly the tuples the original would have selected
+// next.
+func TestFacadeSnapshotRoundTrip(t *testing.T) {
+	dir, ds := serveFixture(t, 5000)
+	ctx := context.Background()
+	opts := uei.Options{
+		MemoryBudgetBytes: ds.SizeBytes() / 2,
+		SampleSize:        250,
+		Seed:              101,
+	}
+	region, err := uei.FindRegion(ds, 0.02, 0.5, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := uei.NewOracle(ds, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := ds.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales := bounds.Widths()
+	cfg := uei.SessionConfig{
+		MaxLabels:        40,
+		EstimatorFactory: func() uei.Classifier { return uei.NewDWKNN(7, scales) },
+		Strategy:         uei.LeastConfidence{},
+		Seed:             101,
+		SeedWithPositive: true,
+	}
+
+	// advance steps a session until `labels` labels are spent, returning
+	// the ids selected after the skip-th label.
+	advance := func(sess *uei.Session, labels, skip int) []uint32 {
+		t.Helper()
+		var ids []uint32
+		for sess.LabeledCount() < labels {
+			if _, err := sess.Propose(ctx); err != nil {
+				t.Fatalf("propose at %d labels: %v", sess.LabeledCount(), err)
+			}
+			info, err := sess.Resolve(ctx)
+			if err != nil {
+				t.Fatalf("resolve at %d labels: %v", sess.LabeledCount(), err)
+			}
+			if info != nil && sess.LabeledCount() > skip {
+				ids = append(ids, info.SelectedID)
+			}
+		}
+		return ids
+	}
+
+	idx, err := uei.Open(ctx, dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	provider, err := uei.NewUEIProvider(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := uei.NewSession(cfg, provider, uei.OracleLabeler{O: user})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pauseAt = 12
+	advance(sess, pauseAt, pauseAt)
+
+	// Pause: serialize the labeled set and read it back.
+	var buf bytes.Buffer
+	if err := sess.Snapshot().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := uei.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.IDs) != pauseAt {
+		t.Fatalf("snapshot holds %d labels, want %d", len(snap.IDs), pauseAt)
+	}
+
+	// Resume on a freshly opened index (same pinned options => same
+	// sample) and compare the next selections against the original
+	// session continuing uninterrupted.
+	idx2, err := uei.Open(ctx, dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx2.Close()
+	provider2, err := uei.NewUEIProvider(idx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := uei.NewSessionFromSnapshot(cfg, provider2, uei.OracleLabeler{O: user}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.LabeledCount() != pauseAt {
+		t.Fatalf("resumed session replayed %d labels, want %d", resumed.LabeledCount(), pauseAt)
+	}
+
+	const tail = 10
+	want := advance(sess, pauseAt+tail, 0)
+	// The resumed labeler counts from zero, so its budget check passes
+	// for the same `tail` iterations; only the labeled count offsets.
+	got := advance(resumed, pauseAt+tail, 0)
+	if len(want) != len(got) || len(want) == 0 {
+		t.Fatalf("selection counts diverged: original %d, resumed %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("selection %d diverged: original picked %d, resumed picked %d", i, want[i], got[i])
+		}
+	}
+}
+
+// TestFacadeServerSentinels exercises the server through the facade
+// (NewSessionManager) and checks the re-exported sentinels round-trip with
+// errors.Is across the API boundary.
+func TestFacadeServerSentinels(t *testing.T) {
+	dir, _ := serveFixture(t, 1500)
+	ctx := context.Background()
+	m, err := uei.NewSessionManager(ctx, uei.ServerConfig{
+		StoreDir:              dir,
+		TotalBudgetBytes:      2 << 20,
+		MinSessionBudgetBytes: 32 << 10,
+		MaxSessions:           1,
+		Seed:                  101,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := uei.SessionSpec{MaxLabels: 5, Oracle: &uei.OracleSpec{Selectivity: 0.05}}
+	info, err := m.Create(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturation: the single slot is taken.
+	if _, err := m.Create(ctx, spec); !errors.Is(err, uei.ErrServerSaturated) {
+		t.Fatalf("second create: %v, want ErrServerSaturated", err)
+	}
+	// Unknown session id.
+	if _, err := m.Step(ctx, "nope", uei.StepRequest{}); !errors.Is(err, uei.ErrUnknownSession) {
+		t.Fatalf("step unknown: %v, want ErrUnknownSession", err)
+	}
+	// Exploration-done surfaces through the step API as a final response,
+	// and through Session.Propose as the sentinel; check the sentinel
+	// aliases the internal one by driving the session to completion.
+	for {
+		resp, err := m.Step(ctx, info.ID, uei.StepRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Done {
+			break
+		}
+	}
+	// Draining: after Close, new work is refused.
+	if err := m.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(ctx, spec); !errors.Is(err, uei.ErrDraining) {
+		t.Fatalf("create while draining: %v, want ErrDraining", err)
+	}
+	if _, err := m.Step(ctx, info.ID, uei.StepRequest{}); !errors.Is(err, uei.ErrDraining) {
+		t.Fatalf("step while draining: %v, want ErrDraining", err)
+	}
+	// ErrQueueFull and ErrExplorationDone are aliases of the internal
+	// sentinels; a wrapped internal error must satisfy the facade export.
+	if !errors.Is(wrapErr(uei.ErrQueueFull), uei.ErrQueueFull) {
+		t.Error("ErrQueueFull does not round-trip through wrapping")
+	}
+	if !errors.Is(wrapErr(uei.ErrExplorationDone), uei.ErrExplorationDone) {
+		t.Error("ErrExplorationDone does not round-trip through wrapping")
+	}
+}
+
+func wrapErr(err error) error { return errors.Join(errors.New("outer"), err) }
