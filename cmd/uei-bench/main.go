@@ -56,6 +56,7 @@ func run() error {
 		trace   = flag.String("trace", "", "write per-iteration phase spans as JSONL to this file")
 		metrA   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 		summary = flag.Bool("summary", false, "print a phase-latency breakdown table at the end")
+		cacheB  = flag.Int64("block-cache-bytes", 0, "shared decoded-chunk block cache budget in bytes (0 disables, the paper's discipline)")
 	)
 	flag.Parse()
 
@@ -116,6 +117,9 @@ func run() error {
 	}
 	if *segs > 0 {
 		cfg.SegmentsPerDim = *segs
+	}
+	if *cacheB > 0 {
+		cfg.BlockCacheBytes = *cacheB
 	}
 	cfg.WorkDir = *workdir
 

@@ -103,6 +103,7 @@ func run() error {
 		tracePth = flag.String("trace", "", "write per-iteration phase spans as JSONL to this file")
 		metrAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 		summary  = flag.Bool("summary", false, "print a phase-latency breakdown table at the end")
+		cacheByt = flag.Int64("block-cache-bytes", 0, "shared decoded-chunk block cache budget in bytes (0 disables)")
 	)
 	flag.Parse()
 
@@ -160,6 +161,7 @@ func run() error {
 		Seed:              *seed,
 		Registry:          reg,
 		Tracer:            tracer,
+		BlockCacheBytes:   *cacheByt,
 	})
 	if err != nil {
 		return err

@@ -56,6 +56,7 @@ func run() error {
 		maxLabels   = flag.Int("default-max-labels", 100, "label budget for sessions that do not specify one")
 		prefetch    = flag.Bool("prefetch", false, "enable per-session background region prefetch (trades resume determinism for latency)")
 		workers     = flag.Int("workers", 0, "shared worker pool size (0 = GOMAXPROCS)")
+		cacheBytes  = flag.Int64("block-cache-bytes", 0, "shared decoded-chunk block cache budget in bytes, carved from -budget and yielded back under session pressure (0 disables)")
 	)
 	flag.Parse()
 
@@ -101,6 +102,7 @@ func run() error {
 		Workers:               *workers,
 		Seed:                  *seed,
 		Registry:              reg,
+		BlockCacheBytes:       *cacheBytes,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,53 @@
+package chunkstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// fileBufPool recycles the raw file buffers chunk reads decode from. A
+// chunk file lives only from read to decode — decodeChunk copies every
+// value and row id out — so the buffer can go straight back to the pool,
+// cutting one len(chunk) allocation per read on the hot path. Buffers are
+// sized for the default chunk target; larger chunks grow their pooled
+// buffer in place and keep the larger capacity for reuse.
+var fileBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, DefaultTargetChunkBytes+4096)
+		return &b
+	},
+}
+
+// readFilePooled reads path into a pooled buffer. The caller must hand the
+// buffer back with putFileBuf when done with its contents.
+func readFilePooled(path string) (*[]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := int(st.Size())
+	bp := fileBufPool.Get().(*[]byte)
+	b := *bp
+	if cap(b) < size {
+		b = make([]byte, size)
+	} else {
+		b = b[:size]
+	}
+	if _, err := io.ReadFull(f, b); err != nil {
+		fileBufPool.Put(bp)
+		return nil, fmt.Errorf("read %d bytes: %w", size, err)
+	}
+	*bp = b
+	return bp, nil
+}
+
+// putFileBuf returns a pooled read buffer. The buffer's contents must not
+// be referenced afterwards.
+func putFileBuf(bp *[]byte) { fileBufPool.Put(bp) }

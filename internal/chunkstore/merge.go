@@ -107,7 +107,8 @@ func (s *Store) MergeChunks(ctx context.Context, box vec.Box, chunks []ChunkMeta
 				}
 			}
 			// entries goes out of scope here: the decoded chunk buffer is
-			// released and its pipeline slot reused for the next read.
+			// released (or, with a block cache installed, stays resident
+			// for other readers) and its pipeline slot reused.
 			return nil
 		})
 		if err != nil {

@@ -8,14 +8,20 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/uei-db/uei/internal/blockcache"
 	"github.com/uei-db/uei/internal/dataset"
 	"github.com/uei-db/uei/internal/iothrottle"
+	"github.com/uei-db/uei/internal/memcache"
 	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/vec"
 )
 
-// DefaultTargetChunkBytes matches Table 1's "Size of Individual Data Chunk:
-// 470KB".
+// DefaultTargetChunkBytes is the paper's Table 1 setting ("Size of
+// Individual Data Chunk: 470KB"), which the full-scale reproduction
+// targets (experiment.FullConfig). The quick-mode experiment harness
+// deliberately overrides it down to 16KB (experiment.DefaultConfig) so
+// that multi-chunk read paths are exercised at small N — see EXPERIMENTS.md
+// "Table 1" and ablation A1 for the measured size trade-off.
 const DefaultTargetChunkBytes = 470 * 1024
 
 // BuildOptions configures Build.
@@ -30,12 +36,30 @@ type BuildOptions struct {
 	Limiter *iothrottle.Limiter
 }
 
+// BlockCache is the store's shared decoded-chunk cache type: decoded
+// entry slices keyed by chunk file name, SIEVE-evicted under a byte
+// budget, with single-flight miss deduplication.
+type BlockCache = blockcache.Cache[[]Entry]
+
+// NewBlockCache builds a decoded-chunk cache over a byte-budget ledger.
+// Install it with SetBlockCache; one cache may back many stores as long as
+// their chunk file names cannot collide (stores over distinct directories
+// should use distinct caches).
+func NewBlockCache(budget *memcache.Budget) (*BlockCache, error) {
+	return blockcache.New[[]Entry](budget)
+}
+
 // Store is an opened chunk store. Reads are safe for concurrent use; the
-// store itself holds no mutable state beyond I/O counters.
+// store itself holds no mutable state beyond I/O counters and the
+// optional shared block cache installed before first use.
 type Store struct {
 	dir      string
 	manifest *Manifest
 	limiter  *iothrottle.Limiter
+	// cache, when non-nil, holds decoded chunks so every consumer —
+	// session views, the ordered read pipeline, the prefetcher — shares
+	// one read+decode per hot chunk. Set at open time, before reads.
+	cache *BlockCache
 	// workers bounds the concurrent chunk reads of the ordered read
 	// pipeline (ReadChunksOrdered); <= 1 means fully sequential.
 	workers int
@@ -239,18 +263,50 @@ func (s *Store) Instrument(reg *obs.Registry) {
 // reconstruction. Values <= 1 keep every read path fully sequential.
 func (s *Store) SetWorkers(n int) { s.workers = n }
 
+// SetBlockCache installs a shared decoded-chunk cache on every read path
+// of this store. It must be called before reads begin (it is not
+// synchronized against them). With a cache installed, the entry slices
+// ReadChunk and ReadChunksOrdered return are shared between all callers
+// and must be treated as immutable — every existing consumer already only
+// reads them.
+func (s *Store) SetBlockCache(c *BlockCache) { s.cache = c }
+
+// BlockCache returns the installed decoded-chunk cache, or nil.
+func (s *Store) BlockCache() *BlockCache { return s.cache }
+
 // ReadChunk loads and decodes one chunk, verifying its CRC and accounting
 // the read against the limiter and the store's I/O counters. A canceled ctx
-// aborts before the read is issued.
+// aborts before the read is issued. With a block cache installed, a hit
+// costs no I/O at all and concurrent misses for the same chunk coalesce
+// into a single disk read; the returned entries are then shared and must
+// not be mutated.
 func (s *Store) ReadChunk(ctx context.Context, meta ChunkMeta) ([]Entry, error) {
+	if s.cache == nil {
+		return s.readChunkDisk(ctx, meta)
+	}
+	return s.cache.GetOrLoad(ctx, meta.File, func(ctx context.Context) ([]Entry, int64, error) {
+		entries, err := s.readChunkDisk(ctx, meta)
+		if err != nil {
+			return nil, 0, err
+		}
+		return entries, DecodedEntriesBytes(entries), nil
+	})
+}
+
+// readChunkDisk is the uncached read path: pooled file read, CRC check,
+// decode, I/O accounting. The raw file buffer is recycled as soon as the
+// decode (which copies everything out) finishes.
+func (s *Store) readChunkDisk(ctx context.Context, meta ChunkMeta) ([]Entry, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	data, err := os.ReadFile(filepath.Join(s.dir, meta.File))
+	bp, err := readFilePooled(filepath.Join(s.dir, meta.File))
 	if err != nil {
 		return nil, fmt.Errorf("chunkstore: read chunk %s: %w", meta.File, err)
 	}
+	defer putFileBuf(bp)
+	data := *bp
 	s.limiter.Acquire(int64(len(data)))
 	s.bytesRead.Add(int64(len(data)))
 	s.chunksRead.Add(1)
@@ -265,6 +321,18 @@ func (s *Store) ReadChunk(ctx context.Context, meta ChunkMeta) ([]Entry, error) 
 		return nil, fmt.Errorf("chunkstore: chunk %s belongs to dimension %d, manifest says %d", meta.File, dim, meta.Dim)
 	}
 	return entries, nil
+}
+
+// DecodedEntriesBytes estimates the resident footprint of a decoded chunk:
+// per entry the value, the Rows slice header, and four bytes per row id,
+// plus the outer slice header. It is the byte size the block cache
+// reserves against its budget per resident chunk.
+func DecodedEntriesBytes(entries []Entry) int64 {
+	n := int64(24) // outer slice header
+	for i := range entries {
+		n += 32 + int64(len(entries[i].Rows))*4
+	}
+	return n
 }
 
 // ReadChunksOrdered reads and decodes the given chunks — concurrently, with

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"github.com/uei-db/uei/internal/dataset"
@@ -67,5 +68,83 @@ func BenchmarkScorePhase(b *testing.B) {
 			}
 			b.ReportMetric(float64(idx.NumIndexPoints()), "points/op")
 		})
+	}
+}
+
+// BenchmarkCellReconstruction measures the other half of the hot path the
+// block cache targets: rebuilding a cell's tuples from disk-resident
+// chunks (loadCell = mapping lookup + chunk reads + hash merge), with 1,
+// 4, and 16 concurrent session views hammering the same cells. Three cache
+// modes bracket the design space: "off" is the paper's strict
+// one-chunk-in-memory discipline, "cold" flushes the cache every pass (so
+// every miss still pays decode but concurrent misses coalesce), "warm"
+// lets the working set stay resident. CI's benchmark smoke job compares
+// the off and warm lines.
+func BenchmarkCellReconstruction(b *testing.B) {
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: 4000, Seed: 21})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	if err := Build(dir, ds, BuildOptions{TargetChunkBytes: 16 * 1024}); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for _, mode := range []string{"off", "cold", "warm"} {
+		cacheBytes := int64(0)
+		if mode != "off" {
+			cacheBytes = 64 << 20
+		}
+		for _, sessions := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("cache=%s/sessions=%d", mode, sessions), func(b *testing.B) {
+				idx, err := Open(ctx, dir, Options{
+					MemoryBudgetBytes: 1 << 24,
+					Workers:           4,
+					BlockCacheBytes:   cacheBytes,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer idx.Close()
+				views := make([]*Index, sessions)
+				for i := range views {
+					v, err := idx.NewView(ViewOptions{MemoryBudgetBytes: 1 << 22, Seed: int64(i)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer v.Close()
+					views[i] = v
+				}
+				cells := []int{0, idx.Grid().NumCells() / 3, idx.Grid().NumCells() / 2}
+
+				b.ResetTimer()
+				// Each op: every session reconstructs every probe cell once.
+				for i := 0; i < b.N; i++ {
+					if mode == "cold" {
+						idx.BlockCache().Flush()
+					}
+					var wg sync.WaitGroup
+					for _, v := range views {
+						wg.Add(1)
+						go func(v *Index) {
+							defer wg.Done()
+							for _, c := range cells {
+								if _, _, err := v.loadCell(ctx, c); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}(v)
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+				if cacheBytes > 0 {
+					s := idx.BlockCache().Stats()
+					b.ReportMetric(s.HitRate()*100, "hit%")
+				}
+			})
+		}
 	}
 }

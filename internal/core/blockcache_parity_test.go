@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestBlockCacheExplorationParity is the cache's byte-identical contract
+// at the index level: the full per-iteration loop (score, select, swap)
+// plus final result retrieval must produce the same cell sequence and the
+// same result set with and without the cache, at 1, 4, and 8 workers. The
+// label schedule runs twice so the second pass exercises the warm cache.
+func TestBlockCacheExplorationParity(t *testing.T) {
+	ctx := context.Background()
+
+	type outcome struct {
+		swaps  []int
+		result []uint32
+	}
+	run := func(workers int, cacheBytes int64) outcome {
+		idx, ds := openTestIndex(t, 1500, Options{
+			Workers:         workers,
+			Seed:            5,
+			BlockCacheBytes: cacheBytes,
+		})
+		if err := idx.InitExploration(ctx); err != nil {
+			t.Fatal(err)
+		}
+		region := testRegion(t, ds)
+		var out outcome
+		for round := 0; round < 2; round++ {
+			for labels := 20; labels <= 60; labels += 10 {
+				model := boundaryModel(t, ds, region, labels)
+				if err := idx.UpdateUncertainty(ctx, model); err != nil {
+					t.Fatal(err)
+				}
+				cell, err := idx.EnsureRegion(ctx, model)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out.swaps = append(out.swaps, int(cell))
+			}
+		}
+		model := boundaryModel(t, ds, region, 60)
+		res, err := idx.ResultRetrieval(ctx, model, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.result = res
+		if cacheBytes > 0 {
+			if s := idx.Stats(); s.CacheHits == 0 {
+				t.Fatalf("workers=%d: two exploration passes produced no cache hits: %+v", workers, s)
+			}
+		}
+		return out
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		plain := run(workers, 0)
+		cached := run(workers, 8<<20)
+		if !reflect.DeepEqual(plain.swaps, cached.swaps) {
+			t.Fatalf("workers=%d: swap sequence differs with cache:\nplain  %v\ncached %v",
+				workers, plain.swaps, cached.swaps)
+		}
+		if !reflect.DeepEqual(plain.result, cached.result) {
+			t.Fatalf("workers=%d: result retrieval differs with cache (%d vs %d rows)",
+				workers, len(plain.result), len(cached.result))
+		}
+	}
+}
+
+// TestBlockCacheConcurrentViewsParity shares one cached parent across
+// concurrent session views all reconstructing the same cells, and checks
+// every view sees exactly what an uncached index computes. Under -race
+// this is also the shared-slice safety proof: views concurrently iterate
+// the same cached entries.
+func TestBlockCacheConcurrentViewsParity(t *testing.T) {
+	ctx := context.Background()
+	plain, _ := openTestIndex(t, 1500, Options{Workers: 4, Seed: 5})
+	cached, _ := openTestIndex(t, 1500, Options{Workers: 4, Seed: 5, BlockCacheBytes: 8 << 20})
+
+	cells := []int{0, 1, plain.Grid().NumCells() / 2, plain.Grid().NumCells() - 1}
+	type cellData struct {
+		ids  []uint32
+		rows [][]float64
+	}
+	want := make(map[int]cellData, len(cells))
+	for _, c := range cells {
+		ids, rows, err := plain.loadCell(ctx, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[c] = cellData{ids: ids, rows: rows}
+	}
+
+	const views = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, views*len(cells))
+	for i := 0; i < views; i++ {
+		v, err := cached.NewView(ViewOptions{MemoryBudgetBytes: 1 << 20, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer v.Close()
+		wg.Add(1)
+		go func(i int, v *Index) {
+			defer wg.Done()
+			for _, c := range cells {
+				ids, rows, err := v.loadCell(ctx, c)
+				if err != nil {
+					errs <- fmt.Errorf("view %d cell %d: %v", i, c, err)
+					return
+				}
+				if !reflect.DeepEqual(ids, want[c].ids) || !reflect.DeepEqual(rows, want[c].rows) {
+					errs <- fmt.Errorf("view %d cell %d: cached reconstruction differs from uncached", i, c)
+					return
+				}
+			}
+		}(i, v)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	s := cached.BlockCache().Stats()
+	if s.Hits == 0 {
+		t.Errorf("8 views over %d cells produced no cache hits: %+v", len(cells), s)
+	}
+}

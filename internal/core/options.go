@@ -62,6 +62,13 @@ type Options struct {
 	// Limiter, when non-nil, meters chunk-store read bandwidth. (It was a
 	// positional parameter of Open before the v2 API.)
 	Limiter *iothrottle.Limiter
+	// BlockCacheBytes, when positive, installs a shared decoded-chunk
+	// block cache of that byte budget on the store: hot chunks are read
+	// from disk and CRC-checked/decoded at most once no matter how many
+	// session views want them, with single-flight deduplication of
+	// concurrent misses. Zero disables the cache (the paper's strict
+	// one-chunk-in-memory discipline). Views share the parent's cache.
+	BlockCacheBytes int64
 }
 
 // withDefaults validates and fills zero values.
@@ -96,6 +103,9 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Workers == 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.BlockCacheBytes < 0 {
+		return o, fmt.Errorf("core: block cache bytes %d must not be negative", o.BlockCacheBytes)
+	}
 	return o, nil
 }
 
@@ -118,4 +128,8 @@ type Stats struct {
 	ChunksRead int64
 	// PeakMemory is the budget ledger's high-water mark.
 	PeakMemory int64
+	// CacheHits and CacheMisses mirror the shared block cache's lookup
+	// counters (both zero when no cache is installed).
+	CacheHits   int64
+	CacheMisses int64
 }

@@ -106,6 +106,17 @@ func Open(ctx context.Context, dir string, opts Options) (*Index, error) {
 		return nil, err
 	}
 	store.SetWorkers(opts.Workers)
+	if opts.BlockCacheBytes > 0 {
+		cacheBudget, err := memcache.NewBudget(opts.BlockCacheBytes)
+		if err != nil {
+			return nil, err
+		}
+		bc, err := chunkstore.NewBlockCache(cacheBudget)
+		if err != nil {
+			return nil, err
+		}
+		store.SetBlockCache(bc)
+	}
 	g, err := grid.New(store.Bounds(), opts.SegmentsPerDim)
 	if err != nil {
 		return nil, err
@@ -130,6 +141,9 @@ func Open(ctx context.Context, dir string, opts Options) (*Index, error) {
 		reg = obs.NewRegistry()
 	}
 	store.Instrument(reg)
+	if bc := store.BlockCache(); bc != nil {
+		bc.Instrument(reg)
+	}
 	budget.Instrument(reg)
 	pl := pool.New(opts.Workers)
 	pl.Instrument(reg)
@@ -191,6 +205,11 @@ func (x *Index) Grid() *grid.Grid { return x.grid }
 
 // Store returns the underlying chunk store.
 func (x *Index) Store() *chunkstore.Store { return x.store }
+
+// BlockCache returns the shared decoded-chunk cache installed on the
+// store via Options.BlockCacheBytes, or nil when caching is disabled.
+// Views share the parent's cache.
+func (x *Index) BlockCache() *chunkstore.BlockCache { return x.store.BlockCache() }
 
 // Budget returns the memory ledger.
 func (x *Index) Budget() *memcache.Budget { return x.budget }
@@ -530,6 +549,10 @@ func (x *Index) Stats() Stats {
 	}
 	s.BytesRead, s.ChunksRead = x.store.IOStats()
 	s.PeakMemory = x.budget.Peak()
+	if bc := x.store.BlockCache(); bc != nil {
+		cs := bc.Stats()
+		s.CacheHits, s.CacheMisses = cs.Hits, cs.Misses
+	}
 	return s
 }
 

@@ -69,6 +69,11 @@ type Config struct {
 	// stay comparable to the published numbers; raise it to measure the
 	// parallel hot path.
 	Workers int
+	// BlockCacheBytes, when positive, installs the shared decoded-chunk
+	// block cache on every run's index. Zero keeps it off — the paper's
+	// one-chunk-in-memory discipline — so published measurements stay
+	// comparable; enable it to measure the cached hot path.
+	BlockCacheBytes int64
 }
 
 // DefaultConfig returns the quick-mode configuration.
@@ -124,6 +129,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("experiment: EvalEvery = %d", c.EvalEvery)
 	case c.RegionTolerance <= 0:
 		return fmt.Errorf("experiment: RegionTolerance = %g", c.RegionTolerance)
+	case c.BlockCacheBytes < 0:
+		return fmt.Errorf("experiment: BlockCacheBytes = %d", c.BlockCacheBytes)
 	}
 	return nil
 }

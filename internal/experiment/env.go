@@ -120,6 +120,7 @@ func (e *Env) OpenIndex(ctx context.Context, runSeed int64) (*core.Index, error)
 		Tracer:            e.Cfg.Trace,
 		Workers:           workers,
 		Limiter:           e.Limiter,
+		BlockCacheBytes:   e.Cfg.BlockCacheBytes,
 	})
 }
 

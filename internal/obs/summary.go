@@ -86,7 +86,27 @@ func FormatSummary(r *Registry) string {
 		fmt.Fprintf(&b, "  attributed %s across %d phases (no iteration root histogram)\n",
 			attributed.Round(time.Microsecond), len(phases))
 	}
+	b.WriteString(formatBlockCacheLine(r))
 	return b.String()
+}
+
+// formatBlockCacheLine summarizes the shared block cache's effectiveness
+// (hit rate, coalesced loads, evictions, resident bytes) when one was
+// active during the run; it renders nothing otherwise, so cacheless runs
+// keep the summary unchanged.
+func formatBlockCacheLine(r *Registry) string {
+	s := r.Snapshot()
+	hits := s.Counters["blockcache_hits_total"]
+	misses := s.Counters["blockcache_misses_total"]
+	lookups := hits + misses
+	if lookups == 0 {
+		return ""
+	}
+	return fmt.Sprintf("Block cache: %.1f%% hit rate (%d hits / %d lookups), %d coalesced, %d evictions, %d bytes resident\n",
+		float64(hits)/float64(lookups)*100, hits, lookups,
+		s.Counters["blockcache_coalesced_total"],
+		s.Counters["blockcache_evictions_total"],
+		int64(s.Gauges["blockcache_resident_bytes"]))
 }
 
 // secs converts a float64 second count to a Duration.

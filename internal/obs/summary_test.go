@@ -57,6 +57,28 @@ func TestFormatSummaryEmpty(t *testing.T) {
 	}
 }
 
+func TestFormatSummaryBlockCacheLine(t *testing.T) {
+	// Without cache activity the summary stays exactly as before.
+	if out := FormatSummary(summaryFixture()); strings.Contains(out, "Block cache") {
+		t.Errorf("cacheless summary mentions the block cache:\n%s", out)
+	}
+	r := summaryFixture()
+	r.Counter("blockcache_hits_total").Add(75)
+	r.Counter("blockcache_misses_total").Add(25)
+	r.Counter("blockcache_coalesced_total").Add(7)
+	r.Counter("blockcache_evictions_total").Add(3)
+	r.Gauge("blockcache_resident_bytes").SetInt(4096)
+	out := FormatSummary(r)
+	for _, want := range []string{
+		"Block cache: 75.0% hit rate (75 hits / 100 lookups)",
+		"7 coalesced", "3 evictions", "4096 bytes resident",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestFormatSummaryNoIterationRoot(t *testing.T) {
 	r := NewRegistry()
 	r.Histogram(PhaseHistName(PhaseScore), nil).ObserveDuration(10 * time.Millisecond)

@@ -21,6 +21,14 @@ import (
 // configured minimum: a session that cannot hold a useful sample plus a
 // region slice would thrash, so it is cheaper to make the client wait.
 //
+// An attached block cache (AttachCache) participates in the same ledger:
+// its target share is carved off the top before sessions split the rest,
+// but sessions outrank it — whenever equal session shares would fall below
+// the minimum, the cache share shrinks (down to zero) to keep admission
+// capacity unchanged. Admission viability is therefore still total/(n+1)
+// >= min: a full house squeezes the cache out entirely rather than
+// rejecting a session the budget could carry.
+//
 // The Arbiter owns its own leaf mutex and calls only Budget.Resize (itself
 // a leaf) while holding it, so it can be invoked from any manager or
 // session context without lock-ordering concerns.
@@ -31,8 +39,19 @@ type Arbiter struct {
 	grants  map[string]int64
 	budgets map[string]*memcache.Budget
 
+	cache       cacheResizer
+	cacheTarget int64
+	cacheShare  int64
+
 	gShare *obs.Gauge
 	gLive  *obs.Gauge
+	gCache *obs.Gauge
+}
+
+// cacheResizer is the slice of blockcache.Cache the arbiter drives; an
+// interface keeps server from depending on the cache's value type.
+type cacheResizer interface {
+	Resize(capacity int64) error
 }
 
 // NewArbiter builds an arbiter over a total byte budget with a minimum
@@ -51,9 +70,38 @@ func NewArbiter(total, min int64, reg *obs.Registry) (*Arbiter, error) {
 		budgets: make(map[string]*memcache.Budget),
 		gShare:  reg.Gauge("uei_server_budget_share_bytes"),
 		gLive:   reg.Gauge("uei_server_budget_sessions"),
+		gCache:  reg.Gauge("uei_server_block_cache_share_bytes"),
 	}
 	a.gShare.SetInt(total)
 	return a, nil
+}
+
+// AttachCache registers the shared block cache with its target share. The
+// target must leave room for at least one minimum session share; the
+// effective share at any moment may be smaller (sessions outrank the
+// cache) and is pushed into the cache via Resize on every rebalance.
+func (a *Arbiter) AttachCache(c cacheResizer, target int64) error {
+	if c == nil {
+		return fmt.Errorf("server: nil cache attached to arbiter")
+	}
+	if target <= 0 || target > a.total-a.min {
+		return fmt.Errorf("server: cache target %d must be in (0, %d] to leave one viable session share",
+			target, a.total-a.min)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cache = c
+	a.cacheTarget = target
+	a.rebalanceLocked()
+	return nil
+}
+
+// CacheShare returns the cache's current effective share (0 when no cache
+// is attached or sessions have squeezed it out).
+func (a *Arbiter) CacheShare() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cacheShare
 }
 
 // Admit reserves an equal share for a new session and shrinks every other
@@ -65,14 +113,13 @@ func (a *Arbiter) Admit(id string) (int64, error) {
 	if _, ok := a.grants[id]; ok {
 		return 0, fmt.Errorf("server: session %s is already admitted", id)
 	}
-	share := a.total / int64(len(a.grants)+1)
-	if share < a.min {
+	if share := a.total / int64(len(a.grants)+1); share < a.min {
 		return 0, fmt.Errorf("server: admitting session %s would shrink per-session budgets to %d bytes (min %d): %w",
 			id, share, a.min, ErrSaturated)
 	}
-	a.grants[id] = share
+	a.grants[id] = 0 // placeholder; rebalance assigns the real share
 	a.rebalanceLocked()
-	return share, nil
+	return a.grants[id], nil
 }
 
 // Attach registers the session's budget so later rebalances reach it, and
@@ -115,22 +162,45 @@ func (a *Arbiter) Sessions() int {
 	return len(a.grants)
 }
 
-// rebalanceLocked recomputes equal shares and pushes them into every
-// attached budget. Resize only fails on non-positive capacity, which the
-// admission minimum rules out.
+// rebalanceLocked recomputes the cache share and equal session shares, and
+// pushes both into their budgets. The cache gets its target share off the
+// top unless equal session shares would then fall below the minimum, in
+// which case it is squeezed down to whatever the sessions leave (possibly
+// zero — the cache's own Resize clamps that to an effectively-disabled one
+// byte). Budget.Resize only fails on non-positive capacity, which the
+// admission minimum rules out for session shares.
 func (a *Arbiter) rebalanceLocked() {
 	n := int64(len(a.grants))
 	a.gLive.SetInt(n)
-	if n == 0 {
-		a.gShare.SetInt(a.total)
-		return
-	}
-	share := a.total / n
-	for id := range a.grants {
-		a.grants[id] = share
-		if b := a.budgets[id]; b != nil {
-			_ = b.Resize(share)
+	cacheShare := int64(0)
+	if a.cache != nil {
+		cacheShare = a.cacheTarget
+		if n > 0 && (a.total-cacheShare)/n < a.min {
+			cacheShare = a.total - n*a.min
+			if cacheShare < 0 {
+				cacheShare = 0
+			}
 		}
 	}
-	a.gShare.SetInt(share)
+	if n == 0 {
+		a.gShare.SetInt(a.total - cacheShare)
+	} else {
+		share := (a.total - cacheShare) / n
+		for id := range a.grants {
+			a.grants[id] = share
+			if b := a.budgets[id]; b != nil {
+				_ = b.Resize(share)
+			}
+		}
+		a.gShare.SetInt(share)
+	}
+	if a.cache != nil && cacheShare != a.cacheShare {
+		// Growing the session shares first and shrinking the cache second
+		// (or vice versa) is safe: the cache's Resize evicts down to the
+		// new capacity itself, and transient over-commitment only delays
+		// reservations, never loses data.
+		_ = a.cache.Resize(cacheShare)
+	}
+	a.cacheShare = cacheShare
+	a.gCache.SetInt(cacheShare)
 }

@@ -89,6 +89,7 @@ func NewManager(ctx context.Context, cfg Config) (*Manager, error) {
 		Seed:              cfg.Seed,
 		Workers:           cfg.Workers,
 		Registry:          cfg.Registry,
+		BlockCacheBytes:   cfg.BlockCacheBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -119,6 +120,13 @@ func newManagerWithIndex(cfg Config, idx *core.Index) (*Manager, error) {
 	arb, err := NewArbiter(cfg.TotalBudgetBytes, cfg.MinSessionBudgetBytes, cfg.Registry)
 	if err != nil {
 		return nil, err
+	}
+	// A cache installed on the index joins the arbiter's ledger so its
+	// share flexes with session load instead of double-counting memory.
+	if bc := idx.BlockCache(); bc != nil && cfg.BlockCacheBytes > 0 {
+		if err := arb.AttachCache(bc, cfg.BlockCacheBytes); err != nil {
+			return nil, err
+		}
 	}
 	reg := cfg.Registry
 	m := &Manager{

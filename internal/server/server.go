@@ -62,6 +62,14 @@ type Config struct {
 	// session; admission fails once equal shares would drop below it.
 	// Zero selects 256 KiB.
 	MinSessionBudgetBytes int64
+	// BlockCacheBytes, when positive, installs a shared decoded-chunk
+	// block cache on the index and registers it with the arbiter: the
+	// cache's share is carved from TotalBudgetBytes ahead of the session
+	// split, but shrinks (down to zero) whenever equal session shares
+	// would otherwise fall below MinSessionBudgetBytes, so admission
+	// capacity is unchanged. Zero disables the cache. Must leave room for
+	// at least one minimum session share.
+	BlockCacheBytes int64
 	// MaxSessions caps live (non-evicted) sessions. Zero selects 16.
 	MaxSessions int
 	// MaxQueuedSteps bounds each session's work queue (queued + running).
@@ -104,6 +112,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MinSessionBudgetBytes < 0 || c.MinSessionBudgetBytes > c.TotalBudgetBytes {
 		return c, errors.New("server: MinSessionBudgetBytes must be in (0, TotalBudgetBytes]")
+	}
+	if c.BlockCacheBytes < 0 {
+		return c, errors.New("server: BlockCacheBytes must not be negative")
+	}
+	if c.BlockCacheBytes > 0 && c.BlockCacheBytes > c.TotalBudgetBytes-c.MinSessionBudgetBytes {
+		return c, errors.New("server: BlockCacheBytes must leave at least one minimum session share of TotalBudgetBytes")
 	}
 	if c.MaxSessions == 0 {
 		c.MaxSessions = 16

@@ -109,6 +109,162 @@ func TestArbiterShares(t *testing.T) {
 	}
 }
 
+// fakeCache records the capacities the arbiter pushes into it.
+type fakeCache struct {
+	mu   sync.Mutex
+	caps []int64
+}
+
+func (f *fakeCache) Resize(capacity int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.caps = append(f.caps, capacity)
+	return nil
+}
+
+func (f *fakeCache) last() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.caps) == 0 {
+		return -1
+	}
+	return f.caps[len(f.caps)-1]
+}
+
+// TestArbiterCacheShare: the cache holds its target share while sessions
+// fit above the minimum, yields progressively (down to zero) as admissions
+// push equal shares toward the minimum, never changes admission capacity,
+// and grows back when sessions release.
+func TestArbiterCacheShare(t *testing.T) {
+	a, err := NewArbiter(1000, 200, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &fakeCache{}
+	if err := a.AttachCache(fc, 801); err == nil {
+		t.Fatal("cache target leaving less than one minimum share should be rejected")
+	}
+	if err := a.AttachCache(fc, 300); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.CacheShare(); got != 300 || fc.last() != 300 {
+		t.Fatalf("idle cache share = %d (resized to %d), want 300", got, fc.last())
+	}
+
+	wantGrants := []struct {
+		id    string
+		grant int64
+		cache int64
+	}{
+		{"a", 700, 300}, // (1000-300)/1
+		{"b", 350, 300}, // (1000-300)/2
+		{"c", 233, 300}, // (1000-300)/3
+		{"d", 200, 200}, // 175 < min: cache yields to 1000-4*200
+		{"e", 200, 0},   // cache squeezed out entirely
+	}
+	for _, w := range wantGrants {
+		g, err := a.Admit(w.id)
+		if err != nil {
+			t.Fatalf("admit %s: %v", w.id, err)
+		}
+		if g != w.grant {
+			t.Fatalf("admit %s: grant %d, want %d", w.id, g, w.grant)
+		}
+		if got := a.CacheShare(); got != w.cache {
+			t.Fatalf("after admit %s: cache share %d, want %d", w.id, got, w.cache)
+		}
+	}
+	if fc.last() != 0 {
+		t.Fatalf("cache last resized to %d, want 0", fc.last())
+	}
+	// Admission capacity is exactly what it would be with no cache: 1000/6
+	// is below the minimum.
+	if _, err := a.Admit("f"); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("sixth admit: want ErrSaturated, got %v", err)
+	}
+	// Releases hand memory back to the cache before growing per-session
+	// shares past what the target allows.
+	a.Release("e")
+	if got := a.CacheShare(); got != 200 {
+		t.Fatalf("cache share after one release = %d, want 200", got)
+	}
+	a.Release("d")
+	if got, grant := a.CacheShare(), a.Grant("a"); got != 300 || grant != 233 {
+		t.Fatalf("after two releases: cache %d grant %d, want 300/233", got, grant)
+	}
+}
+
+// TestManagerBlockCacheParity runs the same seeded oracle exploration on a
+// cache-enabled and a cacheless manager and requires identical results —
+// the serving-layer form of the cache's byte-identical contract — then
+// checks the cache actually absorbed reads and joined the arbiter ledger.
+func TestManagerBlockCacheParity(t *testing.T) {
+	dir, _ := buildStore(t, 1500)
+	ctx := context.Background()
+	spec := SessionSpec{
+		MaxLabels:  15,
+		SampleSize: 200,
+		Seed:       7,
+		Oracle:     &OracleSpec{Selectivity: 0.05},
+	}
+	run := func(m *Manager) ResultInfo {
+		info, err := m.Create(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < 200; n++ {
+			resp, err := m.Step(ctx, info.ID, StepRequest{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Done {
+				break
+			}
+		}
+		res, err := m.Result(ctx, info.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := newTestManager(t, dir, func(c *Config) { c.SnapshotDir = t.TempDir() })
+	cached := newTestManager(t, dir, func(c *Config) {
+		c.SnapshotDir = t.TempDir()
+		c.BlockCacheBytes = 1 << 20
+	})
+	bc := cached.Index().BlockCache()
+	if bc == nil {
+		t.Fatal("BlockCacheBytes set but no cache installed on the index")
+	}
+	if plain.Index().BlockCache() != nil {
+		t.Fatal("cacheless manager grew a cache")
+	}
+
+	want := run(plain)
+	got := run(cached)
+	if len(want.Positive) == 0 {
+		t.Fatal("reference exploration retrieved nothing")
+	}
+	if fmt.Sprint(want.Positive) != fmt.Sprint(got.Positive) {
+		t.Fatalf("cached result differs: %d rows vs %d", len(got.Positive), len(want.Positive))
+	}
+
+	if s := bc.Stats(); s.Hits == 0 {
+		t.Errorf("exploration produced no cache hits: %+v", s)
+	}
+	if share := cached.arb.CacheShare(); share <= 0 {
+		t.Errorf("cache share = %d, want positive", share)
+	}
+	snap := cached.Registry().Snapshot()
+	if g := snap.Gauges["uei_server_block_cache_share_bytes"]; g <= 0 {
+		t.Errorf("uei_server_block_cache_share_bytes = %v, want positive", g)
+	}
+	if snap.Counters["blockcache_hits_total"] == 0 {
+		t.Error("blockcache_hits_total not exported on the server registry")
+	}
+}
+
 // TestStatusForMap pins the full error -> HTTP mapping, including the
 // Retry-After backpressure hints, with every sentinel wrapped the way real
 // call sites wrap them.
