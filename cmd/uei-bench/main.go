@@ -57,9 +57,13 @@ func run() error {
 		metrA   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 		summary = flag.Bool("summary", false, "print a phase-latency breakdown table at the end")
 		cacheB  = flag.Int64("block-cache-bytes", 0, "shared decoded-chunk block cache budget in bytes (0 disables, the paper's discipline)")
+		shards  = flag.Int("shards", 1, "store layout: 1 = legacy flat (the paper's configuration), >1 = sharded scatter-gather with that many shards")
 	)
 	flag.Parse()
 
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d must be at least 1", *shards)
+	}
 	cfg := experiment.DefaultConfig()
 	if *full {
 		cfg = experiment.FullConfig()
@@ -120,6 +124,9 @@ func run() error {
 	}
 	if *cacheB > 0 {
 		cfg.BlockCacheBytes = *cacheB
+	}
+	if *shards > 1 {
+		cfg.Shards = *shards
 	}
 	cfg.WorkDir = *workdir
 

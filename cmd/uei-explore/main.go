@@ -21,7 +21,6 @@ import (
 	"strings"
 
 	"github.com/uei-db/uei/internal/al"
-	"github.com/uei-db/uei/internal/chunkstore"
 	"github.com/uei-db/uei/internal/core"
 	"github.com/uei-db/uei/internal/dataset"
 	"github.com/uei-db/uei/internal/ide"
@@ -104,8 +103,17 @@ func run() error {
 		metrAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 		summary  = flag.Bool("summary", false, "print a phase-latency breakdown table at the end")
 		cacheByt = flag.Int64("block-cache-bytes", 0, "shared decoded-chunk block cache budget in bytes (0 disables)")
+		shards   = flag.Int("shards", 1, "store layout: 1 = legacy flat, >1 = sharded with exactly that many shards (with -gen, builds that many shards)")
+		shardDl  = flag.Duration("shard-deadline", 0, "per-shard operation deadline; slow shards are skipped and the step degrades (0 disables)")
 	)
 	flag.Parse()
+
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d must be at least 1", *shards)
+	}
+	if *shardDl < 0 {
+		return fmt.Errorf("-shard-deadline %v must not be negative", *shardDl)
+	}
 
 	// Ctrl-C cancels the exploration cleanly: the session aborts within one
 	// iteration, the prefetcher's in-flight load stops at its next chunk
@@ -149,7 +157,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := core.Build(tmp, ds, core.BuildOptions{TargetChunkBytes: 64 * 1024}); err != nil {
+		if err := core.Build(tmp, ds, core.BuildOptions{TargetChunkBytes: 64 * 1024, Shards: *shards}); err != nil {
 			return err
 		}
 		dir = tmp
@@ -162,18 +170,19 @@ func run() error {
 		Registry:          reg,
 		Tracer:            tracer,
 		BlockCacheBytes:   *cacheByt,
+		Shards:            *shards,
+		ShardDeadline:     *shardDl,
 	})
 	if err != nil {
 		return err
 	}
 	defer idx.Close()
-
-	st, err := chunkstore.Open(dir, nil)
-	if err != nil {
-		return err
+	if idx.Sharded() {
+		fmt.Printf("sharded store: %d shards\n", idx.NumShards())
 	}
-	columns := st.Manifest().Columns
-	scales := idx.Store().Bounds().Widths()
+
+	columns := idx.Columns()
+	scales := idx.Bounds().Widths()
 
 	provider, err := ide.NewUEIProvider(idx)
 	if err != nil {
@@ -186,7 +195,7 @@ func run() error {
 	if *auto {
 		// Demo mode: rebuild the tuples from the store and synthesize a
 		// medium target region; a simulated user answers the questions.
-		rows, err := idx.Store().FetchRows(ctx, allRowIDs(st.RowCount()))
+		rows, err := idx.FetchRows(ctx, allRowIDs(idx.RowCount()))
 		if err != nil {
 			return err
 		}
@@ -249,7 +258,7 @@ func run() error {
 		}
 	}
 
-	fmt.Printf("\nexploring %d tuples; you will label up to %d examples.\n", st.RowCount(), *labels)
+	fmt.Printf("\nexploring %d tuples; you will label up to %d examples.\n", idx.RowCount(), *labels)
 	fmt.Println("answer y if the shown tuple matches what you are looking for.")
 	res, err := sess.Run(ctx)
 	if err != nil {
@@ -268,7 +277,7 @@ func run() error {
 	}
 	if show > 0 {
 		fmt.Printf("first %d results:\n", show)
-		rows, err := idx.Store().FetchRows(ctx, res.Positive[:show])
+		rows, err := idx.FetchRows(ctx, res.Positive[:show])
 		if err != nil {
 			return err
 		}

@@ -22,6 +22,7 @@ import (
 	"github.com/uei-db/uei/internal/chunkstore"
 	"github.com/uei-db/uei/internal/core"
 	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/shard"
 )
 
 func main() {
@@ -41,9 +42,14 @@ func run() error {
 		inspect  = flag.String("inspect", "", "print a summary of an existing store and exit")
 		external = flag.Bool("external", false, "stream the CSV through the external-sort builder (bounded memory, for inputs larger than RAM)")
 		spill    = flag.Int("spill", 1<<20, "external build: max (value,id) pairs buffered per dimension before spilling")
+		shards   = flag.Int("shards", 1, "partition the store into this many shards (1 = flat legacy layout)")
+		segments = flag.Int("segments", 0, "sharded build: grid segments per dimension cells are hashed over (0 = default 5)")
 	)
 	flag.Parse()
 
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d must be at least 1", *shards)
+	}
 	if *inspect != "" {
 		return inspectStore(*inspect)
 	}
@@ -52,6 +58,9 @@ func run() error {
 	}
 
 	if *external {
+		if *shards > 1 {
+			return fmt.Errorf("-external does not support -shards > 1 (the sharded builder partitions in memory)")
+		}
 		if *csvPath == "" {
 			return fmt.Errorf("-external requires -csv (streamed input)")
 		}
@@ -87,10 +96,14 @@ func run() error {
 		ds.Len(), ds.Dims(), ds.Schema(), ds.SizeBytes(), time.Since(start).Round(time.Millisecond))
 
 	start = time.Now()
-	if err := core.Build(*out, ds, core.BuildOptions{TargetChunkBytes: *chunk}); err != nil {
+	if err := core.Build(*out, ds, core.BuildOptions{TargetChunkBytes: *chunk, Shards: *shards, SegmentsPerDim: *segments}); err != nil {
 		return err
 	}
-	fmt.Printf("index built in %v\n", time.Since(start).Round(time.Millisecond))
+	if *shards > 1 {
+		fmt.Printf("index built in %v (%d shards)\n", time.Since(start).Round(time.Millisecond), *shards)
+	} else {
+		fmt.Printf("index built in %v\n", time.Since(start).Round(time.Millisecond))
+	}
 	return inspectStore(*out)
 }
 
@@ -139,6 +152,9 @@ func buildExternalFromCSV(path, out string, chunk, spill int) (*chunkstore.Store
 }
 
 func inspectStore(dir string) error {
+	if shard.IsShardedDir(dir) {
+		return inspectShardedStore(dir)
+	}
 	st, err := chunkstore.Open(dir, nil)
 	if err != nil {
 		return err
@@ -158,6 +174,23 @@ func inspectStore(dir string) error {
 		}
 		fmt.Printf("  dim %d (%s): %d chunks, %d bytes, %d row refs, values [%g, %g]\n",
 			d, m.Columns[d], len(chunks), bytes, refs, m.MinValues[d], m.MaxValues[d])
+	}
+	return nil
+}
+
+func inspectShardedStore(dir string) error {
+	m, err := shard.LoadManifest(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sharded store %s:\n", dir)
+	fmt.Printf("  shards:        %d (%s)\n", m.Shards, m.Hash)
+	fmt.Printf("  rows:          %d\n", m.RowCount)
+	fmt.Printf("  dimensions:    %d (%v)\n", len(m.Columns), m.Columns)
+	fmt.Printf("  grid:          %d segments per dim\n", m.SegmentsPerDim)
+	fmt.Printf("  chunk target:  %d bytes\n", m.TargetChunkBytes)
+	for s, n := range m.ShardRowCounts {
+		fmt.Printf("  %s: %d rows\n", shard.ShardDirName(s), n)
 	}
 	return nil
 }

@@ -57,8 +57,17 @@ func run() error {
 		prefetch    = flag.Bool("prefetch", false, "enable per-session background region prefetch (trades resume determinism for latency)")
 		workers     = flag.Int("workers", 0, "shared worker pool size (0 = GOMAXPROCS)")
 		cacheBytes  = flag.Int64("block-cache-bytes", 0, "shared decoded-chunk block cache budget in bytes, carved from -budget and yielded back under session pressure (0 disables)")
+		shards      = flag.Int("shards", 1, "store layout: 1 = legacy flat, >1 = sharded with exactly that many shards (with -gen, builds that many shards)")
+		shardDl     = flag.Duration("shard-deadline", 0, "per-shard operation deadline; slow shards are skipped and steps report degraded (0 disables)")
 	)
 	flag.Parse()
+
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d must be at least 1", *shards)
+	}
+	if *shardDl < 0 {
+		return fmt.Errorf("-shard-deadline %v must not be negative", *shardDl)
+	}
 
 	// SIGINT/SIGTERM starts the graceful drain: the listener stops
 	// accepting, in-flight steps finish, and live sessions are evicted to
@@ -81,7 +90,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := core.Build(tmp, ds, core.BuildOptions{TargetChunkBytes: 64 * 1024}); err != nil {
+		if err := core.Build(tmp, ds, core.BuildOptions{TargetChunkBytes: 64 * 1024, Shards: *shards}); err != nil {
 			return err
 		}
 		dir = tmp
@@ -103,13 +112,18 @@ func run() error {
 		Seed:                  *seed,
 		Registry:              reg,
 		BlockCacheBytes:       *cacheBytes,
+		Shards:                *shards,
+		ShardDeadline:         *shardDl,
 	})
 	if err != nil {
 		return err
 	}
 
+	if m.Index().Sharded() {
+		fmt.Printf("sharded store: %d shards (per-shard deadline %v)\n", m.Index().NumShards(), *shardDl)
+	}
 	fmt.Printf("serving %d tuples on http://%s/v1/sessions (budget %d bytes, %d session slots)\n",
-		m.Index().Store().RowCount(), *addr, *budget, *maxSessions)
+		m.Index().RowCount(), *addr, *budget, *maxSessions)
 	fmt.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof); Ctrl-C drains\n", *addr)
 	err = server.Serve(ctx, *addr, m)
 	if ctx.Err() != nil && err == nil {

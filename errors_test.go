@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"github.com/uei-db/uei"
 )
@@ -130,4 +131,28 @@ func TestErrNoCandidatesRoundTrip(t *testing.T) {
 	if _, err := sess.Run(ctx); !errors.Is(err, uei.ErrNoCandidates) {
 		t.Errorf("want ErrNoCandidates, got %v", err)
 	}
+}
+
+// TestErrLayoutMismatchRoundTrip: opening a store with the wrong layout
+// expectation surfaces uei.ErrLayoutMismatch across the facade boundary.
+func TestErrLayoutMismatchRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	flatDir, ds := buildSmallStore(t, 500)
+	shardedDir := t.TempDir()
+	if err := uei.Build(ctx, shardedDir, ds, uei.BuildOptions{TargetChunkBytes: 4096, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	opts := uei.Options{MemoryBudgetBytes: ds.SizeBytes()}
+
+	if _, err := uei.Open(ctx, shardedDir, opts, uei.WithShards(1)); !errors.Is(err, uei.ErrLayoutMismatch) {
+		t.Errorf("sharded dir with WithShards(1): want ErrLayoutMismatch, got %v", err)
+	}
+	if _, err := uei.Open(ctx, flatDir, opts, uei.WithShards(2)); !errors.Is(err, uei.ErrLayoutMismatch) {
+		t.Errorf("flat dir with WithShards(2): want ErrLayoutMismatch, got %v", err)
+	}
+	idx, err := uei.Open(ctx, shardedDir, opts, uei.WithShards(2), uei.WithShardDeadline(time.Second))
+	if err != nil {
+		t.Fatalf("matching layout: %v", err)
+	}
+	idx.Close()
 }

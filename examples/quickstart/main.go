@@ -65,7 +65,7 @@ func run() error {
 	}
 	defer idx.Close()
 	fmt.Printf("index: %d symbolic points over %d cells, %d bytes on disk\n",
-		idx.NumIndexPoints(), idx.Grid().NumCells(), idx.Store().TotalBytes())
+		idx.NumIndexPoints(), idx.Grid().NumCells(), idx.TotalBytes())
 
 	// 3. The "user" wants a region holding ~0.4% of the data.
 	region, err := oracle.FindRegion(ds, 0.004, 0.3, 7, 12)

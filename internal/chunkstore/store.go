@@ -2,6 +2,7 @@ package chunkstore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,6 +16,17 @@ import (
 	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/vec"
 )
+
+// ShardManifestFile is the top-level manifest a sharded store directory
+// carries instead of a flat manifest.json. It is defined here (not in
+// internal/shard) so layout detection has no import cycle.
+const ShardManifestFile = "shards.json"
+
+// ErrLayoutMismatch reports that a store directory holds the other layout
+// than the one the caller asked to open — a sharded directory opened flat,
+// or a flat directory opened sharded (including a shard-count mismatch).
+// Match with errors.Is.
+var ErrLayoutMismatch = errors.New("store layout does not match requested mode")
 
 // DefaultTargetChunkBytes is the paper's Table 1 setting ("Size of
 // Individual Data Chunk: 470KB"), which the full-scale reproduction
@@ -63,6 +75,10 @@ type Store struct {
 	// workers bounds the concurrent chunk reads of the ordered read
 	// pipeline (ReadChunksOrdered); <= 1 means fully sequential.
 	workers int
+	// cachePrefix namespaces this store's block-cache keys. Shard stores
+	// reuse the same chunk file names (d00_c00000.chk, ...), so sharing one
+	// cache across shards requires a distinct prefix per store.
+	cachePrefix string
 
 	bytesRead  atomic.Int64
 	chunksRead atomic.Int64
@@ -188,13 +204,50 @@ func writeChunkFile(dir string, dim, seq int, entries []Entry) (ChunkMeta, error
 }
 
 // Open loads an existing store's manifest. limiter may be nil for
-// unthrottled reads.
+// unthrottled reads. Opening a sharded store directory this way fails with
+// ErrLayoutMismatch — each shard subdirectory is a flat store, the top
+// level is not.
 func Open(dir string, limiter *iothrottle.Limiter) (*Store, error) {
 	m, err := loadManifest(dir)
 	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			if _, serr := os.Stat(filepath.Join(dir, ShardManifestFile)); serr == nil {
+				return nil, fmt.Errorf("chunkstore: %s holds a sharded store (%s present): %w", dir, ShardManifestFile, ErrLayoutMismatch)
+			}
+		}
 		return nil, err
 	}
 	return &Store{dir: dir, manifest: m, limiter: limiter}, nil
+}
+
+// BuildEmpty writes a valid zero-row store into dir: a manifest carrying
+// the schema and (externally supplied) bounds, and no chunk files. Sharded
+// builds use it for shards that own no rows, so every shard directory
+// opens uniformly; Build keeps refusing empty datasets for user-facing
+// stores.
+func BuildEmpty(dir string, columns []string, bounds vec.Box, targetChunkBytes int) (*Store, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("chunkstore: empty store needs at least one column")
+	}
+	if targetChunkBytes == 0 {
+		targetChunkBytes = DefaultTargetChunkBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("chunkstore: create %s: %w", dir, err)
+	}
+	m := &Manifest{
+		FormatVersion:    manifestFormatVersion,
+		Columns:          append([]string(nil), columns...),
+		RowCount:         0,
+		TargetChunkBytes: targetChunkBytes,
+		Chunks:           make([][]ChunkMeta, len(columns)),
+		MinValues:        append([]float64(nil), bounds.Min...),
+		MaxValues:        append([]float64(nil), bounds.Max...),
+	}
+	if err := saveManifest(dir, m); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, manifest: m}, nil
 }
 
 // Manifest returns the store's metadata. Callers must treat it as
@@ -203,6 +256,10 @@ func (s *Store) Manifest() *Manifest { return s.manifest }
 
 // Dims returns the number of dimensions.
 func (s *Store) Dims() int { return len(s.manifest.Columns) }
+
+// Columns returns the attribute names in dimension order. Callers must
+// treat the slice as read-only.
+func (s *Store) Columns() []string { return s.manifest.Columns }
 
 // RowCount returns the number of tuples in the store.
 func (s *Store) RowCount() int { return s.manifest.RowCount }
@@ -274,6 +331,13 @@ func (s *Store) SetBlockCache(c *BlockCache) { s.cache = c }
 // BlockCache returns the installed decoded-chunk cache, or nil.
 func (s *Store) BlockCache() *BlockCache { return s.cache }
 
+// SetCacheKeyPrefix namespaces this store's entries in a shared block
+// cache. Stores over distinct directories produce identical chunk file
+// names, so a cache shared between them (the sharded layout) must be
+// installed with a unique prefix per store. Like SetBlockCache it must be
+// called before reads begin.
+func (s *Store) SetCacheKeyPrefix(prefix string) { s.cachePrefix = prefix }
+
 // ReadChunk loads and decodes one chunk, verifying its CRC and accounting
 // the read against the limiter and the store's I/O counters. A canceled ctx
 // aborts before the read is issued. With a block cache installed, a hit
@@ -284,7 +348,7 @@ func (s *Store) ReadChunk(ctx context.Context, meta ChunkMeta) ([]Entry, error) 
 	if s.cache == nil {
 		return s.readChunkDisk(ctx, meta)
 	}
-	return s.cache.GetOrLoad(ctx, meta.File, func(ctx context.Context) ([]Entry, int64, error) {
+	return s.cache.GetOrLoad(ctx, s.cachePrefix+meta.File, func(ctx context.Context) ([]Entry, int64, error) {
 		entries, err := s.readChunkDisk(ctx, meta)
 		if err != nil {
 			return nil, 0, err

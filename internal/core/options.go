@@ -68,7 +68,19 @@ type Options struct {
 	// session views want them, with single-flight deduplication of
 	// concurrent misses. Zero disables the cache (the paper's strict
 	// one-chunk-in-memory discipline). Views share the parent's cache.
+	// In the sharded layout one cache backs every shard store, with
+	// per-shard key prefixes.
 	BlockCacheBytes int64
+	// Shards selects the store layout Open requires: 0 auto-detects from
+	// the directory, 1 requires the legacy flat layout, and a value > 1
+	// requires a sharded layout with exactly that many shards. A layout
+	// (or shard-count) mismatch fails with chunkstore.ErrLayoutMismatch.
+	Shards int
+	// ShardDeadline bounds every per-shard operation of a sharded index;
+	// shards that miss it are skipped for the iteration (the step degrades
+	// instead of failing). Zero disables the deadline. Ignored by the flat
+	// layout.
+	ShardDeadline time.Duration
 }
 
 // withDefaults validates and fills zero values.
@@ -105,6 +117,12 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.BlockCacheBytes < 0 {
 		return o, fmt.Errorf("core: block cache bytes %d must not be negative", o.BlockCacheBytes)
+	}
+	if o.Shards < 0 {
+		return o, fmt.Errorf("core: shard count %d must not be negative", o.Shards)
+	}
+	if o.ShardDeadline < 0 {
+		return o, fmt.Errorf("core: negative shard deadline %v", o.ShardDeadline)
 	}
 	return o, nil
 }

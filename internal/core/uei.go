@@ -17,6 +17,7 @@ import (
 	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/pool"
 	"github.com/uei-db/uei/internal/prefetch"
+	"github.com/uei-db/uei/internal/shard"
 	"github.com/uei-db/uei/internal/vec"
 )
 
@@ -31,13 +32,34 @@ type BuildOptions struct {
 	// TargetChunkBytes is the equal-size chunk target (Table 1: 470 KB).
 	// Zero selects chunkstore.DefaultTargetChunkBytes.
 	TargetChunkBytes int
+	// Shards partitions the dataset into this many self-contained shard
+	// stores by hashing grid-cell coordinates. 0 and 1 both produce the
+	// exact legacy flat layout; values > 1 produce the sharded layout
+	// (shards.json + shard-NNN/ directories).
+	Shards int
+	// SegmentsPerDim fixes the grid cells are hashed over when Shards > 1
+	// (it must match the grid used at open; the sharded manifest records
+	// it). Zero selects the Options default (5). Ignored by flat builds,
+	// whose grid is chosen freely at Open.
+	SegmentsPerDim int
 }
 
 // Build performs the Index Initialization phase: vertical decomposition,
 // sorting, chunking, and manifest persistence. The grid itself is cheap and
 // is rebuilt at Open from the manifest's bounds, so only storage work
-// happens here.
+// happens here. With Shards > 1 the dataset is hash-partitioned into
+// self-contained per-shard stores instead.
 func Build(dir string, ds *dataset.Dataset, opts BuildOptions) error {
+	if opts.Shards < 0 {
+		return fmt.Errorf("core: shard count %d must not be negative", opts.Shards)
+	}
+	if opts.Shards > 1 {
+		return shard.Build(dir, ds, shard.BuildOptions{
+			Shards:           opts.Shards,
+			SegmentsPerDim:   opts.SegmentsPerDim,
+			TargetChunkBytes: opts.TargetChunkBytes,
+		})
+	}
 	_, err := chunkstore.Build(dir, ds, chunkstore.BuildOptions{
 		TargetChunkBytes: opts.TargetChunkBytes,
 	})
@@ -53,6 +75,18 @@ type Index struct {
 	budget  *memcache.Budget
 	cache   *memcache.Cache
 	pf      *prefetch.Prefetcher
+	// coord, when non-nil, is the sharded data plane: store and mapping
+	// are nil and every storage touch goes through the coordinator's
+	// scatter-gather instead. Views share the parent's coordinator.
+	coord *shard.Coordinator
+	// degradedShards lists the shards skipped by the latest scoring pass
+	// (their uncertainty slots are stale); selection excludes their cells
+	// until a later pass succeeds. Per-view state, like uncertainty.
+	degradedShards []int
+	// stepDegraded records whether the most recent EnsureRegion had to
+	// skip shards or fall back from the winning cell. Surfaced to the IDE
+	// engine per iteration.
+	stepDegraded bool
 
 	// centers is the symbolic index point set P, in cell-id order.
 	centers []vec.Point
@@ -91,11 +125,26 @@ type Index struct {
 	hSwap     *obs.Histogram
 }
 
-// Open loads the index over a directory produced by Build. I/O throttling
-// and worker-pool sizing come from Options (Limiter, Workers).
+// Open loads the index over a directory produced by Build, flat or
+// sharded. Options.Shards pins the expected layout (0 auto-detects); a
+// mismatch fails with chunkstore.ErrLayoutMismatch. I/O throttling and
+// worker-pool sizing come from Options (Limiter, Workers).
 func Open(ctx context.Context, dir string, opts Options) (*Index, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("core: shard count %d must not be negative", opts.Shards)
+	}
+	sharded := shard.IsShardedDir(dir)
+	if opts.Shards == 1 && sharded {
+		return nil, fmt.Errorf("core: %s holds a sharded store but the flat layout was requested: %w", dir, chunkstore.ErrLayoutMismatch)
+	}
+	if opts.Shards > 1 && !sharded {
+		return nil, fmt.Errorf("core: %s holds a flat store but %d shards were requested: %w", dir, opts.Shards, chunkstore.ErrLayoutMismatch)
+	}
+	if sharded {
+		return openSharded(ctx, dir, opts)
 	}
 	opts, err := opts.withDefaults()
 	if err != nil {
@@ -179,6 +228,106 @@ func Open(ctx context.Context, dir string, opts Options) (*Index, error) {
 	return idx, nil
 }
 
+// openSharded opens a sharded store through a coordinator. The grid is
+// rebuilt from the shard manifest's global bounds and the segment count
+// recorded at ingest — cell ownership is grid-dependent, so a different
+// SegmentsPerDim cannot be honored and is rejected.
+func openSharded(ctx context.Context, dir string, opts Options) (*Index, error) {
+	man, err := shard.LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Shards > 1 && man.Shards != opts.Shards {
+		return nil, fmt.Errorf("core: %s has %d shards but %d were requested: %w", dir, man.Shards, opts.Shards, chunkstore.ErrLayoutMismatch)
+	}
+	if opts.SegmentsPerDim == 0 {
+		opts.SegmentsPerDim = man.SegmentsPerDim
+	} else if opts.SegmentsPerDim != man.SegmentsPerDim {
+		return nil, fmt.Errorf("core: store was sharded over %d segments per dimension; cannot open with %d (cell ownership is grid-dependent)", man.SegmentsPerDim, opts.SegmentsPerDim)
+	}
+	opts, err = opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	var bc *chunkstore.BlockCache
+	if opts.BlockCacheBytes > 0 {
+		cacheBudget, err := memcache.NewBudget(opts.BlockCacheBytes)
+		if err != nil {
+			return nil, err
+		}
+		bc, err = chunkstore.NewBlockCache(cacheBudget)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pl := pool.New(opts.Workers)
+	coord, err := shard.Open(ctx, dir, shard.OpenOptions{
+		Limiter:    opts.Limiter,
+		Workers:    opts.Workers,
+		Pool:       pl,
+		Deadline:   opts.ShardDeadline,
+		BlockCache: bc,
+	})
+	if err != nil {
+		pl.Close()
+		return nil, err
+	}
+	g := coord.Grid()
+	budget, err := memcache.NewBudget(opts.MemoryBudgetBytes)
+	if err != nil {
+		pl.Close()
+		return nil, err
+	}
+	cache, err := memcache.NewCache(budget, coord.Dims())
+	if err != nil {
+		pl.Close()
+		return nil, err
+	}
+	if err := cache.SetMaxRegions(opts.ResidentRegions); err != nil {
+		pl.Close()
+		return nil, err
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	coord.Instrument(reg)
+	if bc != nil {
+		bc.Instrument(reg)
+	}
+	budget.Instrument(reg)
+	pl.Instrument(reg)
+	idx := &Index{
+		opts:        opts,
+		coord:       coord,
+		pool:        pl,
+		grid:        g,
+		budget:      budget,
+		cache:       cache,
+		centers:     g.Centers(),
+		uncertainty: make([]float64, g.NumCells()),
+		pendingCell: memcache.NoRegion,
+		reg:         reg,
+		tracer:      opts.Tracer,
+		mSwaps:      reg.Counter("uei_region_swaps_total"),
+		mDeferred:   reg.Counter("uei_swaps_deferred_total"),
+		mPrefHits:   reg.Counter("uei_prefetch_hits_total"),
+		mEntries:    reg.Counter("uei_entries_visited_total"),
+		hScore:      reg.Histogram(obs.PhaseHistName(obs.PhaseScore), nil),
+		hLoad:       reg.Histogram(obs.PhaseHistName(obs.PhaseLoad), nil),
+		hSwap:       reg.Histogram(obs.PhaseHistName(obs.PhaseSwap), nil),
+	}
+	if opts.EnablePrefetch {
+		pf, err := prefetch.New(idx.loadCell)
+		if err != nil {
+			return nil, err
+		}
+		pf.Instrument(reg)
+		idx.pf = pf
+	}
+	return idx, nil
+}
+
 // Registry returns the index's metrics registry (the one passed in
 // Options.Registry, or the private one Open created).
 func (x *Index) Registry() *obs.Registry { return x.reg }
@@ -203,13 +352,121 @@ func (x *Index) Close() {
 // Grid returns the symbolic-point lattice.
 func (x *Index) Grid() *grid.Grid { return x.grid }
 
-// Store returns the underlying chunk store.
+// Store returns the underlying chunk store of a flat index, or nil for a
+// sharded one (each shard has its own store; use the Index-level
+// accessors — RowCount, Bounds, FetchRows, IOStats — which work for both
+// layouts).
 func (x *Index) Store() *chunkstore.Store { return x.store }
 
-// BlockCache returns the shared decoded-chunk cache installed on the
-// store via Options.BlockCacheBytes, or nil when caching is disabled.
-// Views share the parent's cache.
-func (x *Index) BlockCache() *chunkstore.BlockCache { return x.store.BlockCache() }
+// ShardCoordinator returns the sharded data plane, or nil for a flat
+// index. It is the seam for fault injection and shard inspection.
+func (x *Index) ShardCoordinator() *shard.Coordinator { return x.coord }
+
+// Sharded reports whether the index runs over the sharded layout.
+func (x *Index) Sharded() bool { return x.coord != nil }
+
+// NumShards returns S for a sharded index and 1 for a flat one.
+func (x *Index) NumShards() int {
+	if x.coord != nil {
+		return x.coord.NumShards()
+	}
+	return 1
+}
+
+// BlockCache returns the shared decoded-chunk cache installed via
+// Options.BlockCacheBytes, or nil when caching is disabled. Views share
+// the parent's cache; in the sharded layout one cache backs every shard.
+func (x *Index) BlockCache() *chunkstore.BlockCache {
+	if x.coord != nil {
+		return x.coord.BlockCache()
+	}
+	return x.store.BlockCache()
+}
+
+// RowCount returns the number of tuples in the store (all shards).
+func (x *Index) RowCount() int {
+	if x.coord != nil {
+		return x.coord.RowCount()
+	}
+	return x.store.RowCount()
+}
+
+// Dims returns the dimensionality.
+func (x *Index) Dims() int {
+	if x.coord != nil {
+		return x.coord.Dims()
+	}
+	return x.store.Dims()
+}
+
+// Columns returns the attribute names in dimension order (read-only).
+func (x *Index) Columns() []string {
+	if x.coord != nil {
+		return x.coord.Columns()
+	}
+	return x.store.Columns()
+}
+
+// Bounds returns the per-dimension value bounds recorded at build time.
+func (x *Index) Bounds() vec.Box {
+	if x.coord != nil {
+		return x.coord.Bounds()
+	}
+	return x.store.Bounds()
+}
+
+// TotalBytes returns the on-disk payload size of all chunks (all shards).
+func (x *Index) TotalBytes() int64 {
+	if x.coord != nil {
+		return x.coord.TotalBytes()
+	}
+	return x.store.TotalBytes()
+}
+
+// IOStats returns cumulative bytes and chunk files read (summed across
+// shards in the sharded layout).
+func (x *Index) IOStats() (bytes int64, chunks int64) {
+	if x.coord != nil {
+		return x.coord.IOStats()
+	}
+	return x.store.IOStats()
+}
+
+// ResetIOStats zeroes the I/O counters (between experiment phases).
+func (x *Index) ResetIOStats() {
+	if x.coord != nil {
+		x.coord.ResetIOStats()
+		return
+	}
+	x.store.ResetIOStats()
+}
+
+// FetchRows reconstructs the tuples with the given (global) row ids,
+// routing to the owning shards in the sharded layout. Results are sorted
+// by id with duplicates collapsed, either way.
+func (x *Index) FetchRows(ctx context.Context, ids []uint32) ([]chunkstore.MergedRow, error) {
+	if x.closed.Load() {
+		return nil, ErrClosed
+	}
+	if x.coord != nil {
+		return x.coord.FetchRows(ctx, ids)
+	}
+	return x.store.FetchRows(ctx, ids)
+}
+
+// LastStepDegraded reports whether the most recent EnsureRegion (or
+// scoring pass) had to skip shards or fall back from the winning cell.
+// Always false for a flat index.
+func (x *Index) LastStepDegraded() bool { return x.stepDegraded }
+
+// DegradedShards returns the shards skipped by the latest scoring pass,
+// ascending (nil when all shards are healthy or the index is flat).
+func (x *Index) DegradedShards() []int {
+	if len(x.degradedShards) == 0 {
+		return nil
+	}
+	return append([]int(nil), x.degradedShards...)
+}
 
 // Budget returns the memory ledger.
 func (x *Index) Budget() *memcache.Budget { return x.budget }
@@ -222,7 +479,7 @@ func (x *Index) sampleSize() int {
 	if x.opts.SampleSize > 0 {
 		return x.opts.SampleSize
 	}
-	perTuple := memcache.TupleBytes(x.store.Dims())
+	perTuple := memcache.TupleBytes(x.Dims())
 	gamma := int(x.opts.MemoryBudgetBytes / (2 * perTuple))
 	if gamma < 1 {
 		gamma = 1
@@ -238,11 +495,11 @@ func (x *Index) InitExploration(ctx context.Context) error {
 		return ErrClosed
 	}
 	gamma := x.sampleSize()
-	ids, err := memcache.SampleIDs(x.store.RowCount(), gamma, x.opts.Seed)
+	ids, err := memcache.SampleIDs(x.RowCount(), gamma, x.opts.Seed)
 	if err != nil {
 		return err
 	}
-	rows, err := x.store.FetchRows(ctx, ids)
+	rows, err := x.FetchRows(ctx, ids)
 	if err != nil {
 		return fmt.Errorf("core: sampling U: %w", err)
 	}
@@ -259,9 +516,26 @@ func (x *Index) InitExploration(ctx context.Context) error {
 // Scoring shards across the worker pool: each shard writes a disjoint
 // contiguous slice of the uncertainty vector, so the result is
 // byte-identical to the serial pass regardless of worker count.
+//
+// On a sharded index the pass scatters to every shard under the per-shard
+// deadline; shards that miss it or fail keep stale scores and are
+// recorded as degraded, excluding their cells from selection until a
+// later pass succeeds.
 func (x *Index) UpdateUncertainty(ctx context.Context, model learn.Classifier) error {
 	if x.closed.Load() {
 		return ErrClosed
+	}
+	if x.coord != nil {
+		degraded, err := x.coord.ScoreAll(ctx, model, x.uncertainty)
+		if err != nil {
+			return fmt.Errorf("core: scoring index points: %w", err)
+		}
+		x.degradedShards = degraded
+		if len(degraded) > 0 {
+			x.stepDegraded = true
+		}
+		x.scoresValid = true
+		return nil
 	}
 	err := x.pool.Do(ctx, len(x.centers), func(lo, hi int) error {
 		return learn.UncertaintiesInto(ctx, model, x.centers[lo:hi], x.uncertainty[lo:hi])
@@ -281,6 +555,12 @@ func (x *Index) UpdateUncertainty(ctx context.Context, model learn.Classifier) e
 func (x *Index) MostUncertainCells(k int) ([]grid.CellID, error) {
 	if !x.scoresValid {
 		return nil, fmt.Errorf("core: UpdateUncertainty has not run for the current model: %w", learn.ErrNotFitted)
+	}
+	if x.coord != nil {
+		// Scatter-gather selection: per-shard local top-k through the
+		// pool, merged with the same comparator — exactly the global
+		// top-k, minus the cells of shards whose scores are stale.
+		return x.coord.MostUncertain(context.Background(), x.uncertainty, k, x.degradedShards)
 	}
 	if k < 1 {
 		k = 1
@@ -332,8 +612,19 @@ func (x *Index) CellUncertainty(id grid.CellID) (float64, error) {
 
 // loadCell reconstructs one cell's tuples via the mapping method m and the
 // chunk-store hash merge. It is the prefetcher's LoadFunc and the
-// synchronous load path; ctx aborts it at the next chunk boundary.
+// synchronous load path; ctx aborts it at the next chunk boundary. On a
+// sharded index the cell loads from its owning shard (ids remapped to
+// global); a failing or slow owner surfaces shard.ErrShardUnavailable,
+// which EnsureRegion degrades on instead of failing the step.
 func (x *Index) loadCell(ctx context.Context, cell int) ([]uint32, [][]float64, error) {
+	if x.coord != nil {
+		ids, vals, visited, err := x.coord.LoadCell(ctx, grid.CellID(cell))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: loading cell %d: %w", cell, err)
+		}
+		x.mEntries.Add(int64(visited))
+		return ids, vals, nil
+	}
 	box, err := x.grid.CellBox(grid.CellID(cell))
 	if err != nil {
 		return nil, nil, err
@@ -371,6 +662,7 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 	if x.closed.Load() {
 		return 0, ErrClosed
 	}
+	x.stepDegraded = false
 	score := x.tracer.StartPhase(obs.PhaseScore)
 	if !x.scoresValid {
 		if err := x.UpdateUncertainty(ctx, model); err != nil {
@@ -378,10 +670,21 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 			return 0, err
 		}
 	}
+	// Shards skipped by the (possibly earlier) scoring pass still degrade
+	// this step: their cells are excluded from selection below.
+	if len(x.degradedShards) > 0 {
+		x.stepDegraded = true
+	}
 	top, err := x.MostUncertainCells(2)
 	if err != nil {
 		score.End(nil)
 		return 0, err
+	}
+	if len(top) == 0 {
+		// Only possible when degraded shards own every cell with a live
+		// score; the healthy shards have nothing to offer this iteration.
+		score.End(nil)
+		return 0, fmt.Errorf("core: no selectable cells (degraded shards %v): %w", x.degradedShards, shard.ErrShardUnavailable)
 	}
 	x.hScore.ObserveDuration(score.End(map[string]float64{
 		"points": float64(len(x.centers)),
@@ -391,12 +694,12 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 	target := top[0]
 	resident := x.cache.RegionCell()
 	load := x.tracer.StartPhase(obs.PhaseLoad)
-	bytes0, chunks0 := x.store.IOStats()
+	bytes0, chunks0 := x.IOStats()
 	// endLoad closes the load phase with the I/O delta it caused. Under
 	// concurrent prefetching the delta can include background reads — it
 	// attributes I/O to the iteration that waited on it.
 	endLoad := func(outcome string) {
-		bytes1, chunks1 := x.store.IOStats()
+		bytes1, chunks1 := x.IOStats()
 		x.hLoad.ObserveDuration(load.End(map[string]float64{
 			"cell":          float64(target),
 			"bytes_read":    float64(bytes1 - bytes0),
@@ -405,7 +708,33 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 			"prefetch_hit":  boolAttr(outcome == "prefetch_hit"),
 			"deferred":      boolAttr(outcome == "deferred"),
 			"blocking_load": boolAttr(outcome == "load"),
+			"degraded":      boolAttr(outcome == "degraded"),
 		}))
+	}
+	// finishDegradedLoad resolves a load that failed because the target
+	// cell's shard is unavailable: fall back to the runner-up cell, then
+	// to the resident region, before giving up. ok=false propagates the
+	// original error.
+	finishDegradedLoad := func() (grid.CellID, bool, error) {
+		x.stepDegraded = true
+		if len(top) > 1 {
+			if ids, rows, err := x.loadCell(ctx, int(top[1])); err == nil {
+				target = top[1]
+				endLoad("degraded")
+				if err := x.installRegion(int(top[1]), ids, rows); err != nil {
+					return 0, true, err
+				}
+				return top[1], true, nil
+			}
+		}
+		if resident != memcache.NoRegion {
+			endLoad("degraded")
+			return grid.CellID(resident), true, nil
+		}
+		return 0, false, nil
+	}
+	degradable := func(err error) bool {
+		return err != nil && x.coord != nil && errors.Is(err, shard.ErrShardUnavailable)
 	}
 	if x.cache.HasRegion(int(target)) {
 		x.deferredFor = 0
@@ -418,6 +747,11 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 		// Synchronous path: load and swap immediately.
 		ids, rows, err := x.loadCell(ctx, int(target))
 		if err != nil {
+			if degradable(err) {
+				if cell, ok, ferr := finishDegradedLoad(); ok {
+					return cell, ferr
+				}
+			}
 			load.End(nil)
 			return 0, err
 		}
@@ -431,6 +765,11 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 	// Prefetching path. A completed background load wins instantly.
 	if r, ok := x.pf.TryTake(int(target)); ok {
 		if r.Err != nil {
+			if degradable(r.Err) {
+				if cell, ok, ferr := finishDegradedLoad(); ok {
+					return cell, ferr
+				}
+			}
 			load.End(nil)
 			return 0, r.Err
 		}
@@ -461,6 +800,11 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 	// Deferral budget exhausted (or nothing resident yet): block.
 	r := x.pf.Await(ctx, int(target))
 	if r.Err != nil {
+		if degradable(r.Err) {
+			if cell, ok, ferr := finishDegradedLoad(); ok {
+				return cell, ferr
+			}
+		}
 		load.End(nil)
 		return 0, r.Err
 	}
@@ -547,9 +891,9 @@ func (x *Index) Stats() Stats {
 		PrefetchHits:   int(x.mPrefHits.Value()),
 		EntriesVisited: int(x.mEntries.Value()),
 	}
-	s.BytesRead, s.ChunksRead = x.store.IOStats()
+	s.BytesRead, s.ChunksRead = x.IOStats()
 	s.PeakMemory = x.budget.Peak()
-	if bc := x.store.BlockCache(); bc != nil {
+	if bc := x.BlockCache(); bc != nil {
 		cs := bc.Stats()
 		s.CacheHits, s.CacheMisses = cs.Hits, cs.Misses
 	}
@@ -612,6 +956,75 @@ func (x *Index) ResultRetrieval(ctx context.Context, model learn.Classifier, min
 	// Stream each dimension's relevant chunks once, accumulating partial
 	// rows; a row materializes only if a marked segment hits it on every
 	// dimension (a superset of the passing-cell union, trimmed below).
+	// Sharded indexes run the same scan on every shard concurrently (each
+	// shard is a self-contained store over its own rows) and merge the
+	// tables under global ids. Retrieval is the final answer, so the
+	// scatter is strict: a failing shard fails the call rather than
+	// silently dropping its rows.
+	var table map[uint32]*retrievalPartial
+	if x.coord != nil {
+		table = make(map[uint32]*retrievalPartial)
+		var mu sync.Mutex
+		err := x.coord.ScatterStrict(ctx, shard.OpRetrieve, func(sctx context.Context, s *shard.Shard) error {
+			local, err := x.scanMarked(sctx, s.Store, markedSeg)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for id, p := range local {
+				table[s.IDMap[id]] = p
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		table, err = x.scanMarked(ctx, x.store, markedSeg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Final trim: exact passing-cell membership, then the classifier.
+	var out []uint32
+	for id, p := range table {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cell, err := x.grid.CellOf(p.vals)
+		if err != nil {
+			return nil, err
+		}
+		if post[cell] < minCellPosterior {
+			continue
+		}
+		cls, err := learn.Predict(model, p.vals)
+		if err != nil {
+			return nil, err
+		}
+		if cls == learn.ClassPositive {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// retrievalPartial accumulates a row during the retrieval merge.
+type retrievalPartial struct {
+	vals []float64
+	hits int
+}
+
+// scanMarked streams one store's chunks overlapping the marked segments,
+// dimension by dimension, and returns the rows (keyed by the store's own
+// row ids) that a marked segment hit on every dimension. It is the
+// per-store body of ResultRetrieval, shared by the flat path and the
+// per-shard scatter.
+func (x *Index) scanMarked(ctx context.Context, st *chunkstore.Store, markedSeg [][]bool) (map[uint32]*retrievalPartial, error) {
+	dims := x.grid.Dims()
 	table := make(map[uint32]*retrievalPartial)
 	for d := 0; d < dims; d++ {
 		chunkSet := make(map[int]chunkstore.ChunkMeta)
@@ -623,7 +1036,7 @@ func (x *Index) ResultRetrieval(ctx context.Context, model learn.Classifier, min
 			if err != nil {
 				return nil, err
 			}
-			chunks, err := x.store.ChunksOverlapping(d, lo, hi)
+			chunks, err := st.ChunksOverlapping(d, lo, hi)
 			if err != nil {
 				return nil, err
 			}
@@ -641,7 +1054,7 @@ func (x *Index) ResultRetrieval(ctx context.Context, model learn.Classifier, min
 			metas[i] = chunkSet[seq]
 		}
 		dd := d
-		err := x.store.ReadChunksOrdered(ctx, metas, func(_ chunkstore.ChunkMeta, entries []chunkstore.Entry) error {
+		err := st.ReadChunksOrdered(ctx, metas, func(_ chunkstore.ChunkMeta, entries []chunkstore.Entry) error {
 			for _, e := range entries {
 				x.mEntries.Inc()
 				seg, err := x.grid.SegmentOf(dd, e.Value)
@@ -678,40 +1091,15 @@ func (x *Index) ResultRetrieval(ctx context.Context, model learn.Classifier, min
 			}
 		}
 	}
-
-	// Final trim: exact passing-cell membership, then the classifier.
-	var out []uint32
-	for id, p := range table {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		cell, err := x.grid.CellOf(p.vals)
-		if err != nil {
-			return nil, err
-		}
-		if post[cell] < minCellPosterior {
-			continue
-		}
-		cls, err := learn.Predict(model, p.vals)
-		if err != nil {
-			return nil, err
-		}
-		if cls == learn.ClassPositive {
-			out = append(out, id)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	return table, nil
 }
 
-// retrievalPartial accumulates a row during the retrieval merge.
-type retrievalPartial struct {
-	vals []float64
-	hits int
-}
-
-// CellEstimate exposes the mapping's I/O cost estimate for a cell.
+// CellEstimate exposes the mapping's I/O cost estimate for a cell (for a
+// sharded index, the estimate from the cell's owning shard).
 func (x *Index) CellEstimate(id grid.CellID) (bytes int64, entries int, err error) {
+	if x.coord != nil {
+		return x.coord.CostEstimate(id)
+	}
 	return x.mapping.CostEstimate(id)
 }
 
@@ -720,7 +1108,7 @@ func (x *Index) CellEstimate(id grid.CellID) (bytes int64, entries int, err erro
 func (x *Index) MeanCellBytes() float64 {
 	var total int64
 	for c := 0; c < x.grid.NumCells(); c++ {
-		b, _, err := x.mapping.CostEstimate(grid.CellID(c))
+		b, _, err := x.CellEstimate(grid.CellID(c))
 		if err != nil {
 			continue
 		}

@@ -67,7 +67,7 @@ func (x *Index) NewView(vo ViewOptions) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	cache, err := memcache.NewCache(budget, x.store.Dims())
+	cache, err := memcache.NewCache(budget, x.Dims())
 	if err != nil {
 		return nil, err
 	}
@@ -77,6 +77,7 @@ func (x *Index) NewView(vo ViewOptions) (*Index, error) {
 	v := &Index{
 		opts:    opts,
 		store:   x.store,
+		coord:   x.coord,
 		grid:    x.grid,
 		mapping: x.mapping,
 		budget:  budget,

@@ -74,6 +74,10 @@ type Config struct {
 	// one-chunk-in-memory discipline — so published measurements stay
 	// comparable; enable it to measure the cached hot path.
 	BlockCacheBytes int64
+	// Shards, when > 1, builds the UEI store in the sharded layout with
+	// that many shards and runs every iteration as a scatter-gather. 0 and
+	// 1 keep the flat layout (the paper's configuration).
+	Shards int
 }
 
 // DefaultConfig returns the quick-mode configuration.
@@ -131,6 +135,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("experiment: RegionTolerance = %g", c.RegionTolerance)
 	case c.BlockCacheBytes < 0:
 		return fmt.Errorf("experiment: BlockCacheBytes = %d", c.BlockCacheBytes)
+	case c.Shards < 0:
+		return fmt.Errorf("experiment: Shards = %d", c.Shards)
 	}
 	return nil
 }

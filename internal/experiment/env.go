@@ -59,7 +59,11 @@ func Setup(cfg Config) (*Env, error) {
 		env.Limiter = iothrottle.New(cfg.IOBandwidthBytesPerSec)
 	}
 
-	if err := core.Build(env.storeDir, ds, core.BuildOptions{TargetChunkBytes: cfg.TargetChunkBytes}); err != nil {
+	if err := core.Build(env.storeDir, ds, core.BuildOptions{
+		TargetChunkBytes: cfg.TargetChunkBytes,
+		Shards:           cfg.Shards,
+		SegmentsPerDim:   cfg.SegmentsPerDim,
+	}); err != nil {
 		return nil, err
 	}
 	table, err := dbms.CreateTable(env.tableDir, ds, 64, nil)
@@ -121,6 +125,7 @@ func (e *Env) OpenIndex(ctx context.Context, runSeed int64) (*core.Index, error)
 		Workers:           workers,
 		Limiter:           e.Limiter,
 		BlockCacheBytes:   e.Cfg.BlockCacheBytes,
+		Shards:            e.Cfg.Shards,
 	})
 }
 

@@ -259,7 +259,7 @@ func runOne(env *Env, region oracle.Region, scheme Scheme, runSeed int64, opt ru
 func (e *Env) bytesRead(scheme Scheme, provider ide.Provider) (int64, error) {
 	switch scheme {
 	case SchemeUEI:
-		b, _ := provider.(*ide.UEIProvider).Index().Store().IOStats()
+		b, _ := provider.(*ide.UEIProvider).Index().IOStats()
 		return b, nil
 	case SchemeDBMS:
 		_, misses, _ := provider.(*ide.DBMSProvider).Table().Pool().Stats()
@@ -286,6 +286,7 @@ func (e *Env) openIndexWith(runSeed int64, segments, sampleSize int, prefetch bo
 		Tracer:            e.Cfg.Trace,
 		Workers:           workers,
 		Limiter:           e.Limiter,
+		Shards:            e.Cfg.Shards,
 	})
 }
 

@@ -106,6 +106,10 @@ type IterationInfo struct {
 	ResponseTime time.Duration
 	// Retrained reports whether the model was refitted this iteration.
 	Retrained bool
+	// Degraded reports that the provider completed this iteration in a
+	// reduced mode — a sharded UEI index skipped one or more unavailable
+	// shards — so the selection may be less informed than usual.
+	Degraded bool
 	// Model is the current predictive model (read-only; evaluate, don't
 	// mutate).
 	Model learn.Classifier
@@ -199,6 +203,9 @@ type Proposal struct {
 	Bootstrap bool
 	// Iteration is the 1-based selection iteration (0 for bootstrap).
 	Iteration int
+	// Degraded marks proposals produced in a reduced provider mode (see
+	// IterationInfo.Degraded).
+	Degraded bool
 }
 
 // NewSession validates the configuration and builds a session.
@@ -398,8 +405,18 @@ func (s *Session) proposeSelect(ctx context.Context) (*Proposal, error) {
 		s.phase = phaseDone // unlabeled pool exhausted
 		return nil, ErrExplorationDone
 	}
-	s.pending = &Proposal{ID: id, Row: row, Score: score, Pool: pool, Iteration: s.iteration}
+	s.pending = &Proposal{ID: id, Row: row, Score: score, Pool: pool, Iteration: s.iteration, Degraded: s.providerDegraded()}
 	return s.pending, nil
+}
+
+// providerDegraded asks the provider (when it can tell) whether its last
+// per-iteration preparation ran in a reduced mode, e.g. a sharded UEI
+// index that skipped unavailable shards.
+func (s *Session) providerDegraded() bool {
+	if d, ok := s.provider.(interface{ LastStepDegraded() bool }); ok {
+		return d.LastStepDegraded()
+	}
+	return false
 }
 
 // Resolve answers the outstanding proposal by asking the session's own
@@ -493,6 +510,7 @@ func (s *Session) completeIteration(p *Proposal, label oracle.Label) (*Iteration
 		PoolSize:     p.Pool,
 		ResponseTime: elapsed,
 		Retrained:    retrained,
+		Degraded:     p.Degraded,
 		Model:        s.model,
 	}
 	if s.cfg.OnIteration != nil {

@@ -86,6 +86,11 @@ func (p *UEIProvider) Retrieve(ctx context.Context, model learn.Classifier) ([]u
 	return p.idx.ResultRetrieval(ctx, model, p.RetrievalCutoff)
 }
 
+// LastStepDegraded reports whether the index's latest EnsureRegion ran
+// degraded (a sharded index skipped unavailable shards); the engine
+// surfaces it on the iteration's Proposal and IterationInfo.
+func (p *UEIProvider) LastStepDegraded() bool { return p.idx.LastStepDegraded() }
+
 // Index exposes the wrapped index for statistics.
 func (p *UEIProvider) Index() *core.Index { return p.idx }
 

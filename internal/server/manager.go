@@ -90,6 +90,8 @@ func NewManager(ctx context.Context, cfg Config) (*Manager, error) {
 		Workers:           cfg.Workers,
 		Registry:          cfg.Registry,
 		BlockCacheBytes:   cfg.BlockCacheBytes,
+		Shards:            cfg.Shards,
+		ShardDeadline:     cfg.ShardDeadline,
 	})
 	if err != nil {
 		return nil, err
@@ -133,7 +135,7 @@ func newManagerWithIndex(cfg Config, idx *core.Index) (*Manager, error) {
 		cfg:         cfg,
 		idx:         idx,
 		arb:         arb,
-		scales:      idx.Store().Bounds().Widths(),
+		scales:      idx.Bounds().Widths(),
 		stepSem:     make(chan struct{}, cfg.StepConcurrency),
 		sessions:    make(map[string]*hosted),
 		janitorStop: make(chan struct{}),
@@ -341,6 +343,10 @@ type StepResponse struct {
 	Iterations int            `json:"iterations"`
 	// Positives is the final result cardinality, set when Done.
 	Positives int `json:"positives,omitempty"`
+	// Degraded marks steps a sharded index completed with one or more
+	// shards skipped (deadline missed or failed); the selection is still
+	// valid but was made over the healthy shards only.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // ProposalJSON is a label solicitation on the wire.
@@ -351,6 +357,7 @@ type ProposalJSON struct {
 	Pool      int       `json:"pool"`
 	Bootstrap bool      `json:"bootstrap"`
 	Iteration int       `json:"iteration"`
+	Degraded  bool      `json:"degraded,omitempty"`
 }
 
 // IterationJSON is a completed iteration on the wire.
@@ -362,6 +369,7 @@ type IterationJSON struct {
 	Pool       int     `json:"pool"`
 	Millis     float64 `json:"millis"`
 	Retrained  bool    `json:"retrained"`
+	Degraded   bool    `json:"degraded,omitempty"`
 }
 
 // Step advances a session by one interaction. The admission path is: a
@@ -479,9 +487,11 @@ func (m *Manager) stepLocked(ctx context.Context, h *hosted, req StepRequest) (S
 				Proposal: &ProposalJSON{
 					ID: p.ID, Row: p.Row, Score: p.Score, Pool: p.Pool,
 					Bootstrap: p.Bootstrap, Iteration: p.Iteration,
+					Degraded: p.Degraded,
 				},
 				LabelsUsed: h.labelsUsedLocked(),
 				Iterations: h.iterationsLocked(),
+				Degraded:   p.Degraded,
 			}, nil
 		}
 		// Oracle mode: the simulated user answers immediately; one selection
@@ -504,9 +514,11 @@ func (m *Manager) stepLocked(ctx context.Context, h *hosted, req StepRequest) (S
 				Pool:       info.PoolSize,
 				Millis:     info.ResponseTime.Seconds() * 1e3,
 				Retrained:  info.Retrained,
+				Degraded:   info.Degraded,
 			},
 			LabelsUsed: h.labelsUsedLocked(),
 			Iterations: h.iterationsLocked(),
+			Degraded:   info.Degraded,
 		}, nil
 	}
 }
@@ -699,17 +711,16 @@ func (m *Manager) Close(ctx context.Context) error {
 // only by oracle-mode sessions, which need ground truth).
 func (m *Manager) dataset(ctx context.Context) (*dataset.Dataset, error) {
 	m.dsOnce.Do(func() {
-		st := m.idx.Store()
-		ids := make([]uint32, st.RowCount())
+		ids := make([]uint32, m.idx.RowCount())
 		for i := range ids {
 			ids[i] = uint32(i)
 		}
-		rows, err := st.FetchRows(ctx, ids)
+		rows, err := m.idx.FetchRows(ctx, ids)
 		if err != nil {
 			m.dsErr = fmt.Errorf("server: reconstruct dataset: %w", err)
 			return
 		}
-		ds := dataset.New(dataset.MustSchema(st.Manifest().Columns...), len(rows))
+		ds := dataset.New(dataset.MustSchema(m.idx.Columns()...), len(rows))
 		for _, r := range rows {
 			if _, err := ds.Append(r.Vals); err != nil {
 				m.dsErr = fmt.Errorf("server: reconstruct dataset: %w", err)

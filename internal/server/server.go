@@ -96,6 +96,15 @@ type Config struct {
 	Workers int
 	// SegmentsPerDim configures the shared index grid. Zero selects 5.
 	SegmentsPerDim int
+	// Shards selects the store layout the manager requires from StoreDir:
+	// 0 auto-detects, 1 requires the flat layout, > 1 requires a sharded
+	// layout with exactly that many shards (see core.Options.Shards).
+	Shards int
+	// ShardDeadline bounds every per-shard operation of a sharded store;
+	// shards that miss it are skipped and steps report degraded=true
+	// instead of failing. Zero disables the deadline. Ignored for flat
+	// stores.
+	ShardDeadline time.Duration
 	// Seed drives store generation helpers and default session seeds.
 	Seed int64
 	// Registry receives the server's metrics; nil creates a private one.
@@ -136,6 +145,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.DefaultMaxLabels < 0 {
 		return c, errors.New("server: DefaultMaxLabels must be positive")
+	}
+	if c.Shards < 0 {
+		return c, errors.New("server: Shards must not be negative")
+	}
+	if c.ShardDeadline < 0 {
+		return c, errors.New("server: ShardDeadline must not be negative")
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()

@@ -1,0 +1,601 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/uei-db/uei/internal/chunkstore"
+	"github.com/uei-db/uei/internal/grid"
+	"github.com/uei-db/uei/internal/iothrottle"
+	"github.com/uei-db/uei/internal/learn"
+	"github.com/uei-db/uei/internal/obs"
+	"github.com/uei-db/uei/internal/pool"
+	"github.com/uei-db/uei/internal/vec"
+)
+
+// ErrShardUnavailable marks a shard that missed its deadline or failed an
+// operation. Callers that can degrade (the per-iteration paths) treat it
+// as "skip this shard for now"; strict paths surface it. Match with
+// errors.Is.
+var ErrShardUnavailable = errors.New("shard unavailable")
+
+// Operation names passed to the fault hook and used in error messages.
+const (
+	OpScore    = "score"
+	OpLoad     = "load"
+	OpFetch    = "fetch"
+	OpRetrieve = "retrieve"
+)
+
+// FaultHook intercepts every shard operation before it runs — the test
+// seam for forcing timeouts and failures. Hooks must honor ctx: the
+// per-shard deadline and caller cancellation reach a stuck shard only
+// through it.
+type FaultHook func(ctx context.Context, shard int, op string) error
+
+// Shard is one self-contained slice of the sharded store.
+type Shard struct {
+	// ID is the shard index in [0, S).
+	ID int
+	// Store is the shard's private flat chunk store over its rows
+	// (local ids 0..n-1).
+	Store *chunkstore.Store
+	// Mapping resolves global grid cells to this store's chunks.
+	Mapping *grid.Mapping
+	// IDMap translates local row ids to global ones; strictly ascending,
+	// so local id order and global id order agree.
+	IDMap []uint32
+	// Cells lists the grid cells this shard owns, ascending.
+	Cells []grid.CellID
+}
+
+// OpenOptions configures Open.
+type OpenOptions struct {
+	// Limiter, when non-nil, meters chunk reads of every shard store
+	// (one shared limiter — the shards model one storage device).
+	Limiter *iothrottle.Limiter
+	// Workers bounds each shard store's internal read fan-out.
+	Workers int
+	// Pool runs the CPU-side fan-out (scoring, top-k). Shards share the
+	// caller's pool rather than owning threads; nil falls back to an
+	// inline single-worker pool.
+	Pool *pool.Pool
+	// Deadline bounds every per-shard operation; a shard that misses it
+	// is skipped for the iteration (degraded) on degradable paths. Zero
+	// disables the deadline.
+	Deadline time.Duration
+	// BlockCache, when non-nil, is shared across all shard stores; each
+	// store is installed with a distinct cache key prefix so identical
+	// chunk file names in different shards cannot collide.
+	BlockCache *chunkstore.BlockCache
+}
+
+// Coordinator fans per-iteration work out to every shard and merges the
+// answers. With all shards healthy its results are exactly those of a
+// flat store over the same dataset; with some shards degraded it returns
+// the healthy subset and reports which shards were skipped.
+//
+// The coordinator is safe for concurrent use by multiple sessions once
+// opened; SetFaultHook and SetDeadline may be called at any time.
+type Coordinator struct {
+	dir    string
+	man    *Manifest
+	grid   *grid.Grid
+	shards []*Shard
+	// ownerByCell[cell] is the owning shard of each grid cell.
+	ownerByCell []int
+	// ownedCenters[s] holds the symbolic index points of shard s's cells,
+	// aligned with shards[s].Cells.
+	ownedCenters [][]vec.Point
+	pool         *pool.Pool
+	cache        *chunkstore.BlockCache
+
+	deadline atomic.Int64 // nanoseconds; 0 = none
+	hook     atomic.Pointer[FaultHook]
+
+	// mDegraded counts shard skips (shard_degraded_total); nil-safe.
+	mDegraded *obs.Counter
+}
+
+// Open loads a sharded store built by Build. A flat store directory fails
+// with chunkstore.ErrLayoutMismatch.
+func Open(ctx context.Context, dir string, opts OpenOptions) (*Coordinator, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	man, err := LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	g, err := grid.New(vec.NewBox(man.MinValues, man.MaxValues), man.SegmentsPerDim)
+	if err != nil {
+		return nil, err
+	}
+	owners, err := cellOwners(g, man.Shards)
+	if err != nil {
+		return nil, err
+	}
+	p := opts.Pool
+	if p == nil {
+		p = pool.New(1)
+	}
+	c := &Coordinator{
+		dir:          dir,
+		man:          man,
+		grid:         g,
+		shards:       make([]*Shard, man.Shards),
+		ownerByCell:  owners,
+		ownedCenters: make([][]vec.Point, man.Shards),
+		pool:         p,
+		cache:        opts.BlockCache,
+	}
+	c.deadline.Store(int64(opts.Deadline))
+	for s := 0; s < man.Shards; s++ {
+		sdir := filepath.Join(dir, ShardDirName(s))
+		st, err := chunkstore.Open(sdir, opts.Limiter)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		if st.RowCount() != man.ShardRowCounts[s] {
+			return nil, fmt.Errorf("shard %d: store has %d rows, manifest says %d", s, st.RowCount(), man.ShardRowCounts[s])
+		}
+		if st.Dims() != len(man.Columns) {
+			return nil, fmt.Errorf("shard %d: store has %d dims, manifest says %d", s, st.Dims(), len(man.Columns))
+		}
+		st.SetWorkers(opts.Workers)
+		if opts.BlockCache != nil {
+			st.SetCacheKeyPrefix(fmt.Sprintf("s%03d/", s))
+			st.SetBlockCache(opts.BlockCache)
+		}
+		mp, err := grid.BuildMapping(g, st)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		ids, err := loadIDMap(sdir)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		if len(ids) != st.RowCount() {
+			return nil, fmt.Errorf("shard %d: idmap has %d entries, store has %d rows", s, len(ids), st.RowCount())
+		}
+		c.shards[s] = &Shard{ID: s, Store: st, Mapping: mp, IDMap: ids}
+	}
+	centers := g.Centers()
+	for id, o := range owners {
+		c.shards[o].Cells = append(c.shards[o].Cells, grid.CellID(id))
+		c.ownedCenters[o] = append(c.ownedCenters[o], centers[id])
+	}
+	return c, nil
+}
+
+// Grid returns the global grid (identical to the flat layout's grid over
+// the same dataset).
+func (c *Coordinator) Grid() *grid.Grid { return c.grid }
+
+// NumShards returns S.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Shards returns the shard slice (read-only; exposed for inspection and
+// tests).
+func (c *Coordinator) Shards() []*Shard { return c.shards }
+
+// Manifest returns the top-level manifest (read-only).
+func (c *Coordinator) Manifest() *Manifest { return c.man }
+
+// Bounds returns the global per-dimension value bounds.
+func (c *Coordinator) Bounds() vec.Box {
+	return vec.NewBox(c.man.MinValues, c.man.MaxValues)
+}
+
+// RowCount returns the number of tuples across all shards.
+func (c *Coordinator) RowCount() int { return c.man.RowCount }
+
+// Columns returns the attribute names in dimension order (read-only).
+func (c *Coordinator) Columns() []string { return c.man.Columns }
+
+// Dims returns the dimensionality.
+func (c *Coordinator) Dims() int { return len(c.man.Columns) }
+
+// TotalBytes sums the on-disk payload of every shard.
+func (c *Coordinator) TotalBytes() int64 {
+	var n int64
+	for _, s := range c.shards {
+		n += s.Store.TotalBytes()
+	}
+	return n
+}
+
+// BlockCache returns the shared decoded-chunk cache, or nil.
+func (c *Coordinator) BlockCache() *chunkstore.BlockCache { return c.cache }
+
+// IOStats sums cumulative bytes and chunks read across shard stores.
+func (c *Coordinator) IOStats() (bytes int64, chunks int64) {
+	for _, s := range c.shards {
+		b, ch := s.Store.IOStats()
+		bytes += b
+		chunks += ch
+	}
+	return bytes, chunks
+}
+
+// ResetIOStats zeroes every shard store's I/O counters.
+func (c *Coordinator) ResetIOStats() {
+	for _, s := range c.shards {
+		s.Store.ResetIOStats()
+	}
+}
+
+// OwnerOfCell returns the shard owning a cell.
+func (c *Coordinator) OwnerOfCell(cell grid.CellID) (int, error) {
+	if cell < 0 || int(cell) >= len(c.ownerByCell) {
+		return 0, fmt.Errorf("shard: cell %d out of range [0,%d)", cell, len(c.ownerByCell))
+	}
+	return c.ownerByCell[cell], nil
+}
+
+// SetDeadline adjusts the per-shard operation deadline (0 disables).
+func (c *Coordinator) SetDeadline(d time.Duration) { c.deadline.Store(int64(d)) }
+
+// SetFaultHook installs (or, with nil, removes) the per-operation fault
+// hook. Test seam for degradation scenarios.
+func (c *Coordinator) SetFaultHook(h FaultHook) {
+	if h == nil {
+		c.hook.Store(nil)
+		return
+	}
+	c.hook.Store(&h)
+}
+
+// Instrument registers shard metrics — shard_degraded_total, the
+// uei_shards gauge — and each shard store's I/O instruments (shared by
+// name, so chunkstore counters aggregate across shards exactly like the
+// flat layout).
+func (c *Coordinator) Instrument(reg *obs.Registry) {
+	c.mDegraded = reg.Counter("shard_degraded_total")
+	reg.Gauge("uei_shards").SetInt(int64(len(c.shards)))
+	for _, s := range c.shards {
+		s.Store.Instrument(reg)
+	}
+}
+
+type shardResult struct {
+	id  int
+	err error
+}
+
+// runShardOp applies the per-shard deadline and fault hook around one
+// operation.
+func (c *Coordinator) runShardOp(ctx context.Context, s *Shard, op string, fn func(ctx context.Context, s *Shard) error) error {
+	sctx := ctx
+	if d := time.Duration(c.deadline.Load()); d > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	if h := c.hook.Load(); h != nil {
+		if err := (*h)(sctx, s.ID, op); err != nil {
+			return err
+		}
+	}
+	return fn(sctx, s)
+}
+
+// scatter fans fn out to every shard, one goroutine per shard, each under
+// the per-shard deadline, and gathers all results. In degradable mode
+// (strict=false) failed shards are collected and skipped; in strict mode
+// the first failure aborts. Cancellation of ctx propagates to every
+// in-flight shard operation, and the buffered result channel guarantees
+// the shard goroutines terminate (no leaks) even when scatter returns
+// early on error.
+func (c *Coordinator) scatter(ctx context.Context, op string, strict bool, fn func(ctx context.Context, s *Shard) error) (degraded []int, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	scatterCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	results := make(chan shardResult, len(c.shards))
+	for _, s := range c.shards {
+		go func(s *Shard) {
+			results <- shardResult{s.ID, c.runShardOp(scatterCtx, s, op, fn)}
+		}(s)
+	}
+	for range c.shards {
+		r := <-results
+		if r.err == nil {
+			continue
+		}
+		if ctx.Err() != nil {
+			// The caller cancelled: that is not shard degradation. The
+			// deferred cancelAll stops any stragglers.
+			return nil, ctx.Err()
+		}
+		if strict {
+			return nil, fmt.Errorf("shard %d %s: %w", r.id, op, errors.Join(ErrShardUnavailable, r.err))
+		}
+		degraded = append(degraded, r.id)
+	}
+	sort.Ints(degraded)
+	if len(degraded) > 0 {
+		c.mDegraded.Add(int64(len(degraded)))
+	}
+	if len(degraded) == len(c.shards) {
+		return degraded, fmt.Errorf("shard: all %d shards unavailable for %s: %w", len(c.shards), op, ErrShardUnavailable)
+	}
+	return degraded, nil
+}
+
+// ScatterStrict runs fn on every shard concurrently and fails on the
+// first shard error — the all-or-nothing fan-out behind result retrieval.
+func (c *Coordinator) ScatterStrict(ctx context.Context, op string, fn func(ctx context.Context, s *Shard) error) error {
+	_, err := c.scatter(ctx, op, true, fn)
+	return err
+}
+
+// ScoreAll recomputes the uncertainty of every symbolic index point into
+// unc (indexed by global cell id), scattering per-shard scoring through
+// the worker pool. Each shard writes only the slots of the cells it owns,
+// so shard work is disjoint and the values are byte-identical to a flat
+// scoring pass. Shards that miss the deadline or fail are skipped — their
+// slots keep stale values — and returned as degraded, sorted ascending;
+// callers must exclude their cells from selection until the next
+// successful pass. An error is returned only when the caller's ctx is
+// cancelled or every shard failed.
+func (c *Coordinator) ScoreAll(ctx context.Context, model learn.Classifier, unc []float64) (degraded []int, err error) {
+	if len(unc) != c.grid.NumCells() {
+		return nil, fmt.Errorf("shard: uncertainty slice has %d slots, grid has %d cells", len(unc), c.grid.NumCells())
+	}
+	return c.scatter(ctx, OpScore, false, func(sctx context.Context, s *Shard) error {
+		centers := c.ownedCenters[s.ID]
+		if len(centers) == 0 {
+			return nil
+		}
+		// Score into a private buffer and publish only on success, so a
+		// shard that fails mid-pass leaves unc untouched (fully stale,
+		// never torn).
+		buf := make([]float64, len(centers))
+		if err := c.pool.Do(sctx, len(centers), func(lo, hi int) error {
+			return learn.UncertaintiesInto(sctx, model, centers[lo:hi], buf[lo:hi])
+		}); err != nil {
+			return err
+		}
+		for i, cell := range s.Cells {
+			unc[cell] = buf[i]
+		}
+		return nil
+	})
+}
+
+// cellScore pairs a cell with its uncertainty during top-k merges.
+type cellScore struct {
+	cell  grid.CellID
+	score float64
+}
+
+// lessUncertain is the selection order: higher uncertainty first, lower
+// cell id breaking ties — identical to the flat index's comparator, so
+// the merged global top-k matches a flat top-k exactly.
+func lessUncertain(a, b cellScore) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.cell < b.cell
+}
+
+// MostUncertain returns the k most uncertain cells, fanning per-shard
+// local top-k selection through the worker pool and merging. Shards
+// listed in skip (the degraded set from the latest ScoreAll) are excluded
+// entirely: their scores are stale. The result can be shorter than k when
+// skipping leaves fewer candidates.
+func (c *Coordinator) MostUncertain(ctx context.Context, unc []float64, k int, skip []int) ([]grid.CellID, error) {
+	if len(unc) != c.grid.NumCells() {
+		return nil, fmt.Errorf("shard: uncertainty slice has %d slots, grid has %d cells", len(unc), c.grid.NumCells())
+	}
+	if k < 1 {
+		k = 1
+	}
+	skipSet := make(map[int]bool, len(skip))
+	for _, s := range skip {
+		skipSet[s] = true
+	}
+	// Per-shard local top-k: each shard's candidate list is its k best
+	// owned cells, so the union provably contains the global top-k.
+	local := make([][]cellScore, len(c.shards))
+	err := c.pool.Do(ctx, len(c.shards), func(lo, hi int) error {
+		for s := lo; s < hi; s++ {
+			if skipSet[s] {
+				continue
+			}
+			local[s] = topKCells(unc, c.shards[s].Cells, k)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var merged []cellScore
+	for _, l := range local {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return lessUncertain(merged[i], merged[j]) })
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	out := make([]grid.CellID, len(merged))
+	for i, m := range merged {
+		out[i] = m.cell
+	}
+	return out, nil
+}
+
+// topKCells selects the k best cells of one shard by insertion into a
+// bounded slice (k is tiny on the hot path: the winner and a runner-up).
+func topKCells(unc []float64, cells []grid.CellID, k int) []cellScore {
+	if k > len(cells) {
+		k = len(cells)
+	}
+	best := make([]cellScore, 0, k)
+	for _, cell := range cells {
+		cs := cellScore{cell: cell, score: unc[cell]}
+		if len(best) == k && !lessUncertain(cs, best[k-1]) {
+			continue
+		}
+		i := len(best)
+		if len(best) < k {
+			best = append(best, cs)
+		} else {
+			i = k - 1
+		}
+		for i > 0 && lessUncertain(cs, best[i-1]) {
+			best[i] = best[i-1]
+			i--
+		}
+		best[i] = cs
+	}
+	return best
+}
+
+// LoadCell reconstructs a cell's tuples from its owning shard, remapping
+// row ids to global. Rows come back sorted by global id (local and global
+// order agree within a shard). A failing or slow owner yields an
+// ErrShardUnavailable-wrapped error and counts toward
+// shard_degraded_total; callers degrade (runner-up cell, resident region)
+// rather than failing the step.
+func (c *Coordinator) LoadCell(ctx context.Context, cell grid.CellID) (ids []uint32, vals [][]float64, entriesVisited int, err error) {
+	owner, err := c.OwnerOfCell(cell)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	s := c.shards[owner]
+	var rows []chunkstore.MergedRow
+	err = c.withShard(ctx, s, OpLoad, func(sctx context.Context) error {
+		box, err := c.grid.CellBox(cell)
+		if err != nil {
+			return err
+		}
+		chunks, err := s.Mapping.Chunks(cell)
+		if err != nil {
+			return err
+		}
+		rows, entriesVisited, err = s.Store.MergeChunks(sctx, box, chunks)
+		return err
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	ids = make([]uint32, len(rows))
+	vals = make([][]float64, len(rows))
+	for i, r := range rows {
+		ids[i] = s.IDMap[r.ID]
+		vals[i] = r.Vals
+	}
+	return ids, vals, entriesVisited, nil
+}
+
+// withShard runs one single-shard operation under the deadline and fault
+// hook, translating failures (other than caller cancellation) into
+// degradation-classified errors.
+func (c *Coordinator) withShard(ctx context.Context, s *Shard, op string, fn func(ctx context.Context) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	err := c.runShardOp(ctx, s, op, func(sctx context.Context, _ *Shard) error {
+		return fn(sctx)
+	})
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	c.mDegraded.Inc()
+	return fmt.Errorf("shard %d %s: %w", s.ID, op, errors.Join(ErrShardUnavailable, err))
+}
+
+// FetchRows reconstructs the tuples with the given global ids, scattering
+// to the shards that hold them and merging. It matches the flat store's
+// FetchRows contract: duplicates are collapsed, the result is sorted by
+// (global) id, and out-of-range ids are an error. Sampling must see every
+// shard, so this path is strict — a failing shard fails the call.
+func (c *Coordinator) FetchRows(ctx context.Context, ids []uint32) ([]chunkstore.MergedRow, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	uniq := append([]uint32(nil), ids...)
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	n := 0
+	for i, id := range uniq {
+		if i > 0 && id == uniq[n-1] {
+			continue
+		}
+		uniq[n] = id
+		n++
+	}
+	uniq = uniq[:n]
+	if int(uniq[len(uniq)-1]) >= c.man.RowCount {
+		return nil, fmt.Errorf("shard: row %d out of range [0,%d)", uniq[len(uniq)-1], c.man.RowCount)
+	}
+	perShard := make([][]chunkstore.MergedRow, len(c.shards))
+	err := c.ScatterStrict(ctx, OpFetch, func(sctx context.Context, s *Shard) error {
+		local := intersectLocal(uniq, s.IDMap)
+		if len(local) == 0 {
+			return nil
+		}
+		rows, err := s.Store.FetchRows(sctx, local)
+		if err != nil {
+			return err
+		}
+		for i := range rows {
+			rows[i].ID = s.IDMap[rows[i].ID]
+		}
+		perShard[s.ID] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []chunkstore.MergedRow
+	for _, rows := range perShard {
+		out = append(out, rows...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if len(out) != len(uniq) {
+		return nil, fmt.Errorf("shard: fetched %d of %d requested rows; store is inconsistent", len(out), len(uniq))
+	}
+	return out, nil
+}
+
+// intersectLocal returns the local ids (positions in idmap) of the global
+// ids present in this shard, by merging the two sorted sequences.
+func intersectLocal(globalIDs []uint32, idmap []uint32) []uint32 {
+	var local []uint32
+	li := 0
+	for _, g := range globalIDs {
+		for li < len(idmap) && idmap[li] < g {
+			li++
+		}
+		if li == len(idmap) {
+			break
+		}
+		if idmap[li] == g {
+			local = append(local, uint32(li))
+			li++
+		}
+	}
+	return local
+}
+
+// CostEstimate returns the bytes and posting entries loading the cell
+// would read from its owning shard (the flat Mapping.CostEstimate
+// equivalent).
+func (c *Coordinator) CostEstimate(cell grid.CellID) (bytes int64, entries int, err error) {
+	owner, err := c.OwnerOfCell(cell)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.shards[owner].Mapping.CostEstimate(cell)
+}

@@ -3,8 +3,10 @@ package uei
 import (
 	"context"
 	"io"
+	"time"
 
 	"github.com/uei-db/uei/internal/al"
+	"github.com/uei-db/uei/internal/chunkstore"
 	"github.com/uei-db/uei/internal/core"
 	"github.com/uei-db/uei/internal/dataset"
 	"github.com/uei-db/uei/internal/dbms"
@@ -14,6 +16,7 @@ import (
 	"github.com/uei-db/uei/internal/memcache"
 	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/oracle"
+	"github.com/uei-db/uei/internal/shard"
 )
 
 // --- sentinel errors ---
@@ -33,6 +36,13 @@ var (
 	// ErrNoCandidates is returned when a session needs an unlabeled
 	// candidate and the pool is empty.
 	ErrNoCandidates = ide.ErrNoCandidates
+	// ErrLayoutMismatch is returned by Open when the directory's store
+	// layout (flat vs sharded, or shard count) does not match what the
+	// caller asked for.
+	ErrLayoutMismatch = chunkstore.ErrLayoutMismatch
+	// ErrShardUnavailable classifies degraded-shard failures; step errors
+	// from a fully unavailable sharded index wrap it.
+	ErrShardUnavailable = shard.ErrShardUnavailable
 )
 
 // --- v2 call options ---
@@ -40,10 +50,12 @@ var (
 // apiConfig collects the cross-cutting knobs the v2 constructors accept as
 // functional options.
 type apiConfig struct {
-	limiter  *IOLimiter
-	workers  int
-	registry *Registry
-	tracer   *Tracer
+	limiter       *IOLimiter
+	workers       int
+	registry      *Registry
+	tracer        *Tracer
+	shards        int
+	shardDeadline time.Duration
 }
 
 // Option configures a facade constructor (Open, CreateTable, OpenTable,
@@ -68,6 +80,19 @@ func WithRegistry(r *Registry) Option { return func(c *apiConfig) { c.registry =
 // WithTracer records per-phase spans of every exploration iteration. It
 // takes precedence over Options.Tracer when both are set.
 func WithTracer(t *Tracer) Option { return func(c *apiConfig) { c.tracer = t } }
+
+// WithShards pins the store layout Open requires: 1 requires the legacy
+// flat layout, n > 1 requires a sharded layout with exactly n shards. The
+// default (auto-detect) opens whichever layout the directory holds. A
+// mismatch fails with ErrLayoutMismatch. It takes precedence over
+// Options.Shards when both are set.
+func WithShards(n int) Option { return func(c *apiConfig) { c.shards = n } }
+
+// WithShardDeadline bounds every per-shard operation of a sharded index;
+// shards that miss the deadline are skipped for the iteration (the step
+// degrades instead of failing). Ignored by flat stores. It takes
+// precedence over Options.ShardDeadline when both are set.
+func WithShardDeadline(d time.Duration) Option { return func(c *apiConfig) { c.shardDeadline = d } }
 
 func applyOptions(o []Option) apiConfig {
 	var c apiConfig
@@ -131,6 +156,12 @@ func Open(ctx context.Context, dir string, opts Options, o ...Option) (*Index, e
 	}
 	if c.tracer != nil {
 		opts.Tracer = c.tracer
+	}
+	if c.shards != 0 {
+		opts.Shards = c.shards
+	}
+	if c.shardDeadline != 0 {
+		opts.ShardDeadline = c.shardDeadline
 	}
 	return core.Open(ctx, dir, opts)
 }
