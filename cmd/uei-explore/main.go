@@ -99,7 +99,7 @@ func run() error {
 		auto     = flag.Bool("auto", false, "demo mode: a simulated user answers instead of you")
 		savePath = flag.String("save", "", "write a session snapshot (labeled set) here at the end")
 		loadPath = flag.String("resume", "", "resume from a session snapshot written by -save")
-		tracePth = flag.String("trace", "", "write per-iteration phase spans as JSONL to this file")
+		tracePth = flag.String("trace", "", "write the run's hierarchical span trace as JSONL to this file (analyze with uei-trace)")
 		metrAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 		summary  = flag.Bool("summary", false, "print a phase-latency breakdown table at the end")
 		cacheByt = flag.Int64("block-cache-bytes", 0, "shared decoded-chunk block cache budget in bytes (0 disables)")
@@ -260,7 +260,26 @@ func run() error {
 
 	fmt.Printf("\nexploring %d tuples; you will label up to %d examples.\n", idx.RowCount(), *labels)
 	fmt.Println("answer y if the shown tuple matches what you are looking for.")
-	res, err := sess.Run(ctx)
+	// With tracing on, the whole run becomes one hierarchical trace: an
+	// "explore" root span with the engine's prepare/iteration/label/retrain
+	// spans beneath it, so uei-trace breaks down an interactive run the same
+	// way it does server steps.
+	runCtx := ctx
+	var root *obs.Span
+	if tracer != nil {
+		runCtx = obs.ContextWithTrace(ctx, tracer.NewTrace())
+		runCtx, root = obs.StartSpan(runCtx, "explore")
+	}
+	res, err := sess.Run(runCtx)
+	if root != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			root.SetOutcome("cancelled")
+		case err != nil:
+			root.SetOutcome("error")
+		}
+		root.End(nil)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Println("\nexploration interrupted; exiting cleanly.")
@@ -310,7 +329,7 @@ func run() error {
 		if err := tracer.Err(); err != nil {
 			return fmt.Errorf("trace write: %w", err)
 		}
-		fmt.Printf("trace written to %s\n", *tracePth)
+		fmt.Printf("trace written to %s; analyze with uei-trace\n", *tracePth)
 	}
 	return nil
 }

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -22,6 +24,7 @@ import (
 	"github.com/uei-db/uei/internal/chunkstore"
 	"github.com/uei-db/uei/internal/core"
 	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/shard"
 )
 
@@ -32,7 +35,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		csvPath  = flag.String("csv", "", "numeric CSV with a header row to ingest")
 		gen      = flag.Int("gen", 0, "generate this many synthetic SDSS-like tuples instead of reading a CSV")
@@ -44,6 +47,7 @@ func run() error {
 		spill    = flag.Int("spill", 1<<20, "external build: max (value,id) pairs buffered per dimension before spilling")
 		shards   = flag.Int("shards", 1, "partition the store into this many shards (1 = flat legacy layout)")
 		segments = flag.Int("segments", 0, "sharded build: grid segments per dimension cells are hashed over (0 = default 5)")
+		traceFl  = flag.String("trace", "", "write a hierarchical span trace of the ingest as JSONL to this file (analyze with uei-trace)")
 	)
 	flag.Parse()
 
@@ -57,6 +61,31 @@ func run() error {
 		return fmt.Errorf("-out is required")
 	}
 
+	// With -trace, the whole ingest is one hierarchical trace: an "ingest"
+	// root span with read and build child spans, analyzable by uei-trace
+	// exactly like a server step trace. Without it the span calls below are
+	// measuring-only no-ops.
+	ctx := context.Background()
+	if *traceFl != "" {
+		tf, err := os.Create(*traceFl)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		defer tf.Close()
+		bw := bufio.NewWriter(tf)
+		defer bw.Flush()
+		tracer := obs.NewTracer(bw)
+		ctx = obs.ContextWithTrace(ctx, tracer.NewTrace())
+		defer fmt.Printf("trace written to %s; analyze with uei-trace\n", *traceFl)
+	}
+	ctx, root := obs.StartSpan(ctx, "ingest")
+	defer func() {
+		if err != nil {
+			root.SetOutcome("error")
+		}
+		root.End(nil)
+	}()
+
 	if *external {
 		if *shards > 1 {
 			return fmt.Errorf("-external does not support -shards > 1 (the sharded builder partitions in memory)")
@@ -66,19 +95,24 @@ func run() error {
 		}
 		start := time.Now()
 		fmt.Printf("streaming %s through the external-sort builder...\n", *csvPath)
+		_, build := obs.StartSpan(ctx, "build")
 		st, err := buildExternalFromCSV(*csvPath, *out, *chunk, *spill)
 		if err != nil {
+			build.SetOutcome("error")
+			build.End(nil)
 			return err
 		}
+		build.End(map[string]float64{"rows": float64(st.RowCount())})
 		fmt.Printf("index built in %v (%d rows, bounded memory)\n", time.Since(start).Round(time.Millisecond), st.RowCount())
 		return inspectStore(*out)
 	}
 
 	var ds *dataset.Dataset
-	var err error
 	start := time.Now()
+	_, read := obs.StartSpan(ctx, "read")
 	switch {
 	case *csvPath != "" && *gen > 0:
+		read.End(nil)
 		return fmt.Errorf("-csv and -gen are mutually exclusive")
 	case *csvPath != "":
 		fmt.Printf("reading %s...\n", *csvPath)
@@ -87,18 +121,26 @@ func run() error {
 		fmt.Printf("generating %d synthetic SDSS-like tuples (seed %d)...\n", *gen, *seed)
 		ds, err = dataset.GenerateSky(dataset.SkyConfig{N: *gen, Seed: *seed})
 	default:
+		read.End(nil)
 		return fmt.Errorf("one of -csv or -gen is required")
 	}
 	if err != nil {
+		read.SetOutcome("error")
+		read.End(nil)
 		return err
 	}
+	read.End(map[string]float64{"rows": float64(ds.Len())})
 	fmt.Printf("dataset: %d tuples x %d attributes (%s), %d bytes raw, loaded in %v\n",
 		ds.Len(), ds.Dims(), ds.Schema(), ds.SizeBytes(), time.Since(start).Round(time.Millisecond))
 
 	start = time.Now()
+	_, build := obs.StartSpan(ctx, "build")
 	if err := core.Build(*out, ds, core.BuildOptions{TargetChunkBytes: *chunk, Shards: *shards, SegmentsPerDim: *segments}); err != nil {
+		build.SetOutcome("error")
+		build.End(nil)
 		return err
 	}
+	build.End(map[string]float64{"shards": float64(*shards)})
 	if *shards > 1 {
 		fmt.Printf("index built in %v (%d shards)\n", time.Since(start).Round(time.Millisecond), *shards)
 	} else {

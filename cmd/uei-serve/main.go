@@ -19,6 +19,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -59,6 +60,8 @@ func run() error {
 		cacheBytes  = flag.Int64("block-cache-bytes", 0, "shared decoded-chunk block cache budget in bytes, carved from -budget and yielded back under session pressure (0 disables)")
 		shards      = flag.Int("shards", 1, "store layout: 1 = legacy flat, >1 = sharded with exactly that many shards (with -gen, builds that many shards)")
 		shardDl     = flag.Duration("shard-deadline", 0, "per-shard operation deadline; slow shards are skipped and steps report degraded (0 disables)")
+		traceFile   = flag.String("trace", "", "write one hierarchical step trace per request to this JSONL file (analyze with uei-trace)")
+		sloBudget   = flag.Duration("slo", 0, "per-step interactivity budget for SLO accounting (0 = the 500ms default)")
 	)
 	flag.Parse()
 
@@ -96,6 +99,20 @@ func run() error {
 		dir = tmp
 	}
 
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("create trace file: %w", err)
+		}
+		defer f.Close()
+		// The tracer flushes per event through this buffer, so concurrent
+		// sessions' spans survive a crash while writes stay batched.
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		tracer = obs.NewTracer(bw)
+	}
+
 	reg := obs.NewRegistry()
 	m, err := server.NewManager(ctx, server.Config{
 		StoreDir:              dir,
@@ -114,6 +131,8 @@ func run() error {
 		BlockCacheBytes:       *cacheBytes,
 		Shards:                *shards,
 		ShardDeadline:         *shardDl,
+		Tracer:                tracer,
+		SLOBudget:             *sloBudget,
 	})
 	if err != nil {
 		return err
@@ -125,6 +144,9 @@ func run() error {
 	fmt.Printf("serving %d tuples on http://%s/v1/sessions (budget %d bytes, %d session slots)\n",
 		m.Index().RowCount(), *addr, *budget, *maxSessions)
 	fmt.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof); Ctrl-C drains\n", *addr)
+	if tracer != nil {
+		fmt.Printf("tracing steps to %s (SLO budget %v); analyze with uei-trace\n", *traceFile, m.SLO().Budget())
+	}
 	err = server.Serve(ctx, *addr, m)
 	if ctx.Err() != nil && err == nil {
 		fmt.Println("drained; all live sessions snapshotted.")

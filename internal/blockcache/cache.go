@@ -117,11 +117,47 @@ func (c *Cache[V]) Instrument(reg *obs.Registry) {
 	c.gChunks.SetInt(int64(len(c.entries)))
 }
 
+// getStats records how one GetOrLoad was served, for span annotation.
+type getStats struct {
+	hit       bool
+	coalesced bool
+}
+
 // GetOrLoad returns the cached value for key, or loads it with load. All
 // concurrent callers missing on the same key share one load; a canceled
 // ctx aborts the wait (and an owned load) with ctx.Err(). The returned
 // value is shared with every other caller and must not be mutated.
+//
+// On a traced context the lookup is wrapped in a "bcache_get" span with
+// outcome hit/miss/error (a coalesced miss carries the coalesced attr);
+// the load callback then runs under that span, so the disk read it
+// triggers nests beneath it in the trace.
 func (c *Cache[V]) GetOrLoad(ctx context.Context, key string, load LoadFunc[V]) (V, error) {
+	if obs.SpanFromContext(ctx) == nil {
+		return c.getOrLoad(ctx, key, load, nil)
+	}
+	sctx, span := obs.StartSpan(ctx, "bcache_get")
+	var st getStats
+	v, err := c.getOrLoad(sctx, key, load, &st)
+	switch {
+	case err != nil:
+		span.SetOutcome("error")
+	case st.hit:
+		span.SetOutcome("hit")
+	default:
+		span.SetOutcome("miss")
+	}
+	var attrs map[string]float64
+	if st.coalesced {
+		attrs = map[string]float64{"coalesced": 1}
+	}
+	span.End(attrs)
+	return v, err
+}
+
+// getOrLoad is the untraced core of GetOrLoad. st, when non-nil, records
+// how the call was served.
+func (c *Cache[V]) getOrLoad(ctx context.Context, key string, load LoadFunc[V], st *getStats) (V, error) {
 	var zero V
 	for {
 		c.mu.Lock()
@@ -131,12 +167,18 @@ func (c *Cache[V]) GetOrLoad(ctx context.Context, key string, load LoadFunc[V]) 
 			c.mu.Unlock()
 			c.hits.Add(1)
 			c.mHits.Inc()
+			if st != nil {
+				st.hit = true
+			}
 			return v, nil
 		}
 		if f, ok := c.flights[key]; ok {
 			c.mu.Unlock()
 			c.coalesced.Add(1)
 			c.mCoalesce.Inc()
+			if st != nil {
+				st.coalesced = true
+			}
 			select {
 			case <-f.done:
 			case <-ctx.Done():

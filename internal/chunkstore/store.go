@@ -357,10 +357,29 @@ func (s *Store) ReadChunk(ctx context.Context, meta ChunkMeta) ([]Entry, error) 
 	})
 }
 
-// readChunkDisk is the uncached read path: pooled file read, CRC check,
+// readChunkDisk wraps the raw disk read in a "chunk_read" span when the
+// context is traced (the guard is one context lookup, so the untraced
+// hot path stays free).
+func (s *Store) readChunkDisk(ctx context.Context, meta ChunkMeta) ([]Entry, error) {
+	if obs.SpanFromContext(ctx) == nil {
+		return s.readChunkDiskRaw(ctx, meta)
+	}
+	_, span := obs.StartSpan(ctx, "chunk_read")
+	entries, err := s.readChunkDiskRaw(ctx, meta)
+	attrs := map[string]float64{"dim": float64(meta.Dim), "seq": float64(meta.Seq)}
+	if err != nil {
+		span.SetOutcome("error")
+	} else {
+		attrs["bytes"] = float64(DecodedEntriesBytes(entries))
+	}
+	span.End(attrs)
+	return entries, err
+}
+
+// readChunkDiskRaw is the uncached read path: pooled file read, CRC check,
 // decode, I/O accounting. The raw file buffer is recycled as soon as the
 // decode (which copies everything out) finishes.
-func (s *Store) readChunkDisk(ctx context.Context, meta ChunkMeta) ([]Entry, error) {
+func (s *Store) readChunkDiskRaw(ctx context.Context, meta ChunkMeta) ([]Entry, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

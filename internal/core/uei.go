@@ -553,6 +553,12 @@ func (x *Index) UpdateUncertainty(ctx context.Context, model learn.Classifier) e
 // its local top-k and the merged candidates are re-ranked with the same
 // comparator, so the result equals the serial full sort's first k.
 func (x *Index) MostUncertainCells(k int) ([]grid.CellID, error) {
+	return x.mostUncertainCells(context.Background(), k)
+}
+
+// mostUncertainCells is MostUncertainCells with context propagation, so
+// the selection work of a traced step attributes to its score span.
+func (x *Index) mostUncertainCells(ctx context.Context, k int) ([]grid.CellID, error) {
 	if !x.scoresValid {
 		return nil, fmt.Errorf("core: UpdateUncertainty has not run for the current model: %w", learn.ErrNotFitted)
 	}
@@ -560,7 +566,7 @@ func (x *Index) MostUncertainCells(k int) ([]grid.CellID, error) {
 		// Scatter-gather selection: per-shard local top-k through the
 		// pool, merged with the same comparator — exactly the global
 		// top-k, minus the cells of shards whose scores are stale.
-		return x.coord.MostUncertain(context.Background(), x.uncertainty, k, x.degradedShards)
+		return x.coord.MostUncertain(ctx, x.uncertainty, k, x.degradedShards)
 	}
 	if k < 1 {
 		k = 1
@@ -577,7 +583,7 @@ func (x *Index) MostUncertainCells(k int) ([]grid.CellID, error) {
 	}
 	var mu sync.Mutex
 	var candidates []int
-	err := x.pool.Do(context.Background(), len(x.uncertainty), func(lo, hi int) error {
+	err := x.pool.Do(ctx, len(x.uncertainty), func(lo, hi int) error {
 		local := make([]int, hi-lo)
 		for i := range local {
 			local[i] = lo + i
@@ -663,9 +669,9 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 		return 0, ErrClosed
 	}
 	x.stepDegraded = false
-	score := x.tracer.StartPhase(obs.PhaseScore)
+	sctx, score := x.tracer.Phase(ctx, obs.PhaseScore)
 	if !x.scoresValid {
-		if err := x.UpdateUncertainty(ctx, model); err != nil {
+		if err := x.UpdateUncertainty(sctx, model); err != nil {
 			score.End(nil)
 			return 0, err
 		}
@@ -675,7 +681,7 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 	if len(x.degradedShards) > 0 {
 		x.stepDegraded = true
 	}
-	top, err := x.MostUncertainCells(2)
+	top, err := x.mostUncertainCells(sctx, 2)
 	if err != nil {
 		score.End(nil)
 		return 0, err
@@ -693,7 +699,7 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 
 	target := top[0]
 	resident := x.cache.RegionCell()
-	load := x.tracer.StartPhase(obs.PhaseLoad)
+	lctx, load := x.tracer.Phase(ctx, obs.PhaseLoad)
 	bytes0, chunks0 := x.IOStats()
 	// endLoad closes the load phase with the I/O delta it caused. Under
 	// concurrent prefetching the delta can include background reads — it
@@ -718,10 +724,10 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 	finishDegradedLoad := func() (grid.CellID, bool, error) {
 		x.stepDegraded = true
 		if len(top) > 1 {
-			if ids, rows, err := x.loadCell(ctx, int(top[1])); err == nil {
+			if ids, rows, err := x.loadCell(lctx, int(top[1])); err == nil {
 				target = top[1]
 				endLoad("degraded")
-				if err := x.installRegion(int(top[1]), ids, rows); err != nil {
+				if err := x.installRegion(ctx, int(top[1]), ids, rows); err != nil {
 					return 0, true, err
 				}
 				return top[1], true, nil
@@ -745,7 +751,7 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 
 	if x.pf == nil {
 		// Synchronous path: load and swap immediately.
-		ids, rows, err := x.loadCell(ctx, int(target))
+		ids, rows, err := x.loadCell(lctx, int(target))
 		if err != nil {
 			if degradable(err) {
 				if cell, ok, ferr := finishDegradedLoad(); ok {
@@ -756,7 +762,7 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 			return 0, err
 		}
 		endLoad("load")
-		if err := x.installRegion(int(target), ids, rows); err != nil {
+		if err := x.installRegion(ctx, int(target), ids, rows); err != nil {
 			return 0, err
 		}
 		return target, nil
@@ -775,7 +781,7 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 		}
 		x.mPrefHits.Inc()
 		endLoad("prefetch_hit")
-		if err := x.installRegion(int(target), r.IDs, r.Rows); err != nil {
+		if err := x.installRegion(ctx, int(target), r.IDs, r.Rows); err != nil {
 			return 0, err
 		}
 		return target, nil
@@ -798,7 +804,7 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 		return grid.CellID(resident), nil
 	}
 	// Deferral budget exhausted (or nothing resident yet): block.
-	r := x.pf.Await(ctx, int(target))
+	r := x.pf.Await(lctx, int(target))
 	if r.Err != nil {
 		if degradable(r.Err) {
 			if cell, ok, ferr := finishDegradedLoad(); ok {
@@ -809,7 +815,7 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 		return 0, r.Err
 	}
 	endLoad("load")
-	if err := x.installRegion(int(target), r.IDs, r.Rows); err != nil {
+	if err := x.installRegion(ctx, int(target), r.IDs, r.Rows); err != nil {
 		return 0, err
 	}
 	x.prefetchRunnerUp(top)
@@ -826,9 +832,10 @@ func boolAttr(b bool) float64 {
 
 // installRegion swaps a loaded region into the cache, tolerating budget
 // truncation (a partial region still helps; the sample keeps global
-// coverage).
-func (x *Index) installRegion(cell int, ids []uint32, rows [][]float64) error {
-	swap := x.tracer.StartPhase(obs.PhaseSwap)
+// coverage). On a traced context the swap phase becomes a child span of
+// the step, sibling to the load phase that produced the region.
+func (x *Index) installRegion(ctx context.Context, cell int, ids []uint32, rows [][]float64) error {
+	_, swap := x.tracer.Phase(ctx, obs.PhaseSwap)
 	err := x.cache.SetRegion(cell, ids, rows)
 	if err != nil && !isBudgetErr(err) {
 		swap.End(nil)

@@ -315,8 +315,19 @@ func (s *Session) Propose(ctx context.Context) (*Proposal, error) {
 
 // start runs once, lazily, on the first Propose: provider preparation,
 // snapshot replay, and — when the labeled set lacks a class — positive
-// seeding. It leaves the session in phaseBootstrap or phaseReady.
+// seeding. It leaves the session in phaseBootstrap or phaseReady. On a
+// traced context the whole initialization is one "prepare" span.
 func (s *Session) start(ctx context.Context) error {
+	pctx, span := obs.StartSpan(ctx, obs.PhasePrepare)
+	err := s.startInner(pctx)
+	if err != nil {
+		span.SetOutcome("error")
+	}
+	span.End(nil)
+	return err
+}
+
+func (s *Session) startInner(ctx context.Context) error {
 	if err := s.provider.Prepare(ctx); err != nil {
 		return fmt.Errorf("ide: provider prepare: %w", err)
 	}
@@ -364,10 +375,14 @@ func (s *Session) proposeBootstrap(ctx context.Context) (*Proposal, error) {
 		return nil, fmt.Errorf("ide: initial example acquisition stalled after %d attempts", s.bootstrapAttempts)
 	}
 	s.bootstrapAttempts++
-	id, row, ok, err := s.randomCandidate(ctx)
+	bctx, span := obs.StartSpan(ctx, obs.PhaseBootstrap)
+	id, row, ok, err := s.randomCandidate(bctx)
 	if err != nil {
+		span.SetOutcome("error")
+		span.End(nil)
 		return nil, err
 	}
+	span.End(nil)
 	if !ok {
 		return nil, fmt.Errorf("ide: initial acquisition: %w", ErrNoCandidates)
 	}
@@ -391,20 +406,34 @@ func (s *Session) proposeSelect(ctx context.Context) (*Proposal, error) {
 	s.iteration++
 	s.cfg.Tracer.BeginIteration(s.iteration)
 	s.iterStart = time.Now()
-	if err := s.provider.BeforeSelect(ctx, s.model); err != nil {
+	// On a traced context the propose half of the iteration — provider
+	// preparation (score/load/swap) and candidate selection — is one
+	// "iteration" span under the step; the resolve half (label, retrain)
+	// belongs to the step that delivers the label.
+	ictx, ispan := obs.StartSpan(ctx, "iteration")
+	if err := s.provider.BeforeSelect(ictx, s.model); err != nil {
+		ispan.SetOutcome("error")
+		ispan.End(map[string]float64{"iter": float64(s.iteration)})
 		return nil, fmt.Errorf("ide: iteration %d: %w", s.iteration, err)
 	}
-	sel := s.cfg.Tracer.StartPhase(obs.PhaseSelect)
-	id, row, score, pool, err := s.selectCandidate(ctx)
+	sctx, sel := s.cfg.Tracer.Phase(ictx, obs.PhaseSelect)
+	id, row, score, pool, err := s.selectCandidate(sctx)
 	if err != nil {
 		sel.End(nil)
+		ispan.SetOutcome("error")
+		ispan.End(map[string]float64{"iter": float64(s.iteration)})
 		return nil, fmt.Errorf("ide: iteration %d: %w", s.iteration, err)
 	}
 	s.hSelect.ObserveDuration(sel.End(map[string]float64{"pool": float64(pool)}))
 	if pool == 0 {
 		s.phase = phaseDone // unlabeled pool exhausted
+		ispan.End(map[string]float64{"iter": float64(s.iteration), "pool": 0})
 		return nil, ErrExplorationDone
 	}
+	if s.providerDegraded() {
+		ispan.SetOutcome("degraded")
+	}
+	ispan.End(map[string]float64{"iter": float64(s.iteration), "pool": float64(pool)})
 	s.pending = &Proposal{ID: id, Row: row, Score: score, Pool: pool, Iteration: s.iteration, Degraded: s.providerDegraded()}
 	return s.pending, nil
 }
@@ -442,10 +471,10 @@ func (s *Session) Resolve(ctx context.Context) (*IterationInfo, error) {
 		return nil, nil
 	}
 	s.pending = nil
-	lab := s.cfg.Tracer.StartPhase(obs.PhaseLabel)
+	_, lab := s.cfg.Tracer.Phase(ctx, obs.PhaseLabel)
 	label := s.labeler.Label(p.ID, p.Row)
 	s.hLabel.ObserveDuration(lab.End(map[string]float64{"id": float64(p.ID)}))
-	return s.completeIteration(p, label)
+	return s.completeIteration(ctx, p, label)
 }
 
 // Feed answers the outstanding proposal with an externally supplied label
@@ -473,7 +502,7 @@ func (s *Session) Iterations() int { return s.iteration }
 // completeIteration applies a selection label and runs the iteration's
 // tail: batch retraining, latency accounting, tracing, and the
 // OnIteration callback.
-func (s *Session) completeIteration(p *Proposal, label oracle.Label) (*IterationInfo, error) {
+func (s *Session) completeIteration(ctx context.Context, p *Proposal, label oracle.Label) (*IterationInfo, error) {
 	s.addLabel(p.ID, p.Row, label)
 	s.provider.OnLabeled(p.ID)
 	s.mLabels.Inc()
@@ -481,7 +510,7 @@ func (s *Session) completeIteration(p *Proposal, label oracle.Label) (*Iteration
 	retrained := false
 	s.sinceRetrain++
 	if s.sinceRetrain >= s.cfg.BatchSize {
-		ret := s.cfg.Tracer.StartPhase(obs.PhaseRetrain)
+		_, ret := s.cfg.Tracer.Phase(ctx, obs.PhaseRetrain)
 		if err := s.refit(); err != nil {
 			ret.End(nil)
 			return nil, fmt.Errorf("ide: iteration %d retrain: %w", p.Iteration, err)
@@ -531,10 +560,14 @@ func (s *Session) Finish(ctx context.Context) (*Result, error) {
 	if s.cfg.BeforeRetrieve != nil {
 		s.cfg.BeforeRetrieve()
 	}
-	positive, err := s.provider.Retrieve(ctx, s.model)
+	rctx, span := obs.StartSpan(ctx, obs.PhaseRetrieve)
+	positive, err := s.provider.Retrieve(rctx, s.model)
 	if err != nil {
+		span.SetOutcome("error")
+		span.End(nil)
 		return nil, fmt.Errorf("ide: result retrieval: %w", err)
 	}
+	span.End(map[string]float64{"positive": float64(len(positive))})
 	return &Result{
 		LabelsUsed: s.labeler.Count(),
 		Iterations: s.iteration,

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAnalyzeSampleReportGolden runs the full analyzer over the checked-in
+// sample trace (one fast sharded step, one SLO-violating step degraded by
+// a shard timeout, one label/retrain step) and compares the complete
+// uei-trace report against its golden rendering. The golden file doubles
+// as the documentation sample referenced by the README.
+func TestAnalyzeSampleReportGolden(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "sample_trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(events)
+
+	if len(a.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(a.Steps))
+	}
+	if orphans := a.Orphans(); len(orphans) != 0 {
+		t.Fatalf("orphans = %v", orphans)
+	}
+	slow := a.Steps[1] // t000002
+	if slow.TraceID != "t000002" || slow.Wall() != 600*time.Millisecond {
+		t.Fatalf("slow step = %s wall %v", slow.TraceID, slow.Wall())
+	}
+	if slow.Root.Ev.Outcome != "degraded" {
+		t.Errorf("slow step outcome = %q", slow.Root.Ev.Outcome)
+	}
+
+	var buf bytes.Buffer
+	if err := a.WriteReport(&buf, ReportOptions{TopN: 2, Budget: 500 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "sample_report.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report mismatch\ngot:\n%swant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestAnalyzeAttributionCoverage checks the analyzer's additive phase
+// decomposition on the sample's slow step: the phase spans (score, select,
+// retrain — not the shard fan-outs nested inside score) must account for
+// the root wall time to within the 5% bound the acceptance criteria set.
+func TestAnalyzeAttributionCoverage(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "sample_trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(events)
+	slow := a.Steps[1]
+	wantSum := 520*time.Millisecond + 30*time.Millisecond + 25*time.Millisecond
+	if slow.PhaseSum() != wantSum {
+		t.Errorf("phase sum = %v, want %v (shard spans must not double-count)", slow.PhaseSum(), wantSum)
+	}
+	if cov := slow.Coverage(); math.Abs(cov-1) > 0.05 {
+		t.Errorf("coverage = %.3f, want within 5%% of 1.0", cov)
+	}
+}
+
+func TestAnalyzeOrphanDetection(t *testing.T) {
+	events := []Event{
+		{Type: "span", TraceID: "t000009", SpanID: "1", Phase: "step", DurNS: 10},
+		{Type: "span", TraceID: "t000009", SpanID: "7", ParentID: "99", Phase: PhaseScore, DurNS: 5},
+	}
+	a := Analyze(events)
+	orphans := a.Orphans()
+	if len(orphans) != 1 || orphans[0] != "t000009/7" {
+		t.Fatalf("orphans = %v, want [t000009/7]", orphans)
+	}
+
+	var buf bytes.Buffer
+	if err := a.WriteReport(&buf, ReportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ORPHANED SPANS (1)") {
+		t.Errorf("report must surface orphans:\n%s", buf.String())
+	}
+}
+
+func TestAnalyzeLegacyEventsIgnored(t *testing.T) {
+	events := []Event{
+		{Type: "span", Iter: 1, Phase: PhaseScore, DurNS: 5},
+		{Type: "iteration", Iter: 1, DurNS: 10},
+	}
+	a := Analyze(events)
+	if len(a.Steps) != 0 || a.LegacyEvents != 2 {
+		t.Errorf("steps = %d, legacy = %d; want 0 and 2", len(a.Steps), a.LegacyEvents)
+	}
+}
+
+func TestReadTraceMalformed(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("{\"type\":\"span\"}\nnot json\n")); err == nil {
+		t.Fatal("malformed line must error")
+	}
+	events, err := ReadTrace(strings.NewReader("\n\n{\"type\":\"span\",\"iter\":1,\"start_ns\":0,\"dur_ns\":1}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Errorf("blank lines must be skipped; got %d events", len(events))
+	}
+}
+
+// TestWriteReportEmpty checks the degenerate report (no events at all)
+// renders without panicking and says so.
+func TestWriteReportEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Analysis{}).WriteReport(&buf, ReportOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no traced steps") {
+		t.Errorf("empty report:\n%s", buf.String())
+	}
+}

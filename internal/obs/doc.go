@@ -19,10 +19,24 @@
 //     root span containing score/load/swap/select/label/retrain child
 //     phases with nanosecond durations and free-form numeric attributes
 //     (bytes read, pool sizes, cell ids).
+//   - Hierarchical tracing: Trace/StartSpan add context-propagated trace
+//     and span ids on top of the same tracer. The server mints one Trace
+//     per step request; every span opened under that context — engine
+//     phases, per-shard fan-out legs, chunk and cache reads — carries a
+//     parent-span reference and an outcome annotation, so the JSONL
+//     stream reconstructs into one tree per step (Analyze, cmd/uei-trace).
+//     Without a trace in context the same call sites fall back to the
+//     legacy flat stream (Tracer.Phase) or to measuring-only spans.
+//   - SLO: a per-step interactivity budget accountant — rolling
+//     nearest-rank p50/p95/p99 step-latency gauges, a violation counter,
+//     and per-phase attribution of violating steps' wall time, fed from
+//     Trace.PhaseTotals.
 //   - Exporters: an expvar-style JSON snapshot, a Prometheus text-format
-//     dump, an http.Server bundling /metrics, /debug/vars, and
-//     net/http/pprof, and a phase-latency breakdown table (FormatSummary)
-//     that attributes total iteration wall time to named phases.
+//     dump (labeled series like shard_skip_total{shard="0"} grouped into
+//     one # TYPE family per base name), an http.Server bundling /metrics,
+//     /debug/vars, and net/http/pprof, and a phase-latency breakdown
+//     table (FormatSummary) that attributes total iteration wall time to
+//     named phases.
 //
 // All instrument methods are nil-receiver safe no-ops, and a nil *Registry
 // hands out nil instruments, so callers thread a single optional *Registry

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -19,18 +20,45 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
+// metricBase strips a trailing {label="..."} block from a registry name,
+// returning the Prometheus family name. Labeled series are registered
+// under names like `shard_skip_total{shard="3"}`; the family gets one
+// # TYPE line shared by all its series.
+func metricBase(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
 // WritePrometheus emits the registry in the Prometheus text exposition
-// format (the /metrics payload): counters and gauges as single samples,
+// format (the /metrics payload): counters and gauges as single samples
+// (grouped into families when registered with {label=...} suffixes),
 // histograms as cumulative _bucket{le=...} series plus _sum and _count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
+	typed := map[string]bool{}
 	for _, name := range sortedKeys(s.Counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+		base := metricBase(name)
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", base); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name,
+		base := metricBase(name)
+		if !typed[base] {
+			typed[base] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", base); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name,
 			strconv.FormatFloat(s.Gauges[name], 'g', -1, 64)); err != nil {
 			return err
 		}

@@ -42,6 +42,36 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusLabeledFamilies checks that labeled series (names
+// carrying a {label} suffix, like the per-shard skip counters) share one
+// # TYPE header per metric family, as the exposition format requires.
+func TestWritePrometheusLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`shard_skip_total{shard="0"}`).Add(2)
+	r.Counter(`shard_skip_total{shard="1"}`).Add(5)
+	r.Counter(`shard_degraded_cause_total{cause="deadline"}`).Inc()
+	r.Gauge(`slo_violation_phase_seconds{phase="score"}`).Set(0.25)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "# TYPE shard_skip_total counter"); got != 1 {
+		t.Errorf("shard_skip_total TYPE lines = %d, want exactly 1 in:\n%s", got, out)
+	}
+	for _, want := range []string{
+		"shard_skip_total{shard=\"0\"} 2\n",
+		"shard_skip_total{shard=\"1\"} 5\n",
+		"# TYPE shard_degraded_cause_total counter\nshard_degraded_cause_total{cause=\"deadline\"} 1\n",
+		"# TYPE slo_violation_phase_seconds gauge\nslo_violation_phase_seconds{phase=\"score\"} 0.25\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestWriteJSON(t *testing.T) {
 	var b strings.Builder
 	if err := exportFixture().WriteJSON(&b); err != nil {

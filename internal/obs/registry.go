@@ -51,6 +51,21 @@ func (g *Gauge) Set(v float64) {
 // SetInt stores an integer gauge value.
 func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
 
+// Add accumulates delta into the gauge (CAS loop, safe under concurrent
+// writers). Used for per-phase budget-attribution sums, which grow but are
+// not counters (they hold fractional seconds).
+func (g *Gauge) Add(delta float64) {
+	if g == nil || delta == 0 {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,13 +12,38 @@ import (
 // list may emit their own; FormatSummary keys on the registry's
 // phase_<name>_seconds histograms, not on this enumeration.
 const (
-	PhaseScore   = "score"   // symbolic-index re-scoring (Algorithm 2 line 17)
-	PhaseLoad    = "load"    // chunk-store region load / prefetch wait
-	PhaseSwap    = "swap"    // cache region install
-	PhaseSelect  = "select"  // candidate pool argmax scan
-	PhaseLabel   = "label"   // oracle / user labeling
-	PhaseRetrain = "retrain" // classifier refit
+	PhasePrepare   = "prepare"   // provider preparation (sample fill) + seeding
+	PhaseBootstrap = "bootstrap" // initial random example acquisition
+	PhaseScore     = "score"     // symbolic-index re-scoring (Algorithm 2 line 17)
+	PhaseLoad      = "load"      // chunk-store region load / prefetch wait
+	PhaseSwap      = "swap"      // cache region install
+	PhaseSelect    = "select"    // candidate pool argmax scan
+	PhaseLabel     = "label"     // oracle / user labeling
+	PhaseRetrain   = "retrain"   // classifier refit
+	PhaseRetrieve  = "retrieve"  // final result retrieval
 )
+
+// phaseNames is the closed set IsPhaseName recognizes: the spans whose
+// durations are additive within a step. Container spans ("step",
+// "iteration") and storage spans (shard_*, chunk_read, bcache_get) nest
+// phases or nest inside them, so counting both would double-attribute.
+var phaseNames = map[string]bool{
+	PhasePrepare:   true,
+	PhaseBootstrap: true,
+	PhaseScore:     true,
+	PhaseLoad:      true,
+	PhaseSwap:      true,
+	PhaseSelect:    true,
+	PhaseLabel:     true,
+	PhaseRetrain:   true,
+	PhaseRetrieve:  true,
+}
+
+// IsPhaseName reports whether name is a budget-attribution phase: a span
+// whose duration may be summed with its sibling phases to account for a
+// step's wall time (SLO attribution and the uei-trace breakdown rely on
+// this set being non-overlapping within a trace).
+func IsPhaseName(name string) bool { return phaseNames[name] }
 
 // PhaseHistName returns the registry histogram name for a phase, the
 // naming contract FormatSummary scans for.
@@ -25,17 +51,29 @@ func PhaseHistName(phase string) string { return "phase_" + phase + "_seconds" }
 
 // Event is one JSON Lines trace record. Spans carry start offsets relative
 // to tracer creation and nanosecond durations, so even sub-microsecond
-// phases have positive extent.
+// phases have positive extent. Legacy (per-iteration) events carry Iter
+// and no ids; hierarchical events carry TraceID/SpanID (and ParentID for
+// non-roots) — every new field is omitempty, so the legacy emission is
+// byte-identical to prior releases.
 type Event struct {
 	// Type is "span" for phase spans and "iteration" for the per-iteration
-	// root span.
+	// root span of the legacy API.
 	Type string `json:"type"`
+	// TraceID groups the spans of one traced operation (one server step).
+	TraceID string `json:"trace_id,omitempty"`
+	// SpanID identifies this span within its trace.
+	SpanID string `json:"span_id,omitempty"`
+	// ParentID is the enclosing span's SpanID ("" for a trace root).
+	ParentID string `json:"parent_id,omitempty"`
 	// Iter is the exploration iteration the event belongs to (0 before the
-	// interactive loop starts).
+	// interactive loop starts). Legacy-mode only.
 	Iter int `json:"iter"`
-	// Phase names the span ("score", "load", ...; "iteration" roots carry
-	// the empty phase).
+	// Phase names the span ("score", "load", ...; legacy "iteration" roots
+	// carry the empty phase).
 	Phase string `json:"phase,omitempty"`
+	// Outcome is the span's terminal annotation ("ok", "timeout",
+	// "degraded", ...), set via Span.SetOutcome.
+	Outcome string `json:"outcome,omitempty"`
 	// StartNS is the span start, in nanoseconds since the trace began.
 	StartNS int64 `json:"start_ns"`
 	// DurNS is the span duration in nanoseconds.
@@ -51,6 +89,11 @@ type Event struct {
 // tracing at zero cost beyond a branch; StartPhase on a nil tracer still
 // returns a live span whose End reports the measured duration (components
 // reuse it to feed their histograms).
+//
+// One mutex guards the encoder, so concurrent sessions (the serving path)
+// interleave whole lines, never bytes; when the writer exposes
+// Flush() error (a bufio.Writer), every event is flushed through it so a
+// crash loses at most the line being written.
 type Tracer struct {
 	mu    sync.Mutex
 	w     io.Writer
@@ -60,7 +103,13 @@ type Tracer struct {
 	// iterStart anchors the current iteration root span.
 	iterStart time.Time
 	err       error
+	// traceSeq allocates NewTrace ids.
+	traceSeq atomic.Uint64
 }
+
+// flusher is the optional writer interface emitLocked pushes each event
+// through (bufio.Writer implements it).
+type flusher interface{ Flush() error }
 
 // NewTracer wraps a writer. The caller owns the writer's lifecycle
 // (flush/close).
@@ -103,7 +152,8 @@ func (t *Tracer) clockNow() time.Time {
 }
 
 // BeginIteration opens iteration n's root span; child phases emitted until
-// EndIteration are tagged with n.
+// EndIteration are tagged with n. Legacy API: the serving path uses
+// NewTrace/StartSpan instead, whose iteration spans nest under the step.
 func (t *Tracer) BeginIteration(n int) {
 	if t == nil {
 		return
@@ -132,33 +182,64 @@ func (t *Tracer) EndIteration(attrs map[string]float64) {
 	})
 }
 
-// PhaseSpan is an open phase timing. End emits the span (when the parent
-// tracer is live) and always returns the measured duration.
-type PhaseSpan struct {
-	t     *Tracer
-	phase string
-	begin time.Time
+// Span is an open timing. End emits it (when a live tracer backs it) and
+// always returns the measured duration. A span is in exactly one of three
+// modes: hierarchical (tr non-nil: trace/span ids, parent reference),
+// legacy (tr nil, t non-nil: iter-tagged flat span), or measuring-only
+// (both nil: no emission). Spans are single-goroutine: start, SetOutcome,
+// and End happen on the goroutine doing the spanned work.
+type Span struct {
+	t       *Tracer
+	tr      *Trace
+	id      string
+	parent  string
+	name    string
+	begin   time.Time
+	outcome string
 }
 
-// StartPhase opens a span. Valid on a nil tracer: the returned span still
-// measures, it just doesn't emit.
+// PhaseSpan is the legacy name for Span, kept for callers of StartPhase.
+type PhaseSpan = Span
+
+// StartPhase opens a legacy-mode span. Valid on a nil tracer: the
+// returned span still measures, it just doesn't emit.
 func (t *Tracer) StartPhase(phase string) *PhaseSpan {
-	return &PhaseSpan{t: t, phase: phase, begin: t.clockNow()}
+	return &Span{t: t, name: phase, begin: t.clockNow()}
 }
 
 // End closes the span with optional attributes and returns its duration.
-func (s *PhaseSpan) End(attrs map[string]float64) time.Duration {
+func (s *Span) End(attrs map[string]float64) time.Duration {
 	if s == nil {
 		return 0
 	}
 	end := s.t.clockNow()
 	d := end.Sub(s.begin)
+	if s.tr != nil {
+		s.tr.recordPhase(s.name, d)
+		if t := s.t; t != nil {
+			t.mu.Lock()
+			t.emitLocked(Event{
+				Type:     "span",
+				TraceID:  s.tr.id,
+				SpanID:   s.id,
+				ParentID: s.parent,
+				Phase:    s.name,
+				Outcome:  s.outcome,
+				StartNS:  s.begin.Sub(t.start).Nanoseconds(),
+				DurNS:    d.Nanoseconds(),
+				Attrs:    attrs,
+			})
+			t.mu.Unlock()
+		}
+		return d
+	}
 	if t := s.t; t != nil {
 		t.mu.Lock()
 		t.emitLocked(Event{
 			Type:    "span",
 			Iter:    t.iter,
-			Phase:   s.phase,
+			Phase:   s.name,
+			Outcome: s.outcome,
 			StartNS: s.begin.Sub(t.start).Nanoseconds(),
 			DurNS:   d.Nanoseconds(),
 			Attrs:   attrs,
@@ -170,7 +251,8 @@ func (s *PhaseSpan) End(attrs map[string]float64) time.Duration {
 
 // emitLocked writes one event line; the first failure is sticky and
 // silences the trace (exploration must not die because a trace disk
-// filled).
+// filled). When the writer buffers (flusher), the event is flushed
+// through immediately so concurrent sessions' traces survive a crash.
 func (t *Tracer) emitLocked(e Event) {
 	if t.err != nil || t.w == nil {
 		return
@@ -183,5 +265,11 @@ func (t *Tracer) emitLocked(e Event) {
 	line = append(line, '\n')
 	if _, err := t.w.Write(line); err != nil {
 		t.err = err
+		return
+	}
+	if f, ok := t.w.(flusher); ok {
+		if err := f.Flush(); err != nil {
+			t.err = err
+		}
 	}
 }

@@ -154,6 +154,9 @@ func (m *Manager) handleStep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if resp.TraceID != "" {
+		w.Header().Set("X-Uei-Trace-Id", resp.TraceID)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -68,6 +68,12 @@ type Manager struct {
 	cQueueRej  *obs.Counter
 	hStep      *obs.Histogram
 	hIteration *obs.Histogram
+
+	// tracer mints one trace per step request (nil disables tracing);
+	// slo accounts every successful step against the interactivity
+	// budget.
+	tracer *obs.Tracer
+	slo    *obs.SLO
 }
 
 // NewManager opens the shared index from cfg.StoreDir and prepares the
@@ -149,6 +155,8 @@ func newManagerWithIndex(cfg Config, idx *core.Index) (*Manager, error) {
 		cQueueRej:   reg.Counter("uei_server_queue_rejects_total"),
 		hStep:       reg.Histogram("uei_server_step_seconds", nil),
 		hIteration:  reg.Histogram(obs.IterationHistName, nil),
+		tracer:      cfg.Tracer,
+		slo:         obs.NewSLO(reg, cfg.SLOBudget, 0),
 	}
 	if cfg.IdleTimeout > 0 {
 		go m.janitor()
@@ -160,6 +168,9 @@ func newManagerWithIndex(cfg Config, idx *core.Index) (*Manager, error) {
 
 // Registry returns the metrics registry everything is wired to.
 func (m *Manager) Registry() *obs.Registry { return m.cfg.Registry }
+
+// SLO returns the manager's step-latency accountant.
+func (m *Manager) SLO() *obs.SLO { return m.slo }
 
 // Index exposes the shared parent index (for stats; do not explore on it).
 func (m *Manager) Index() *core.Index { return m.idx }
@@ -347,6 +358,10 @@ type StepResponse struct {
 	// shards skipped (deadline missed or failed); the selection is still
 	// valid but was made over the healthy shards only.
 	Degraded bool `json:"degraded,omitempty"`
+	// TraceID identifies this step's trace in the server's trace stream
+	// (set only when the server runs with tracing enabled; also returned
+	// as the X-Uei-Trace-Id response header).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ProposalJSON is a label solicitation on the wire.
@@ -404,10 +419,40 @@ func (m *Manager) Step(ctx context.Context, id string, req StepRequest) (StepRes
 	}
 	defer func() { <-m.stepSem }()
 
+	// One trace per step request: the root "step" span covers the session
+	// lock wait, a possible snapshot resume, and the engine interaction,
+	// so every child span below — iteration phases, shard fan-outs, chunk
+	// reads — links back to this request. With tracing disabled the trace
+	// is nil and the span only measures.
+	tr := m.tracer.NewTrace()
+	ctx = obs.ContextWithTrace(ctx, tr)
+	sctx, root := obs.StartSpan(ctx, "step")
+	resp, err := m.lockedStep(sctx, h, req)
+	switch {
+	case err != nil:
+		root.SetOutcome("error")
+	case resp.Degraded:
+		root.SetOutcome("degraded")
+	default:
+		root.SetOutcome("ok")
+	}
+	d := root.End(nil)
+	if err == nil {
+		m.slo.ObserveStep(d, tr.PhaseTotals())
+		resp.TraceID = tr.ID()
+	}
+	return resp, err
+}
+
+// lockedStep is the session-mutex section of Step: closed/evicted state
+// checks, transparent resume, the engine interaction, and per-step
+// metrics. The root "step" span must end on every exit path, so the
+// section lives in its own function.
+func (m *Manager) lockedStep(ctx context.Context, h *hosted, req StepRequest) (StepResponse, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.state == stateClosed {
-		return StepResponse{}, fmt.Errorf("session %q: %w", id, ErrUnknownSession)
+		return StepResponse{}, fmt.Errorf("session %q: %w", h.id, ErrUnknownSession)
 	}
 	if h.state == stateEvicted && !h.done {
 		if err := m.resumeLocked(ctx, h); err != nil {

@@ -109,6 +109,15 @@ type Config struct {
 	Seed int64
 	// Registry receives the server's metrics; nil creates a private one.
 	Registry *obs.Registry
+	// Tracer, when set, emits one hierarchical trace per step request:
+	// a "step" root span (its id returned in the response and the
+	// X-Uei-Trace-Id header), iteration phases beneath it, per-shard
+	// fan-out spans, and chunk/cache read spans. Nil disables tracing.
+	Tracer *obs.Tracer
+	// SLOBudget is the per-step interactivity budget for the SLO
+	// accountant (slo_violations_total, rolling step-latency
+	// percentiles). Zero selects obs.DefaultSLOBudget (500 ms).
+	SLOBudget time.Duration
 }
 
 // withDefaults validates and fills zero values.
@@ -151,6 +160,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.ShardDeadline < 0 {
 		return c, errors.New("server: ShardDeadline must not be negative")
+	}
+	if c.SLOBudget < 0 {
+		return c, errors.New("server: SLOBudget must not be negative")
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()

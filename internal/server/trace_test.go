@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/uei-db/uei/internal/core"
+	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/obs"
+	"github.com/uei-db/uei/internal/shard"
+)
+
+// buildShardedStore builds a small sharded synthetic store.
+func buildShardedStore(t testing.TB, n, shards int) string {
+	t.Helper()
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: n, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := core.Build(dir, ds, core.BuildOptions{TargetChunkBytes: 4096, Shards: shards}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestTracedDegradedShardedStep is the end-to-end trace acceptance test:
+// a sharded manager with tracing on takes steps while one shard is forced
+// to miss its deadline. The degraded step's trace must reconstruct with no
+// orphans, contain the failing shard's span annotated with its id and
+// "timeout" outcome, return its trace id in the step response, attribute
+// the step wall time to phases, and feed the SLO accountant.
+func TestTracedDegradedShardedStep(t *testing.T) {
+	dir := buildShardedStore(t, 2000, 2)
+	var buf bytes.Buffer
+	tracer := obs.NewTracer(&buf)
+	const deadline = 150 * time.Millisecond
+	m := newTestManager(t, dir, func(c *Config) {
+		c.Shards = 2
+		c.ShardDeadline = deadline
+		c.Tracer = tracer
+		c.SLOBudget = time.Nanosecond // every completed step violates
+	})
+
+	// Shard 1 hangs its scoring pass until the per-shard deadline fires,
+	// so every scoring fan-out degrades with a genuine timeout.
+	m.Index().ShardCoordinator().SetFaultHook(func(ctx context.Context, s int, op string) error {
+		if s == 1 && op == shard.OpScore {
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		return nil
+	})
+
+	ctx := context.Background()
+	info, err := m.Create(ctx, SessionSpec{MaxLabels: 4, Oracle: &OracleSpec{Selectivity: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var degraded StepResponse
+	for i := 0; i < 12; i++ {
+		resp, err := m.Step(ctx, info.ID, StepRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.TraceID == "" {
+			t.Fatal("traced step response missing trace id")
+		}
+		if resp.Degraded && degraded.TraceID == "" {
+			degraded = resp
+		}
+		if resp.Done {
+			break
+		}
+	}
+	if degraded.TraceID == "" {
+		t.Fatal("no step degraded despite the hung shard")
+	}
+
+	events, err := obs.ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := obs.Analyze(events)
+	if orphans := a.Orphans(); len(orphans) != 0 {
+		t.Fatalf("orphaned spans: %v", orphans)
+	}
+	var st *obs.StepTrace
+	for _, s := range a.Steps {
+		if s.TraceID == degraded.TraceID {
+			st = s
+		}
+	}
+	if st == nil {
+		t.Fatalf("degraded trace %s not in stream (have %d traces)", degraded.TraceID, len(a.Steps))
+	}
+	if st.Root == nil || st.Root.Ev.Phase != "step" {
+		t.Fatalf("root = %+v", st.Root)
+	}
+	if st.Root.Ev.Outcome != "degraded" {
+		t.Errorf("root outcome = %q, want degraded", st.Root.Ev.Outcome)
+	}
+
+	// The failing shard's span must be present, annotated with its id,
+	// deadline, and timeout outcome; the healthy shard must read ok.
+	var timeoutSpans, okSpans int
+	walk(st.Root, func(n *obs.SpanNode) {
+		if n.Ev.Phase != "shard_"+shard.OpScore {
+			return
+		}
+		switch n.Ev.Outcome {
+		case "timeout":
+			timeoutSpans++
+			if n.Ev.Attrs["shard"] != 1 {
+				t.Errorf("timeout span attrs = %v, want shard 1", n.Ev.Attrs)
+			}
+			if n.Ev.Attrs["deadline_ms"] != float64(deadline/time.Millisecond) {
+				t.Errorf("timeout span deadline = %v, want %d", n.Ev.Attrs["deadline_ms"], deadline/time.Millisecond)
+			}
+			if d := time.Duration(n.Ev.DurNS); d < deadline {
+				t.Errorf("timeout span duration %v shorter than the %v deadline", d, deadline)
+			}
+		case "ok":
+			okSpans++
+			if n.Ev.Attrs["shard"] != 0 {
+				t.Errorf("ok span attrs = %v, want shard 0", n.Ev.Attrs)
+			}
+		default:
+			t.Errorf("unexpected shard span outcome %q", n.Ev.Outcome)
+		}
+	})
+	if timeoutSpans == 0 || okSpans == 0 {
+		t.Errorf("shard spans: %d timeout, %d ok; want both present", timeoutSpans, okSpans)
+	}
+
+	// Budget attribution: with the 150ms shard timeout dominating the
+	// step, the phase decomposition must account for the root wall time
+	// within the acceptance bound.
+	if cov := st.Coverage(); math.Abs(cov-1) > 0.05 {
+		t.Errorf("phase coverage = %.3f (phases %v of wall %v), want within 5%%",
+			cov, st.PhaseSum(), st.Wall())
+	}
+
+	// The SLO accountant saw the steps, and the 1ns budget makes each a
+	// violation with its phases attributed.
+	if m.SLO().Steps() == 0 || m.SLO().Violations() == 0 {
+		t.Errorf("SLO steps=%d violations=%d, want both positive", m.SLO().Steps(), m.SLO().Violations())
+	}
+	if v := m.Registry().Gauge(`slo_violation_phase_seconds{phase="score"}`).Value(); v <= 0 {
+		t.Errorf("score attribution gauge = %v, want positive", v)
+	}
+	if c := m.Registry().Counter(`shard_degraded_cause_total{cause="deadline"}`).Value(); c == 0 {
+		t.Error("deadline-miss cause counter did not increment")
+	}
+	if c := m.Registry().Counter(`shard_skip_total{shard="1"}`).Value(); c == 0 {
+		t.Error("per-shard skip counter did not increment")
+	}
+}
+
+// walk visits a span subtree depth-first.
+func walk(n *obs.SpanNode, fn func(*obs.SpanNode)) {
+	fn(n)
+	for _, c := range n.Children {
+		walk(c, fn)
+	}
+}
+
+// TestStepTraceIDHeader checks the HTTP surface: a traced step's response
+// carries the trace id in both the JSON body and the X-Uei-Trace-Id
+// header, and an untraced manager emits neither.
+func TestStepTraceIDHeader(t *testing.T) {
+	dir, _ := buildStore(t, 600)
+	var buf bytes.Buffer
+	m := newTestManager(t, dir, func(c *Config) { c.Tracer = obs.NewTracer(&buf) })
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/sessions", "application/json",
+		bytes.NewReader([]byte(`{"max_labels":3,"oracle":{"selectivity":0.05}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	stepResp, err := http.Post(srv.URL+"/v1/sessions/"+info.ID+"/step", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stepResp.Body.Close()
+	var step StepResponse
+	if err := json.NewDecoder(stepResp.Body).Decode(&step); err != nil {
+		t.Fatal(err)
+	}
+	if step.TraceID == "" {
+		t.Fatal("traced step body missing trace_id")
+	}
+	if got := stepResp.Header.Get("X-Uei-Trace-Id"); got != step.TraceID {
+		t.Errorf("X-Uei-Trace-Id = %q, body trace_id = %q", got, step.TraceID)
+	}
+}
+
+// TestUntracedStepNoTraceID pins the disabled path: no tracer, no trace
+// ids anywhere, and stepping still works.
+func TestUntracedStepNoTraceID(t *testing.T) {
+	dir, _ := buildStore(t, 600)
+	m := newTestManager(t, dir, nil)
+	info, err := m.Create(context.Background(), SessionSpec{MaxLabels: 3, Oracle: &OracleSpec{Selectivity: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := m.Step(context.Background(), info.ID, StepRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != "" {
+		t.Errorf("untraced step returned trace id %q", resp.TraceID)
+	}
+}

@@ -98,8 +98,13 @@ type Coordinator struct {
 	deadline atomic.Int64 // nanoseconds; 0 = none
 	hook     atomic.Pointer[FaultHook]
 
-	// mDegraded counts shard skips (shard_degraded_total); nil-safe.
-	mDegraded *obs.Counter
+	// mDegraded counts shard skips (shard_degraded_total); nil-safe. The
+	// cause-split counters attribute each skip to a deadline miss vs a
+	// shard error, and mSkip[i] counts skips of shard i specifically.
+	mDegraded         *obs.Counter
+	mDegradedDeadline *obs.Counter
+	mDegradedError    *obs.Counter
+	mSkip             []*obs.Counter
 }
 
 // Open loads a sharded store built by Build. A flat store directory fails
@@ -251,15 +256,37 @@ func (c *Coordinator) SetFaultHook(h FaultHook) {
 	c.hook.Store(&h)
 }
 
-// Instrument registers shard metrics — shard_degraded_total, the
-// uei_shards gauge — and each shard store's I/O instruments (shared by
-// name, so chunkstore counters aggregate across shards exactly like the
-// flat layout).
+// Instrument registers shard metrics — shard_degraded_total, its
+// cause-split family shard_degraded_cause_total{cause=...}, the per-shard
+// shard_skip_total{shard=i} set, the uei_shards gauge — and each shard
+// store's I/O instruments (shared by name, so chunkstore counters
+// aggregate across shards exactly like the flat layout).
 func (c *Coordinator) Instrument(reg *obs.Registry) {
 	c.mDegraded = reg.Counter("shard_degraded_total")
+	c.mDegradedDeadline = reg.Counter(`shard_degraded_cause_total{cause="deadline"}`)
+	c.mDegradedError = reg.Counter(`shard_degraded_cause_total{cause="error"}`)
+	c.mSkip = make([]*obs.Counter, len(c.shards))
+	for i := range c.shards {
+		c.mSkip[i] = reg.Counter(fmt.Sprintf("shard_skip_total{shard=\"%d\"}", i))
+	}
 	reg.Gauge("uei_shards").SetInt(int64(len(c.shards)))
 	for _, s := range c.shards {
 		s.Store.Instrument(reg)
+	}
+}
+
+// recordDegraded counts one shard skip, attributing the cause (deadline
+// miss vs shard error) and the shard identity. Nil-safe before
+// Instrument.
+func (c *Coordinator) recordDegraded(id int, err error) {
+	c.mDegraded.Inc()
+	if errors.Is(err, context.DeadlineExceeded) {
+		c.mDegradedDeadline.Inc()
+	} else {
+		c.mDegradedError.Inc()
+	}
+	if id >= 0 && id < len(c.mSkip) {
+		c.mSkip[id].Inc()
 	}
 }
 
@@ -269,20 +296,54 @@ type shardResult struct {
 }
 
 // runShardOp applies the per-shard deadline and fault hook around one
-// operation.
+// operation. On a traced context it wraps the operation in a
+// "shard_<op>" span annotated with the shard id, the deadline, and the
+// outcome (ok / timeout / error / cancelled) — the per-shard fan-out
+// level of a step trace.
 func (c *Coordinator) runShardOp(ctx context.Context, s *Shard, op string, fn func(ctx context.Context, s *Shard) error) error {
+	var span *obs.Span
 	sctx := ctx
-	if d := time.Duration(c.deadline.Load()); d > 0 {
+	if obs.HasTrace(ctx) {
+		sctx, span = obs.StartSpan(ctx, "shard_"+op)
+	}
+	d := time.Duration(c.deadline.Load())
+	if d > 0 {
 		var cancel context.CancelFunc
-		sctx, cancel = context.WithTimeout(ctx, d)
+		sctx, cancel = context.WithTimeout(sctx, d)
 		defer cancel()
 	}
+	var err error
 	if h := c.hook.Load(); h != nil {
-		if err := (*h)(sctx, s.ID, op); err != nil {
-			return err
-		}
+		err = (*h)(sctx, s.ID, op)
 	}
-	return fn(sctx, s)
+	if err == nil {
+		err = fn(sctx, s)
+	}
+	if span != nil {
+		span.SetOutcome(shardOutcome(ctx, err))
+		attrs := map[string]float64{"shard": float64(s.ID)}
+		if d > 0 {
+			attrs["deadline_ms"] = float64(d) / float64(time.Millisecond)
+		}
+		span.End(attrs)
+	}
+	return err
+}
+
+// shardOutcome classifies a shard operation result for span annotation.
+// callerCtx is the context *outside* the per-shard deadline: when it is
+// cancelled the caller gave up, which is not shard degradation.
+func shardOutcome(callerCtx context.Context, err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case callerCtx.Err() != nil:
+		return "cancelled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	default:
+		return "error"
+	}
 }
 
 // scatter fans fn out to every shard, one goroutine per shard, each under
@@ -317,12 +378,10 @@ func (c *Coordinator) scatter(ctx context.Context, op string, strict bool, fn fu
 		if strict {
 			return nil, fmt.Errorf("shard %d %s: %w", r.id, op, errors.Join(ErrShardUnavailable, r.err))
 		}
+		c.recordDegraded(r.id, r.err)
 		degraded = append(degraded, r.id)
 	}
 	sort.Ints(degraded)
-	if len(degraded) > 0 {
-		c.mDegraded.Add(int64(len(degraded)))
-	}
 	if len(degraded) == len(c.shards) {
 		return degraded, fmt.Errorf("shard: all %d shards unavailable for %s: %w", len(c.shards), op, ErrShardUnavailable)
 	}
@@ -512,7 +571,7 @@ func (c *Coordinator) withShard(ctx context.Context, s *Shard, op string, fn fun
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}
-	c.mDegraded.Inc()
+	c.recordDegraded(s.ID, err)
 	return fmt.Errorf("shard %d %s: %w", s.ID, op, errors.Join(ErrShardUnavailable, err))
 }
 

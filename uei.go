@@ -109,6 +109,14 @@ type (
 	Registry = obs.Registry
 	// Tracer records per-phase spans of exploration iterations.
 	Tracer = obs.Tracer
+	// Trace is one hierarchical trace (a tree of spans sharing a trace id);
+	// mint one per request with Tracer.NewTrace and carry it in a context.
+	Trace = obs.Trace
+	// Span is one timed operation within a trace (or a flat legacy span).
+	Span = obs.Span
+	// SLO accounts per-step latency against an interactivity budget:
+	// rolling percentiles, violation counts, per-phase budget attribution.
+	SLO = obs.SLO
 )
 
 // NewRegistry returns an empty metrics registry.
@@ -116,6 +124,30 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // NewTracer returns a tracer writing JSON span records to w.
 func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// ContextWithTrace returns ctx carrying the trace; spans opened under it
+// nest beneath the trace's root. A nil trace returns ctx unchanged, so the
+// call is safe on the untraced path.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	return obs.ContextWithTrace(ctx, tr)
+}
+
+// TraceFromContext returns the trace carried by ctx, or nil.
+func TraceFromContext(ctx context.Context) *Trace { return obs.TraceFromContext(ctx) }
+
+// StartSpan opens a span named name under ctx's current span (or as the
+// trace root) and returns the child context to pass downward. Without a
+// trace in ctx the span is measuring-only: End still returns the duration
+// but nothing is emitted.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.StartSpan(ctx, name)
+}
+
+// NewSLO returns an SLO accountant publishing to reg. Zero budget selects
+// obs.DefaultSLOBudget (500ms); zero window selects obs.DefaultSLOWindow.
+func NewSLO(reg *Registry, budget time.Duration, window int) *SLO {
+	return obs.NewSLO(reg, budget, window)
+}
 
 // --- the index (internal/core) ---
 
