@@ -58,11 +58,19 @@ func run() error {
 		summary = flag.Bool("summary", false, "print a phase-latency breakdown table at the end")
 		cacheB  = flag.Int64("block-cache-bytes", 0, "shared decoded-chunk block cache budget in bytes (0 disables, the paper's discipline)")
 		shards  = flag.Int("shards", 1, "store layout: 1 = legacy flat (the paper's configuration), >1 = sharded scatter-gather with that many shards")
+		repl    = flag.Int("replication", 1, "replicas per shard on the sharded layout (puts failover/hedging machinery on the measured path)")
+		hedge   = flag.Duration("hedge-delay", 0, "fire per-shard calls on a second replica after this delay (0 disables; needs -replication > 1)")
 	)
 	flag.Parse()
 
 	if *shards < 1 {
 		return fmt.Errorf("-shards %d must be at least 1", *shards)
+	}
+	if *repl < 1 {
+		return fmt.Errorf("-replication %d must be at least 1", *repl)
+	}
+	if *hedge < 0 {
+		return fmt.Errorf("-hedge-delay %v must not be negative", *hedge)
 	}
 	cfg := experiment.DefaultConfig()
 	if *full {
@@ -127,6 +135,12 @@ func run() error {
 	}
 	if *shards > 1 {
 		cfg.Shards = *shards
+	}
+	if *repl > 1 {
+		cfg.Replication = *repl
+	}
+	if *hedge > 0 {
+		cfg.HedgeDelay = *hedge
 	}
 	cfg.WorkDir = *workdir
 

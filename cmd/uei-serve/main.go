@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,6 +63,9 @@ func run() error {
 		shardDl     = flag.Duration("shard-deadline", 0, "per-shard operation deadline; slow shards are skipped and steps report degraded (0 disables)")
 		traceFile   = flag.String("trace", "", "write one hierarchical step trace per request to this JSONL file (analyze with uei-trace)")
 		sloBudget   = flag.Duration("slo", 0, "per-step interactivity budget for SLO accounting (0 = the 500ms default)")
+		endpoints   = flag.String("shard-endpoints", "", "comma-separated uei-shardd worker URLs; serves the index remotely instead of opening -store")
+		replication = flag.Int("replication", 1, "replicas per shard across the worker fleet (shards degrade only when all replicas fail)")
+		hedge       = flag.Duration("hedge-delay", 0, "fire per-shard calls on a second replica after this delay, first reply wins (0 disables; needs -replication > 1)")
 	)
 	flag.Parse()
 
@@ -71,6 +75,12 @@ func run() error {
 	if *shardDl < 0 {
 		return fmt.Errorf("-shard-deadline %v must not be negative", *shardDl)
 	}
+	eps := splitEndpoints(*endpoints)
+	if len(eps) > 0 && *shards == 1 {
+		// Remote serving is always sharded; let the fleet's manifest decide
+		// unless a specific count was demanded.
+		*shards = 0
+	}
 
 	// SIGINT/SIGTERM starts the graceful drain: the listener stops
 	// accepting, in-flight steps finish, and live sessions are evicted to
@@ -79,9 +89,9 @@ func run() error {
 	defer stop()
 
 	dir := *storeDir
-	if dir == "" {
+	if dir == "" && len(eps) == 0 {
 		if *gen <= 0 {
-			return fmt.Errorf("either -store or -gen is required")
+			return fmt.Errorf("either -store, -gen, or -shard-endpoints is required")
 		}
 		tmp, err := os.MkdirTemp("", "uei-serve-")
 		if err != nil {
@@ -131,6 +141,9 @@ func run() error {
 		BlockCacheBytes:       *cacheBytes,
 		Shards:                *shards,
 		ShardDeadline:         *shardDl,
+		ShardEndpoints:        eps,
+		Replication:           *replication,
+		HedgeDelay:            *hedge,
 		Tracer:                tracer,
 		SLOBudget:             *sloBudget,
 	})
@@ -138,7 +151,10 @@ func run() error {
 		return err
 	}
 
-	if m.Index().Sharded() {
+	if len(eps) > 0 {
+		fmt.Printf("remote data plane: %d shards over %d workers (replication %d, hedge delay %v)\n",
+			m.Index().NumShards(), len(eps), *replication, *hedge)
+	} else if m.Index().Sharded() {
 		fmt.Printf("sharded store: %d shards (per-shard deadline %v)\n", m.Index().NumShards(), *shardDl)
 	}
 	fmt.Printf("serving %d tuples on http://%s/v1/sessions (budget %d bytes, %d session slots)\n",
@@ -152,4 +168,15 @@ func run() error {
 		fmt.Println("drained; all live sessions snapshotted.")
 	}
 	return err
+}
+
+// splitEndpoints parses a comma-separated endpoint list, trimming blanks.
+func splitEndpoints(s string) []string {
+	var eps []string
+	for _, ep := range strings.Split(s, ",") {
+		if ep = strings.TrimSpace(ep); ep != "" {
+			eps = append(eps, ep)
+		}
+	}
+	return eps
 }

@@ -3,6 +3,7 @@ package uei_test
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -155,4 +156,37 @@ func TestErrLayoutMismatchRoundTrip(t *testing.T) {
 		t.Fatalf("matching layout: %v", err)
 	}
 	idx.Close()
+}
+
+// TestOwnerOfCellLayoutMismatch: asking a sharded coordinator about a
+// cell id outside its grid surfaces the facade's ErrLayoutMismatch
+// sentinel (wrapped with the offending cell id), not a bare formatted
+// error — the routing table and the store layout disagree, which is
+// exactly what the sentinel means.
+func TestOwnerOfCellLayoutMismatch(t *testing.T) {
+	ctx := context.Background()
+	_, ds := buildSmallStore(t, 500)
+	dir := t.TempDir()
+	if err := uei.Build(ctx, dir, ds, uei.BuildOptions{TargetChunkBytes: 4096, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := uei.Open(ctx, dir, uei.Options{MemoryBudgetBytes: ds.SizeBytes()}, uei.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	coord := idx.ShardCoordinator()
+	if coord == nil {
+		t.Fatal("sharded index has no coordinator")
+	}
+	if _, err := coord.OwnerOfCell(0); err != nil {
+		t.Fatalf("in-range cell: %v", err)
+	}
+	_, err = coord.OwnerOfCell(1 << 30)
+	if !errors.Is(err, uei.ErrLayoutMismatch) {
+		t.Fatalf("out-of-range cell: want ErrLayoutMismatch in the chain, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "1073741824") {
+		t.Errorf("error %q does not name the offending cell id", err)
+	}
 }

@@ -81,6 +81,25 @@ type Options struct {
 	// instead of failing). Zero disables the deadline. Ignored by the flat
 	// layout.
 	ShardDeadline time.Duration
+	// ShardEndpoints, when non-empty, serves the index through remote
+	// uei-shardd workers instead of opening the store directory locally:
+	// the fleet is handshaken, shards are placed on endpoints by
+	// consistent hashing, and every per-shard operation goes over HTTP.
+	// The directory argument of Open is ignored (may be empty). Results
+	// are byte-identical to a local open of the same store.
+	ShardEndpoints []string
+	// Replication is the per-shard replica count. With remote endpoints,
+	// each shard is placed on this many distinct workers and operations
+	// fail over between them (a shard degrades only when all replicas
+	// fail); it must not exceed the endpoint count. On a local sharded
+	// open, replicas share the in-process backend, which still exercises
+	// the hedging/failover machinery. Zero and 1 both mean unreplicated.
+	Replication int
+	// HedgeDelay, when positive and Replication > 1, fires each per-shard
+	// operation on a second replica if the first has not answered within
+	// the delay; the first reply wins and the loser is cancelled. Zero
+	// disables hedging.
+	HedgeDelay time.Duration
 }
 
 // withDefaults validates and fills zero values.
@@ -123,6 +142,15 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.ShardDeadline < 0 {
 		return o, fmt.Errorf("core: negative shard deadline %v", o.ShardDeadline)
+	}
+	if o.Replication < 0 {
+		return o, fmt.Errorf("core: replication %d must not be negative", o.Replication)
+	}
+	if o.HedgeDelay < 0 {
+		return o, fmt.Errorf("core: negative hedge delay %v", o.HedgeDelay)
+	}
+	if len(o.ShardEndpoints) > 0 && o.Replication > len(o.ShardEndpoints) {
+		return o, fmt.Errorf("core: replication %d exceeds %d shard endpoints", o.Replication, len(o.ShardEndpoints))
 	}
 	return o, nil
 }

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/learn"
+	"github.com/uei-db/uei/internal/shard/remote"
+)
+
+// reportStepP99 reports the tail of the per-step latencies — the figure
+// hedging exists to improve; the mean barely moves.
+func reportStepP99(b *testing.B, durs []time.Duration) {
+	if len(durs) == 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := (len(sorted) * 99) / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	b.ReportMetric(float64(sorted[i].Nanoseconds()), "p99-ns/step")
+}
+
+// BenchmarkRemoteShardedStep measures the full per-iteration step —
+// re-score, top-k, cell load — across transports: in-process sharded,
+// remote over the wire protocol, and remote with an injected slow primary
+// replica with hedging off versus on. CI records this in
+// bench/remotestep.txt; the hedged slow-replica line's p99 must beat the
+// unhedged one.
+func BenchmarkRemoteShardedStep(b *testing.B) {
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: 4000, Seed: 21})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bounds, err := ds.Bounds()
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := learn.NewDWKNN(7, bounds.Widths())
+	var X [][]float64
+	var y []int
+	for i := 0; i < 50; i++ {
+		X = append(X, ds.CopyRow(dataset.RowID(i*(ds.Len()/50))))
+		y = append(y, i%2)
+	}
+	if err := model.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	dir := b.TempDir()
+	if err := Build(dir, ds, BuildOptions{TargetChunkBytes: 16 * 1024, Shards: 2}); err != nil {
+		b.Fatal(err)
+	}
+
+	step := func(b *testing.B, idx *Index) {
+		durs := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			idx.InvalidateScores()
+			if _, err := idx.EnsureRegion(ctx, model); err != nil {
+				b.Fatal(err)
+			}
+			durs = append(durs, time.Since(start))
+		}
+		b.StopTimer()
+		reportStepP99(b, durs)
+	}
+
+	b.Run("transport=local", func(b *testing.B) {
+		idx, err := Open(ctx, dir, Options{MemoryBudgetBytes: 1 << 24, Workers: 4, Shards: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer idx.Close()
+		step(b, idx)
+	})
+
+	// One backing data plane behind two worker endpoints, as two uei-shardd
+	// processes over copies of the store would serve it.
+	backing, err := Open(ctx, dir, Options{MemoryBudgetBytes: 1 << 24, Workers: 4, Shards: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer backing.Close()
+	handler := remote.NewServer(backing.ShardCoordinator(), func(string, ...any) {})
+	w1 := httptest.NewServer(handler)
+	defer w1.Close()
+	w2 := httptest.NewServer(handler)
+	defer w2.Close()
+	endpoints := []string{w1.URL, w2.URL}
+
+	openRemoteIdx := func(b *testing.B, replication int, hedge time.Duration) *Index {
+		idx, err := Open(ctx, "", Options{
+			MemoryBudgetBytes: 1 << 24, Workers: 4,
+			ShardEndpoints: endpoints, Replication: replication, HedgeDelay: hedge,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return idx
+	}
+
+	b.Run("transport=remote", func(b *testing.B) {
+		idx := openRemoteIdx(b, 1, 0)
+		defer idx.Close()
+		step(b, idx)
+	})
+
+	// A primary replica that answers, but slowly — the grey-failure mode
+	// hedging targets. The delay is injected client-side in the attempt
+	// path, so cancellation (the hedged winner's loser-cancel) cuts it
+	// short exactly like a slow network leg. The hedge delay must sit
+	// above the healthy per-op service time (a premature hedge duplicates
+	// CPU-heavy scoring work and makes things worse) and below the fault
+	// delay, the same calibration an operator does against the op's p95.
+	slowPrimary := func(ctx context.Context, _, replica int, _ string) error {
+		if replica != 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(25 * time.Millisecond):
+			return nil
+		}
+	}
+
+	b.Run("transport=remote/slowreplica/hedge=off", func(b *testing.B) {
+		idx := openRemoteIdx(b, 2, 0)
+		defer idx.Close()
+		idx.ShardCoordinator().SetFaultHook(slowPrimary)
+		step(b, idx)
+	})
+
+	b.Run("transport=remote/slowreplica/hedge=8ms", func(b *testing.B) {
+		idx := openRemoteIdx(b, 2, 8*time.Millisecond)
+		defer idx.Close()
+		idx.ShardCoordinator().SetFaultHook(slowPrimary)
+		step(b, idx)
+	})
+}

@@ -195,7 +195,7 @@ func TestShardedDegradedScoreStep(t *testing.T) {
 	ctx := context.Background()
 	coord := sharded.ShardCoordinator()
 
-	coord.SetFaultHook(func(_ context.Context, s int, op string) error {
+	coord.SetFaultHook(func(_ context.Context, s, _ int, op string) error {
 		if s == 2 && op == shard.OpScore {
 			return errors.New("injected shard fault")
 		}
@@ -233,7 +233,7 @@ func TestShardedDegradedScoreStep(t *testing.T) {
 	}
 
 	// Every shard failing is an error, not silent degradation.
-	coord.SetFaultHook(func(_ context.Context, _ int, op string) error {
+	coord.SetFaultHook(func(_ context.Context, _, _ int, op string) error {
 		if op == shard.OpScore {
 			return errors.New("total outage")
 		}
@@ -263,7 +263,7 @@ func TestShardedLoadFallback(t *testing.T) {
 		t.Fatalf("need two candidate cells, got %v", top)
 	}
 	var loads atomic.Int32
-	sharded.ShardCoordinator().SetFaultHook(func(_ context.Context, _ int, op string) error {
+	sharded.ShardCoordinator().SetFaultHook(func(_ context.Context, _, _ int, op string) error {
 		if op == shard.OpLoad && loads.Add(1) == 1 {
 			return errors.New("winner's shard is down")
 		}
@@ -288,7 +288,7 @@ func TestShardedCancellation(t *testing.T) {
 	model := boundaryModel(t, ds, testRegion(t, ds), 30)
 	coord := sharded.ShardCoordinator()
 	release := make(chan struct{})
-	coord.SetFaultHook(func(ctx context.Context, s int, op string) error {
+	coord.SetFaultHook(func(ctx context.Context, s, _ int, op string) error {
 		if op == shard.OpScore && s != 0 {
 			select {
 			case <-ctx.Done():

@@ -18,6 +18,7 @@ import (
 	"github.com/uei-db/uei/internal/pool"
 	"github.com/uei-db/uei/internal/prefetch"
 	"github.com/uei-db/uei/internal/shard"
+	"github.com/uei-db/uei/internal/shard/remote"
 	"github.com/uei-db/uei/internal/vec"
 )
 
@@ -135,6 +136,9 @@ func Open(ctx context.Context, dir string, opts Options) (*Index, error) {
 	}
 	if opts.Shards < 0 {
 		return nil, fmt.Errorf("core: shard count %d must not be negative", opts.Shards)
+	}
+	if len(opts.ShardEndpoints) > 0 {
+		return openRemote(ctx, opts)
 	}
 	sharded := shard.IsShardedDir(dir)
 	if opts.Shards == 1 && sharded {
@@ -267,18 +271,60 @@ func openSharded(ctx context.Context, dir string, opts Options) (*Index, error) 
 		Pool:       pl,
 		Deadline:   opts.ShardDeadline,
 		BlockCache: bc,
+		Replicas:   opts.Replication,
+		HedgeDelay: opts.HedgeDelay,
 	})
 	if err != nil {
 		pl.Close()
 		return nil, err
 	}
-	g := coord.Grid()
+	return newShardedIndex(opts, coord, pl, bc)
+}
+
+// openRemote serves the index through uei-shardd workers: the fleet
+// handshake fetches the store identity (so no local directory is needed),
+// consistent hashing places each shard on Replication distinct workers,
+// and every per-shard operation travels the HTTP transport with failover
+// and optional hedging. Block caching happens worker-side, so
+// BlockCacheBytes is ignored here.
+func openRemote(ctx context.Context, opts Options) (*Index, error) {
+	coord, err := remote.Connect(ctx, remote.ConnectOptions{
+		Endpoints:   opts.ShardEndpoints,
+		Replication: opts.Replication,
+		Deadline:    opts.ShardDeadline,
+		HedgeDelay:  opts.HedgeDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	man := coord.Manifest()
+	if opts.Shards > 1 && man.Shards != opts.Shards {
+		return nil, fmt.Errorf("core: fleet serves %d shards but %d were requested: %w", man.Shards, opts.Shards, chunkstore.ErrLayoutMismatch)
+	}
+	if opts.SegmentsPerDim == 0 {
+		opts.SegmentsPerDim = man.SegmentsPerDim
+	} else if opts.SegmentsPerDim != man.SegmentsPerDim {
+		return nil, fmt.Errorf("core: store was sharded over %d segments per dimension; cannot open with %d (cell ownership is grid-dependent)", man.SegmentsPerDim, opts.SegmentsPerDim)
+	}
+	opts, err = opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	pl := pool.New(opts.Workers)
+	return newShardedIndex(opts, coord, pl, nil)
+}
+
+// newShardedIndex finishes an Open over any coordinator transport: memory
+// budget, unlabeled cache, metrics wiring, optional prefetcher.
+func newShardedIndex(opts Options, coord *shard.Coordinator, pl *pool.Pool, bc *chunkstore.BlockCache) (*Index, error) {
+	meta := coord.Meta()
+	g := meta.Grid
 	budget, err := memcache.NewBudget(opts.MemoryBudgetBytes)
 	if err != nil {
 		pl.Close()
 		return nil, err
 	}
-	cache, err := memcache.NewCache(budget, coord.Dims())
+	cache, err := memcache.NewCache(budget, meta.Dims())
 	if err != nil {
 		pl.Close()
 		return nil, err
@@ -386,7 +432,7 @@ func (x *Index) BlockCache() *chunkstore.BlockCache {
 // RowCount returns the number of tuples in the store (all shards).
 func (x *Index) RowCount() int {
 	if x.coord != nil {
-		return x.coord.RowCount()
+		return x.coord.Meta().RowCount
 	}
 	return x.store.RowCount()
 }
@@ -394,7 +440,7 @@ func (x *Index) RowCount() int {
 // Dims returns the dimensionality.
 func (x *Index) Dims() int {
 	if x.coord != nil {
-		return x.coord.Dims()
+		return x.coord.Meta().Dims()
 	}
 	return x.store.Dims()
 }
@@ -402,7 +448,7 @@ func (x *Index) Dims() int {
 // Columns returns the attribute names in dimension order (read-only).
 func (x *Index) Columns() []string {
 	if x.coord != nil {
-		return x.coord.Columns()
+		return x.coord.Meta().Columns
 	}
 	return x.store.Columns()
 }
@@ -410,7 +456,7 @@ func (x *Index) Columns() []string {
 // Bounds returns the per-dimension value bounds recorded at build time.
 func (x *Index) Bounds() vec.Box {
 	if x.coord != nil {
-		return x.coord.Bounds()
+		return x.coord.Meta().Bounds
 	}
 	return x.store.Bounds()
 }
@@ -418,7 +464,7 @@ func (x *Index) Bounds() vec.Box {
 // TotalBytes returns the on-disk payload size of all chunks (all shards).
 func (x *Index) TotalBytes() int64 {
 	if x.coord != nil {
-		return x.coord.TotalBytes()
+		return x.coord.Meta().TotalBytes
 	}
 	return x.store.TotalBytes()
 }
@@ -564,9 +610,29 @@ func (x *Index) mostUncertainCells(ctx context.Context, k int) ([]grid.CellID, e
 	}
 	if x.coord != nil {
 		// Scatter-gather selection: per-shard local top-k through the
-		// pool, merged with the same comparator — exactly the global
-		// top-k, minus the cells of shards whose scores are stale.
-		return x.coord.MostUncertain(ctx, x.uncertainty, k, x.degradedShards)
+		// backends, merged with the same comparator — exactly the global
+		// top-k, minus the cells of shards whose scores are stale. A shard
+		// failing the top-k call itself joins the degraded set until the
+		// next successful scoring pass.
+		cells, newlyDegraded, err := x.coord.MostUncertain(ctx, x.uncertainty, k, x.degradedShards)
+		if err != nil {
+			return nil, err
+		}
+		if len(newlyDegraded) > 0 {
+			x.stepDegraded = true
+			merged := append(append([]int(nil), x.degradedShards...), newlyDegraded...)
+			sort.Ints(merged)
+			n := 0
+			for i, s := range merged {
+				if i > 0 && s == merged[n-1] {
+					continue
+				}
+				merged[n] = s
+				n++
+			}
+			x.degradedShards = merged[:n]
+		}
+		return cells, nil
 	}
 	if k < 1 {
 		k = 1
@@ -963,142 +1029,47 @@ func (x *Index) ResultRetrieval(ctx context.Context, model learn.Classifier, min
 	// Stream each dimension's relevant chunks once, accumulating partial
 	// rows; a row materializes only if a marked segment hits it on every
 	// dimension (a superset of the passing-cell union, trimmed below).
-	// Sharded indexes run the same scan on every shard concurrently (each
-	// shard is a self-contained store over its own rows) and merge the
-	// tables under global ids. Retrieval is the final answer, so the
-	// scatter is strict: a failing shard fails the call rather than
-	// silently dropping its rows.
-	var table map[uint32]*retrievalPartial
+	// Sharded indexes run the same scan on every backend concurrently (each
+	// shard is a self-contained store over its own rows) and merge the rows
+	// under global ids. Retrieval is the final answer, so the scatter is
+	// strict: a failing shard fails the call rather than silently dropping
+	// its rows. Both paths share shard.ScanMarked, so the row set is
+	// byte-identical across layouts and transports.
+	var rows []shard.RetrievedRow
+	var entries int
 	if x.coord != nil {
-		table = make(map[uint32]*retrievalPartial)
-		var mu sync.Mutex
-		err := x.coord.ScatterStrict(ctx, shard.OpRetrieve, func(sctx context.Context, s *shard.Shard) error {
-			local, err := x.scanMarked(sctx, s.Store, markedSeg)
-			if err != nil {
-				return err
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			for id, p := range local {
-				table[s.IDMap[id]] = p
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
+		rows, entries, err = x.coord.Retrieve(ctx, markedSeg)
 	} else {
-		table, err = x.scanMarked(ctx, x.store, markedSeg)
-		if err != nil {
-			return nil, err
-		}
+		rows, entries, err = shard.ScanMarked(ctx, x.grid, x.store, markedSeg)
 	}
+	if err != nil {
+		return nil, err
+	}
+	x.mEntries.Add(int64(entries))
 
-	// Final trim: exact passing-cell membership, then the classifier.
+	// Final trim: exact passing-cell membership, then the classifier. rows
+	// arrive sorted by global id, so out stays ascending.
 	var out []uint32
-	for id, p := range table {
+	for _, r := range rows {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		cell, err := x.grid.CellOf(p.vals)
+		cell, err := x.grid.CellOf(r.Vals)
 		if err != nil {
 			return nil, err
 		}
 		if post[cell] < minCellPosterior {
 			continue
 		}
-		cls, err := learn.Predict(model, p.vals)
+		cls, err := learn.Predict(model, r.Vals)
 		if err != nil {
 			return nil, err
 		}
 		if cls == learn.ClassPositive {
-			out = append(out, id)
+			out = append(out, r.ID)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
-}
-
-// retrievalPartial accumulates a row during the retrieval merge.
-type retrievalPartial struct {
-	vals []float64
-	hits int
-}
-
-// scanMarked streams one store's chunks overlapping the marked segments,
-// dimension by dimension, and returns the rows (keyed by the store's own
-// row ids) that a marked segment hit on every dimension. It is the
-// per-store body of ResultRetrieval, shared by the flat path and the
-// per-shard scatter.
-func (x *Index) scanMarked(ctx context.Context, st *chunkstore.Store, markedSeg [][]bool) (map[uint32]*retrievalPartial, error) {
-	dims := x.grid.Dims()
-	table := make(map[uint32]*retrievalPartial)
-	for d := 0; d < dims; d++ {
-		chunkSet := make(map[int]chunkstore.ChunkMeta)
-		for seg, marked := range markedSeg[d] {
-			if !marked {
-				continue
-			}
-			lo, hi, err := x.grid.SegmentInterval(d, seg)
-			if err != nil {
-				return nil, err
-			}
-			chunks, err := st.ChunksOverlapping(d, lo, hi)
-			if err != nil {
-				return nil, err
-			}
-			for _, c := range chunks {
-				chunkSet[c.Seq] = c
-			}
-		}
-		order := make([]int, 0, len(chunkSet))
-		for seq := range chunkSet {
-			order = append(order, seq)
-		}
-		sort.Ints(order)
-		metas := make([]chunkstore.ChunkMeta, len(order))
-		for i, seq := range order {
-			metas[i] = chunkSet[seq]
-		}
-		dd := d
-		err := st.ReadChunksOrdered(ctx, metas, func(_ chunkstore.ChunkMeta, entries []chunkstore.Entry) error {
-			for _, e := range entries {
-				x.mEntries.Inc()
-				seg, err := x.grid.SegmentOf(dd, e.Value)
-				if err != nil {
-					return err
-				}
-				if !markedSeg[dd][seg] {
-					continue
-				}
-				for _, id := range e.Rows {
-					p := table[id]
-					if p == nil {
-						if dd > 0 {
-							continue // already failed an earlier dimension
-						}
-						p = &retrievalPartial{vals: make([]float64, dims)}
-						table[id] = p
-					}
-					if p.hits != dd {
-						continue
-					}
-					p.vals[dd] = e.Value
-					p.hits++
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		for id, p := range table {
-			if p.hits != d+1 {
-				delete(table, id)
-			}
-		}
-	}
-	return table, nil
 }
 
 // CellEstimate exposes the mapping's I/O cost estimate for a cell (for a

@@ -78,6 +78,14 @@ type Config struct {
 	// that many shards and runs every iteration as a scatter-gather. 0 and
 	// 1 keep the flat layout (the paper's configuration).
 	Shards int
+	// Replication, when > 1, runs each shard with that many logical
+	// replicas (in-process backends share storage) so the failover and
+	// hedging machinery is on the measured path. 0 and 1 mean
+	// unreplicated.
+	Replication int
+	// HedgeDelay fires per-shard calls on a second replica after this
+	// delay (needs Replication > 1). Zero disables hedging.
+	HedgeDelay time.Duration
 }
 
 // DefaultConfig returns the quick-mode configuration.
@@ -137,6 +145,10 @@ func (c Config) validate() error {
 		return fmt.Errorf("experiment: BlockCacheBytes = %d", c.BlockCacheBytes)
 	case c.Shards < 0:
 		return fmt.Errorf("experiment: Shards = %d", c.Shards)
+	case c.Replication < 0:
+		return fmt.Errorf("experiment: Replication = %d", c.Replication)
+	case c.HedgeDelay < 0:
+		return fmt.Errorf("experiment: HedgeDelay = %v", c.HedgeDelay)
 	}
 	return nil
 }

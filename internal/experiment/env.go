@@ -126,6 +126,8 @@ func (e *Env) OpenIndex(ctx context.Context, runSeed int64) (*core.Index, error)
 		Limiter:           e.Limiter,
 		BlockCacheBytes:   e.Cfg.BlockCacheBytes,
 		Shards:            e.Cfg.Shards,
+		Replication:       e.Cfg.Replication,
+		HedgeDelay:        e.Cfg.HedgeDelay,
 	})
 }
 

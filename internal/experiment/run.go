@@ -287,6 +287,8 @@ func (e *Env) openIndexWith(runSeed int64, segments, sampleSize int, prefetch bo
 		Workers:           workers,
 		Limiter:           e.Limiter,
 		Shards:            e.Cfg.Shards,
+		Replication:       e.Cfg.Replication,
+		HedgeDelay:        e.Cfg.HedgeDelay,
 	})
 }
 

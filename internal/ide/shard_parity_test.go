@@ -122,7 +122,7 @@ func TestShardedSessionParity(t *testing.T) {
 func TestShardedSessionDegradedFlag(t *testing.T) {
 	f := newFixture(t, 1200, 0.05)
 	p := f.ueiShardedProvider(t, 150, 4)
-	p.idx.ShardCoordinator().SetFaultHook(func(_ context.Context, s int, op string) error {
+	p.idx.ShardCoordinator().SetFaultHook(func(_ context.Context, s, _ int, op string) error {
 		if s == 1 && op == shard.OpScore {
 			return errors.New("injected fault")
 		}

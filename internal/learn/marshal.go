@@ -1,0 +1,172 @@
+package learn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Model serialization for the remote shard transport: a coordinator ships
+// the fitted classifier to shard workers once per scoring pass, and the
+// worker evaluates it against its owned symbolic index points. The format
+// is a JSON envelope {"kind": ..., "spec": ...} over the fitted state.
+// encoding/json emits float64 with the shortest representation that parses
+// back to the same bits, so a round-tripped model produces bit-identical
+// posteriors — the property the remote/local parity guarantee rests on.
+
+// Model kind tags recorded in the envelope.
+const (
+	kindLogistic   = "logistic"
+	kindDWKNN      = "dwknn"
+	kindGaussianNB = "gaussian_nb"
+	kindCommittee  = "committee"
+)
+
+// modelEnvelope is the wire form of a fitted classifier.
+type modelEnvelope struct {
+	Kind string          `json:"kind"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// logisticSpec is the fitted state of a Logistic model.
+type logisticSpec struct {
+	W    []float64 `json:"w"`
+	B    float64   `json:"b"`
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+	Dims int       `json:"dims"`
+}
+
+// dwknnSpec is the fitted state of a DWKNN model. X holds the scaled
+// training rows (the form distance computation consumes), so evaluation
+// after a round trip walks exactly the same floats.
+type dwknnSpec struct {
+	K      int         `json:"k"`
+	X      [][]float64 `json:"x"`
+	Y      []int       `json:"y"`
+	Scales []float64   `json:"scales"`
+	Dims   int         `json:"dims"`
+}
+
+// gaussianNBSpec is the fitted state of a GaussianNB model.
+type gaussianNBSpec struct {
+	Dims     int          `json:"dims"`
+	Mean     [2][]float64 `json:"mean"`
+	Variance [2][]float64 `json:"variance"`
+	LogPrior [2]float64   `json:"log_prior"`
+}
+
+// committeeSpec is the fitted state of a Committee: each member carries its
+// own nested envelope.
+type committeeSpec struct {
+	Members []json.RawMessage `json:"members"`
+}
+
+// MarshalModel serializes a fitted classifier for transport to a shard
+// worker. Unfitted models and classifier types outside this package are
+// rejected — the wire format enumerates the known kinds.
+func MarshalModel(c Classifier) ([]byte, error) {
+	if c == nil {
+		return nil, fmt.Errorf("learn: marshal nil classifier")
+	}
+	if !c.Fitted() {
+		return nil, fmt.Errorf("learn: marshal unfitted classifier: %w", ErrNotFitted)
+	}
+	var (
+		kind string
+		spec any
+	)
+	switch m := c.(type) {
+	case *Logistic:
+		kind = kindLogistic
+		spec = logisticSpec{W: m.w, B: m.b, Mean: m.mean, Std: m.std, Dims: m.dims}
+	case *DWKNN:
+		kind = kindDWKNN
+		spec = dwknnSpec{K: m.K, X: m.x, Y: m.y, Scales: m.scales, Dims: m.dims}
+	case *GaussianNB:
+		kind = kindGaussianNB
+		spec = gaussianNBSpec{Dims: m.dims, Mean: m.mean, Variance: m.variance, LogPrior: m.logPrior}
+	case *Committee:
+		members := make([]json.RawMessage, len(m.Members))
+		for i, member := range m.Members {
+			data, err := MarshalModel(member)
+			if err != nil {
+				return nil, fmt.Errorf("learn: committee member %d: %w", i, err)
+			}
+			members[i] = data
+		}
+		kind = kindCommittee
+		spec = committeeSpec{Members: members}
+	default:
+		return nil, fmt.Errorf("learn: cannot marshal classifier type %T", c)
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("learn: marshal %s spec: %w", kind, err)
+	}
+	return json.Marshal(modelEnvelope{Kind: kind, Spec: raw})
+}
+
+// UnmarshalModel reconstructs a fitted classifier from MarshalModel output.
+// The returned model is immediately usable for posterior evaluation and is
+// read-only safe for concurrent scoring, like any fitted classifier.
+func UnmarshalModel(data []byte) (Classifier, error) {
+	var env modelEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("learn: parse model envelope: %w", err)
+	}
+	switch env.Kind {
+	case kindLogistic:
+		var s logisticSpec
+		if err := json.Unmarshal(env.Spec, &s); err != nil {
+			return nil, fmt.Errorf("learn: parse logistic spec: %w", err)
+		}
+		if s.Dims < 1 || len(s.W) != s.Dims || len(s.Mean) != s.Dims || len(s.Std) != s.Dims {
+			return nil, fmt.Errorf("learn: logistic spec shape mismatch (dims %d, w %d, mean %d, std %d)", s.Dims, len(s.W), len(s.Mean), len(s.Std))
+		}
+		return &Logistic{w: s.W, b: s.B, mean: s.Mean, std: s.Std, dims: s.Dims, fitted: true}, nil
+	case kindDWKNN:
+		var s dwknnSpec
+		if err := json.Unmarshal(env.Spec, &s); err != nil {
+			return nil, fmt.Errorf("learn: parse dwknn spec: %w", err)
+		}
+		if s.K < 1 || s.Dims < 1 || len(s.X) == 0 || len(s.X) != len(s.Y) || len(s.Scales) != s.Dims {
+			return nil, fmt.Errorf("learn: dwknn spec shape mismatch (k %d, dims %d, %d rows, %d labels, %d scales)", s.K, s.Dims, len(s.X), len(s.Y), len(s.Scales))
+		}
+		for i, row := range s.X {
+			if len(row) != s.Dims {
+				return nil, fmt.Errorf("learn: dwknn spec row %d has %d dims, want %d", i, len(row), s.Dims)
+			}
+		}
+		return &DWKNN{K: s.K, x: s.X, y: s.Y, scales: s.Scales, dims: s.Dims, fitted: true}, nil
+	case kindGaussianNB:
+		var s gaussianNBSpec
+		if err := json.Unmarshal(env.Spec, &s); err != nil {
+			return nil, fmt.Errorf("learn: parse gaussian_nb spec: %w", err)
+		}
+		for cls := 0; cls < 2; cls++ {
+			if s.Dims < 1 || len(s.Mean[cls]) != s.Dims || len(s.Variance[cls]) != s.Dims {
+				return nil, fmt.Errorf("learn: gaussian_nb spec shape mismatch (dims %d, class %d: mean %d, variance %d)", s.Dims, cls, len(s.Mean[cls]), len(s.Variance[cls]))
+			}
+		}
+		return &GaussianNB{dims: s.Dims, mean: s.Mean, variance: s.Variance, logPrior: s.LogPrior, fitted: true}, nil
+	case kindCommittee:
+		var s committeeSpec
+		if err := json.Unmarshal(env.Spec, &s); err != nil {
+			return nil, fmt.Errorf("learn: parse committee spec: %w", err)
+		}
+		if len(s.Members) < 2 {
+			return nil, fmt.Errorf("learn: committee spec has %d members, want at least 2", len(s.Members))
+		}
+		members := make([]Classifier, len(s.Members))
+		for i, raw := range s.Members {
+			m, err := UnmarshalModel(raw)
+			if err != nil {
+				return nil, fmt.Errorf("learn: committee member %d: %w", i, err)
+			}
+			members[i] = m
+		}
+		return &Committee{Members: members, fitted: true}, nil
+	default:
+		return nil, fmt.Errorf("learn: unknown model kind %q", env.Kind)
+	}
+}

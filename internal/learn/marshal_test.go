@@ -1,0 +1,110 @@
+package learn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// marshalTrainingSet builds a small two-class set with enough spread to fit
+// every model type.
+func marshalTrainingSet(t *testing.T) (X [][]float64, y []int, queries [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 60; i++ {
+		base := 0.0
+		label := ClassNegative
+		if i%2 == 0 {
+			base = 3.0
+			label = ClassPositive
+		}
+		X = append(X, []float64{base + rng.NormFloat64(), base + rng.NormFloat64(), base + rng.NormFloat64()})
+		y = append(y, label)
+	}
+	for i := 0; i < 40; i++ {
+		queries = append(queries, []float64{rng.Float64() * 4, rng.Float64() * 4, rng.Float64() * 4})
+	}
+	return X, y, queries
+}
+
+func TestMarshalModelRoundTrip(t *testing.T) {
+	X, y, queries := marshalTrainingSet(t)
+	models := map[string]Classifier{
+		"logistic":    NewLogistic(7),
+		"dwknn":       NewDWKNN(5, nil),
+		"gaussian_nb": NewGaussianNB(),
+	}
+	committee, err := NewCommittee(3, 9, func(i int) Classifier { return NewDWKNN(3, nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	models["committee"] = committee
+
+	for name, m := range models {
+		t.Run(name, func(t *testing.T) {
+			if err := m.Fit(X, y); err != nil {
+				t.Fatal(err)
+			}
+			data, err := MarshalModel(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := UnmarshalModel(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Fitted() {
+				t.Fatal("round-tripped model reports unfitted")
+			}
+			// Posteriors must round-trip bit-exactly: the remote scoring
+			// path's parity with local scoring depends on it.
+			for i, q := range queries {
+				want, err := m.PosteriorPositive(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				have, err := got.PosteriorPositive(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want != have {
+					t.Fatalf("query %d: posterior %v after round trip, want %v (bit-exact)", i, have, want)
+				}
+			}
+			// A second marshal of the reconstructed model is byte-stable.
+			again, err := MarshalModel(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(again) != string(data) {
+				t.Fatal("marshal not stable across a round trip")
+			}
+		})
+	}
+}
+
+func TestMarshalModelRejectsUnfitted(t *testing.T) {
+	if _, err := MarshalModel(NewLogistic(1)); err == nil {
+		t.Fatal("unfitted model should not marshal")
+	}
+	if _, err := MarshalModel(nil); err == nil {
+		t.Fatal("nil model should not marshal")
+	}
+}
+
+func TestUnmarshalModelRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       `not json`,
+		"unknown kind":  `{"kind":"svm","spec":{}}`,
+		"shape":         `{"kind":"logistic","spec":{"w":[1],"mean":[1,2],"std":[1,2],"dims":2}}`,
+		"empty dwknn":   `{"kind":"dwknn","spec":{"k":3,"x":[],"y":[],"scales":[],"dims":0}}`,
+		"solo comittee": `{"kind":"committee","spec":{"members":[]}}`,
+	}
+	for name, raw := range cases {
+		if _, err := UnmarshalModel([]byte(raw)); err == nil {
+			t.Errorf("%s: malformed model unmarshalled without error", name)
+		} else if !strings.Contains(err.Error(), "learn:") {
+			t.Errorf("%s: error %v lacks package prefix", name, err)
+		}
+	}
+}

@@ -83,8 +83,8 @@ func NewManager(ctx context.Context, cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.StoreDir == "" {
-		return nil, fmt.Errorf("server: Config.StoreDir is required")
+	if cfg.StoreDir == "" && len(cfg.ShardEndpoints) == 0 {
+		return nil, fmt.Errorf("server: Config.StoreDir is required (or ShardEndpoints for remote serving)")
 	}
 	// The parent index never explores itself — sessions run on views — so
 	// its own budget is only a placeholder ledger and its prefetcher stays
@@ -98,6 +98,9 @@ func NewManager(ctx context.Context, cfg Config) (*Manager, error) {
 		BlockCacheBytes:   cfg.BlockCacheBytes,
 		Shards:            cfg.Shards,
 		ShardDeadline:     cfg.ShardDeadline,
+		ShardEndpoints:    cfg.ShardEndpoints,
+		Replication:       cfg.Replication,
+		HedgeDelay:        cfg.HedgeDelay,
 	})
 	if err != nil {
 		return nil, err
@@ -114,7 +117,13 @@ func NewManager(ctx context.Context, cfg Config) (*Manager, error) {
 // (which it then owns and closes).
 func newManagerWithIndex(cfg Config, idx *core.Index) (*Manager, error) {
 	if cfg.SnapshotDir == "" {
-		cfg.SnapshotDir = filepath.Join(cfg.StoreDir, "sessions")
+		if cfg.StoreDir != "" {
+			cfg.SnapshotDir = filepath.Join(cfg.StoreDir, "sessions")
+		} else {
+			// Remote data plane with no local store directory: evicted
+			// sessions still need a home on this machine.
+			cfg.SnapshotDir = filepath.Join(os.TempDir(), "uei-sessions")
+		}
 	}
 	if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: snapshot dir: %w", err)

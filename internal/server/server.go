@@ -105,6 +105,19 @@ type Config struct {
 	// instead of failing. Zero disables the deadline. Ignored for flat
 	// stores.
 	ShardDeadline time.Duration
+	// ShardEndpoints, when non-empty, serves the index through remote
+	// uei-shardd workers instead of opening StoreDir locally; StoreDir
+	// becomes optional (it is only used as the default snapshot-dir
+	// parent, so set SnapshotDir when omitting it).
+	ShardEndpoints []string
+	// Replication is the per-shard replica count across the worker fleet;
+	// a shard degrades only when all of its replicas fail. Zero and 1
+	// both mean unreplicated. See core.Options.Replication.
+	Replication int
+	// HedgeDelay fires each per-shard operation on a second replica if
+	// the first has not answered within the delay (requires Replication >
+	// 1). Zero disables hedging.
+	HedgeDelay time.Duration
 	// Seed drives store generation helpers and default session seeds.
 	Seed int64
 	// Registry receives the server's metrics; nil creates a private one.
@@ -160,6 +173,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.ShardDeadline < 0 {
 		return c, errors.New("server: ShardDeadline must not be negative")
+	}
+	if c.Replication < 0 {
+		return c, errors.New("server: Replication must not be negative")
+	}
+	if c.HedgeDelay < 0 {
+		return c, errors.New("server: HedgeDelay must not be negative")
 	}
 	if c.SLOBudget < 0 {
 		return c, errors.New("server: SLOBudget must not be negative")

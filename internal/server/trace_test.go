@@ -50,7 +50,7 @@ func TestTracedDegradedShardedStep(t *testing.T) {
 
 	// Shard 1 hangs its scoring pass until the per-shard deadline fires,
 	// so every scoring fan-out degrades with a genuine timeout.
-	m.Index().ShardCoordinator().SetFaultHook(func(ctx context.Context, s int, op string) error {
+	m.Index().ShardCoordinator().SetFaultHook(func(ctx context.Context, s, _ int, op string) error {
 		if s == 1 && op == shard.OpScore {
 			<-ctx.Done()
 			return ctx.Err()

@@ -19,24 +19,26 @@ import (
 )
 
 // ErrShardUnavailable marks a shard that missed its deadline or failed an
-// operation. Callers that can degrade (the per-iteration paths) treat it
-// as "skip this shard for now"; strict paths surface it. Match with
-// errors.Is.
+// operation on every replica. Callers that can degrade (the per-iteration
+// paths) treat it as "skip this shard for now"; strict paths surface it.
+// Match with errors.Is.
 var ErrShardUnavailable = errors.New("shard unavailable")
 
-// Operation names passed to the fault hook and used in error messages.
+// Operation names passed to the fault hook and used in error messages and
+// span names.
 const (
 	OpScore    = "score"
+	OpTopK     = "topk"
 	OpLoad     = "load"
 	OpFetch    = "fetch"
 	OpRetrieve = "retrieve"
 )
 
-// FaultHook intercepts every shard operation before it runs — the test
-// seam for forcing timeouts and failures. Hooks must honor ctx: the
-// per-shard deadline and caller cancellation reach a stuck shard only
-// through it.
-type FaultHook func(ctx context.Context, shard int, op string) error
+// FaultHook intercepts every shard attempt before it runs — the test seam
+// for forcing timeouts and failures, per replica. Hooks must honor ctx:
+// the per-attempt deadline, caller cancellation, and hedged-loser
+// cancellation reach a stuck attempt only through it.
+type FaultHook func(ctx context.Context, shard, replica int, op string) error
 
 // Shard is one self-contained slice of the sharded store.
 type Shard struct {
@@ -65,50 +67,89 @@ type OpenOptions struct {
 	// caller's pool rather than owning threads; nil falls back to an
 	// inline single-worker pool.
 	Pool *pool.Pool
-	// Deadline bounds every per-shard operation; a shard that misses it
-	// is skipped for the iteration (degraded) on degradable paths. Zero
-	// disables the deadline.
+	// Deadline bounds every per-shard attempt; a shard whose replicas all
+	// miss it is skipped for the iteration (degraded) on degradable
+	// paths. Zero disables the deadline.
 	Deadline time.Duration
 	// BlockCache, when non-nil, is shared across all shard stores; each
 	// store is installed with a distinct cache key prefix so identical
 	// chunk file names in different shards cannot collide.
 	BlockCache *chunkstore.BlockCache
+	// Replicas is the per-shard replica count. In-process replicas share
+	// one backend (the store is concurrency-safe), so values above 1 buy
+	// hedging and failover semantics — useful under injected faults and
+	// in tests — without extra memory. Zero and 1 both mean unreplicated.
+	Replicas int
+	// HedgeDelay, when positive and Replicas > 1, launches the operation
+	// on a second replica after this delay if the first has not answered;
+	// the first reply wins and the loser is cancelled. Zero disables
+	// hedging (failover on error still applies).
+	HedgeDelay time.Duration
+}
+
+// CoordinatorOptions configures NewCoordinator (the transport-agnostic
+// constructor; Open wraps it for the local on-disk layout).
+type CoordinatorOptions struct {
+	// Deadline bounds every per-shard attempt (zero disables).
+	Deadline time.Duration
+	// HedgeDelay fires the hedged second attempt (zero disables hedging).
+	HedgeDelay time.Duration
 }
 
 // Coordinator fans per-iteration work out to every shard and merges the
-// answers. With all shards healthy its results are exactly those of a
-// flat store over the same dataset; with some shards degraded it returns
-// the healthy subset and reports which shards were skipped.
+// answers. It speaks only the Backend interface, so shards may live
+// in-process (Open) or behind remote workers (NewCoordinator with remote
+// client backends). With all shards healthy its results are exactly those
+// of a flat store over the same dataset; with some shards degraded it
+// returns the healthy subset and reports which shards were skipped.
+//
+// Replication: each shard may have R backends. An operation runs on the
+// primary first, fails over to the next replica on error, and — when a
+// hedge delay is configured — races a second replica after the delay,
+// taking the first reply and cancelling the loser. A shard degrades only
+// when every replica fails (ErrReplicaExhausted joins the error chain).
 //
 // The coordinator is safe for concurrent use by multiple sessions once
-// opened; SetFaultHook and SetDeadline may be called at any time.
+// constructed; SetFaultHook, SetDeadline, and SetHedgeDelay may be called
+// at any time.
 type Coordinator struct {
-	dir    string
-	man    *Manifest
-	grid   *grid.Grid
+	man  *Manifest
+	meta Meta
+	// replicas[s] lists shard s's backends, primary first.
+	replicas [][]Backend
+	// statBackends holds each distinct backend once, for I/O accounting
+	// (local replicas share one backend; remote replicas are distinct).
+	statBackends []Backend
+	// shards holds the in-process shards of a locally opened coordinator,
+	// nil when the data plane is remote. Exposed for inspection and tests.
 	shards []*Shard
 	// ownerByCell[cell] is the owning shard of each grid cell.
 	ownerByCell []int
-	// ownedCenters[s] holds the symbolic index points of shard s's cells,
-	// aligned with shards[s].Cells.
-	ownedCenters [][]vec.Point
-	pool         *pool.Pool
-	cache        *chunkstore.BlockCache
+	// ownedCells[s] lists shard s's cells ascending — the alignment
+	// contract of Backend.ScoreAll/MostUncertain.
+	ownedCells [][]grid.CellID
+	cache      *chunkstore.BlockCache
 
-	deadline atomic.Int64 // nanoseconds; 0 = none
-	hook     atomic.Pointer[FaultHook]
+	deadline   atomic.Int64 // nanoseconds; 0 = none
+	hedgeDelay atomic.Int64 // nanoseconds; 0 = no hedging
+	hook       atomic.Pointer[FaultHook]
 
 	// mDegraded counts shard skips (shard_degraded_total); nil-safe. The
 	// cause-split counters attribute each skip to a deadline miss vs a
 	// shard error, and mSkip[i] counts skips of shard i specifically.
+	// mHedged counts hedged second attempts, mFailover error-triggered
+	// replica failovers.
 	mDegraded         *obs.Counter
 	mDegradedDeadline *obs.Counter
 	mDegradedError    *obs.Counter
 	mSkip             []*obs.Counter
+	mHedged           *obs.Counter
+	mFailover         *obs.Counter
 }
 
-// Open loads a sharded store built by Build. A flat store directory fails
-// with chunkstore.ErrLayoutMismatch.
+// Open loads a sharded store built by Build and serves it through
+// in-process backends. A flat store directory fails with
+// chunkstore.ErrLayoutMismatch.
 func Open(ctx context.Context, dir string, opts OpenOptions) (*Coordinator, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -129,17 +170,7 @@ func Open(ctx context.Context, dir string, opts OpenOptions) (*Coordinator, erro
 	if p == nil {
 		p = pool.New(1)
 	}
-	c := &Coordinator{
-		dir:          dir,
-		man:          man,
-		grid:         g,
-		shards:       make([]*Shard, man.Shards),
-		ownerByCell:  owners,
-		ownedCenters: make([][]vec.Point, man.Shards),
-		pool:         p,
-		cache:        opts.BlockCache,
-	}
-	c.deadline.Store(int64(opts.Deadline))
+	shards := make([]*Shard, man.Shards)
 	for s := 0; s < man.Shards; s++ {
 		sdir := filepath.Join(dir, ShardDirName(s))
 		st, err := chunkstore.Open(sdir, opts.Limiter)
@@ -168,86 +199,220 @@ func Open(ctx context.Context, dir string, opts OpenOptions) (*Coordinator, erro
 		if len(ids) != st.RowCount() {
 			return nil, fmt.Errorf("shard %d: idmap has %d entries, store has %d rows", s, len(ids), st.RowCount())
 		}
-		c.shards[s] = &Shard{ID: s, Store: st, Mapping: mp, IDMap: ids}
+		shards[s] = &Shard{ID: s, Store: st, Mapping: mp, IDMap: ids}
 	}
 	centers := g.Centers()
+	ownedCenters := make([][]vec.Point, man.Shards)
 	for id, o := range owners {
-		c.shards[o].Cells = append(c.shards[o].Cells, grid.CellID(id))
-		c.ownedCenters[o] = append(c.ownedCenters[o], centers[id])
+		shards[o].Cells = append(shards[o].Cells, grid.CellID(id))
+		ownedCenters[o] = append(ownedCenters[o], centers[id])
 	}
+	rep := opts.Replicas
+	if rep < 1 {
+		rep = 1
+	}
+	backends := make([][]Backend, man.Shards)
+	for s, sh := range shards {
+		lb := NewLocalBackend(sh, g, sh.Cells, ownedCenters[s], p)
+		for i := 0; i < rep; i++ {
+			// In-process replicas share the backend: the store is
+			// concurrency-safe, and one I/O counter per shard keeps stats
+			// exact under hedging.
+			backends[s] = append(backends[s], lb)
+		}
+	}
+	c, err := newCoordinator(man, g, owners, backends, CoordinatorOptions{
+		Deadline:   opts.Deadline,
+		HedgeDelay: opts.HedgeDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.shards = shards
+	c.cache = opts.BlockCache
 	return c, nil
 }
 
-// Grid returns the global grid (identical to the flat layout's grid over
-// the same dataset).
-func (c *Coordinator) Grid() *grid.Grid { return c.grid }
+// NewCoordinator assembles a coordinator over caller-provided backends —
+// the remote-transport entry point. man must be the store's manifest
+// (validated again here); replicas[s] lists shard s's backends, primary
+// first, and must cover every shard.
+func NewCoordinator(man *Manifest, replicas [][]Backend, opts CoordinatorOptions) (*Coordinator, error) {
+	if man == nil {
+		return nil, fmt.Errorf("shard: nil manifest")
+	}
+	g, err := grid.New(vec.NewBox(man.MinValues, man.MaxValues), man.SegmentsPerDim)
+	if err != nil {
+		return nil, err
+	}
+	owners, err := cellOwners(g, man.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return newCoordinator(man, g, owners, replicas, opts)
+}
+
+// newCoordinator finishes construction over a prebuilt grid and ownership
+// table.
+func newCoordinator(man *Manifest, g *grid.Grid, owners []int, replicas [][]Backend, opts CoordinatorOptions) (*Coordinator, error) {
+	if err := man.validate(); err != nil {
+		return nil, err
+	}
+	if len(replicas) != man.Shards {
+		return nil, fmt.Errorf("shard: %d backend groups for %d shards", len(replicas), man.Shards)
+	}
+	if opts.Deadline < 0 || opts.HedgeDelay < 0 {
+		return nil, fmt.Errorf("shard: negative deadline (%v) or hedge delay (%v)", opts.Deadline, opts.HedgeDelay)
+	}
+	minRep := 0
+	var stat []Backend
+	for s, reps := range replicas {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("shard: shard %d has no backends", s)
+		}
+		if minRep == 0 || len(reps) < minRep {
+			minRep = len(reps)
+		}
+		for _, b := range reps {
+			if b == nil {
+				return nil, fmt.Errorf("shard: shard %d has a nil backend", s)
+			}
+			dup := false
+			for _, seen := range stat {
+				if seen == b {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				stat = append(stat, b)
+			}
+		}
+	}
+	ownedCells := make([][]grid.CellID, man.Shards)
+	for id, o := range owners {
+		ownedCells[o] = append(ownedCells[o], grid.CellID(id))
+	}
+	var totalBytes int64
+	for _, b := range stat {
+		totalBytes += b.Stats().TotalBytes
+	}
+	c := &Coordinator{
+		man:          man,
+		replicas:     replicas,
+		statBackends: stat,
+		ownerByCell:  owners,
+		ownedCells:   ownedCells,
+		meta: Meta{
+			Grid:           g,
+			Shards:         man.Shards,
+			Replication:    minRep,
+			SegmentsPerDim: man.SegmentsPerDim,
+			Columns:        man.Columns,
+			RowCount:       man.RowCount,
+			Bounds:         vec.NewBox(man.MinValues, man.MaxValues),
+			TotalBytes:     totalBytes,
+		},
+	}
+	c.deadline.Store(int64(opts.Deadline))
+	c.hedgeDelay.Store(int64(opts.HedgeDelay))
+	return c, nil
+}
+
+// Meta returns the store's immutable identity in one value — grid, shard
+// and replica counts, columns, bounds, row count, on-disk bytes.
+func (c *Coordinator) Meta() Meta { return c.meta }
+
+// Grid returns the global grid.
+//
+// Deprecated: use Meta().Grid.
+func (c *Coordinator) Grid() *grid.Grid { return c.meta.Grid }
 
 // NumShards returns S.
-func (c *Coordinator) NumShards() int { return len(c.shards) }
+func (c *Coordinator) NumShards() int { return len(c.replicas) }
 
-// Shards returns the shard slice (read-only; exposed for inspection and
-// tests).
+// Replication returns the minimum per-shard replica count.
+func (c *Coordinator) Replication() int { return c.meta.Replication }
+
+// Shards returns the in-process shard slice of a locally opened
+// coordinator (read-only; exposed for inspection and tests), or nil when
+// the data plane is remote.
 func (c *Coordinator) Shards() []*Shard { return c.shards }
 
+// Backends returns shard s's backends, primary first (read-only).
+func (c *Coordinator) Backends(s int) []Backend { return c.replicas[s] }
+
 // Manifest returns the top-level manifest (read-only).
+//
+// Deprecated: use Meta for the store facts; the raw manifest remains
+// available for layout tooling.
 func (c *Coordinator) Manifest() *Manifest { return c.man }
 
 // Bounds returns the global per-dimension value bounds.
-func (c *Coordinator) Bounds() vec.Box {
-	return vec.NewBox(c.man.MinValues, c.man.MaxValues)
-}
+//
+// Deprecated: use Meta().Bounds.
+func (c *Coordinator) Bounds() vec.Box { return c.meta.Bounds }
 
 // RowCount returns the number of tuples across all shards.
-func (c *Coordinator) RowCount() int { return c.man.RowCount }
+//
+// Deprecated: use Meta().RowCount.
+func (c *Coordinator) RowCount() int { return c.meta.RowCount }
 
 // Columns returns the attribute names in dimension order (read-only).
-func (c *Coordinator) Columns() []string { return c.man.Columns }
+//
+// Deprecated: use Meta().Columns.
+func (c *Coordinator) Columns() []string { return c.meta.Columns }
 
 // Dims returns the dimensionality.
-func (c *Coordinator) Dims() int { return len(c.man.Columns) }
+//
+// Deprecated: use Meta().Dims.
+func (c *Coordinator) Dims() int { return len(c.meta.Columns) }
 
 // TotalBytes sums the on-disk payload of every shard.
-func (c *Coordinator) TotalBytes() int64 {
-	var n int64
-	for _, s := range c.shards {
-		n += s.Store.TotalBytes()
-	}
-	return n
-}
+//
+// Deprecated: use Meta().TotalBytes.
+func (c *Coordinator) TotalBytes() int64 { return c.meta.TotalBytes }
 
-// BlockCache returns the shared decoded-chunk cache, or nil.
+// BlockCache returns the shared decoded-chunk cache of a locally opened
+// coordinator, or nil (remote coordinators cache on the worker side).
 func (c *Coordinator) BlockCache() *chunkstore.BlockCache { return c.cache }
 
-// IOStats sums cumulative bytes and chunks read across shard stores.
+// IOStats sums cumulative bytes and chunks read across all distinct
+// backends: disk I/O for local shards, wire traffic for remote ones.
 func (c *Coordinator) IOStats() (bytes int64, chunks int64) {
-	for _, s := range c.shards {
-		b, ch := s.Store.IOStats()
-		bytes += b
-		chunks += ch
+	for _, b := range c.statBackends {
+		s := b.Stats()
+		bytes += s.BytesRead
+		chunks += s.ChunksRead
 	}
 	return bytes, chunks
 }
 
-// ResetIOStats zeroes every shard store's I/O counters.
+// ResetIOStats zeroes every backend's I/O counters.
 func (c *Coordinator) ResetIOStats() {
-	for _, s := range c.shards {
-		s.Store.ResetIOStats()
+	for _, b := range c.statBackends {
+		b.ResetIOStats()
 	}
 }
 
-// OwnerOfCell returns the shard owning a cell.
+// OwnerOfCell returns the shard owning a cell. A cell id outside the grid
+// means the caller's grid disagrees with the store's layout, so the error
+// wraps chunkstore.ErrLayoutMismatch (match with errors.Is).
 func (c *Coordinator) OwnerOfCell(cell grid.CellID) (int, error) {
 	if cell < 0 || int(cell) >= len(c.ownerByCell) {
-		return 0, fmt.Errorf("shard: cell %d out of range [0,%d)", cell, len(c.ownerByCell))
+		return 0, fmt.Errorf("shard: cell %d outside grid [0,%d): %w", cell, len(c.ownerByCell), chunkstore.ErrLayoutMismatch)
 	}
 	return c.ownerByCell[cell], nil
 }
 
-// SetDeadline adjusts the per-shard operation deadline (0 disables).
+// SetDeadline adjusts the per-shard attempt deadline (0 disables).
 func (c *Coordinator) SetDeadline(d time.Duration) { c.deadline.Store(int64(d)) }
 
-// SetFaultHook installs (or, with nil, removes) the per-operation fault
-// hook. Test seam for degradation scenarios.
+// SetHedgeDelay adjusts the hedged-request delay (0 disables hedging).
+func (c *Coordinator) SetHedgeDelay(d time.Duration) { c.hedgeDelay.Store(int64(d)) }
+
+// SetFaultHook installs (or, with nil, removes) the per-attempt fault
+// hook. Test seam for degradation and hedging scenarios.
 func (c *Coordinator) SetFaultHook(h FaultHook) {
 	if h == nil {
 		c.hook.Store(nil)
@@ -258,18 +423,23 @@ func (c *Coordinator) SetFaultHook(h FaultHook) {
 
 // Instrument registers shard metrics — shard_degraded_total, its
 // cause-split family shard_degraded_cause_total{cause=...}, the per-shard
-// shard_skip_total{shard=i} set, the uei_shards gauge — and each shard
-// store's I/O instruments (shared by name, so chunkstore counters
-// aggregate across shards exactly like the flat layout).
+// shard_skip_total{shard=i} set, hedging counters (shard_hedged_total,
+// shard_failover_total), the uei_shards and uei_shard_replicas gauges —
+// and, for a locally opened coordinator, each shard store's I/O
+// instruments (shared by name, so chunkstore counters aggregate across
+// shards exactly like the flat layout).
 func (c *Coordinator) Instrument(reg *obs.Registry) {
 	c.mDegraded = reg.Counter("shard_degraded_total")
 	c.mDegradedDeadline = reg.Counter(`shard_degraded_cause_total{cause="deadline"}`)
 	c.mDegradedError = reg.Counter(`shard_degraded_cause_total{cause="error"}`)
-	c.mSkip = make([]*obs.Counter, len(c.shards))
-	for i := range c.shards {
+	c.mHedged = reg.Counter("shard_hedged_total")
+	c.mFailover = reg.Counter("shard_failover_total")
+	c.mSkip = make([]*obs.Counter, len(c.replicas))
+	for i := range c.replicas {
 		c.mSkip[i] = reg.Counter(fmt.Sprintf("shard_skip_total{shard=\"%d\"}", i))
 	}
-	reg.Gauge("uei_shards").SetInt(int64(len(c.shards)))
+	reg.Gauge("uei_shards").SetInt(int64(len(c.replicas)))
+	reg.Gauge("uei_shard_replicas").SetInt(int64(c.meta.Replication))
 	for _, s := range c.shards {
 		s.Store.Instrument(reg)
 	}
@@ -290,17 +460,12 @@ func (c *Coordinator) recordDegraded(id int, err error) {
 	}
 }
 
-type shardResult struct {
-	id  int
-	err error
-}
-
-// runShardOp applies the per-shard deadline and fault hook around one
-// operation. On a traced context it wraps the operation in a
-// "shard_<op>" span annotated with the shard id, the deadline, and the
+// runAttempt applies the per-attempt deadline and fault hook around one
+// backend call. On a traced context it wraps the call in a "shard_<op>"
+// span annotated with the shard id, the replica, the deadline, and the
 // outcome (ok / timeout / error / cancelled) — the per-shard fan-out
-// level of a step trace.
-func (c *Coordinator) runShardOp(ctx context.Context, s *Shard, op string, fn func(ctx context.Context, s *Shard) error) error {
+// level of a step trace, one span per replica attempt.
+func runAttempt[T any](c *Coordinator, ctx context.Context, shardID, replica int, op string, b Backend, fn func(ctx context.Context, b Backend) (T, error)) (T, error) {
 	var span *obs.Span
 	sctx := ctx
 	if obs.HasTrace(ctx) {
@@ -312,27 +477,29 @@ func (c *Coordinator) runShardOp(ctx context.Context, s *Shard, op string, fn fu
 		sctx, cancel = context.WithTimeout(sctx, d)
 		defer cancel()
 	}
+	var v T
 	var err error
 	if h := c.hook.Load(); h != nil {
-		err = (*h)(sctx, s.ID, op)
+		err = (*h)(sctx, shardID, replica, op)
 	}
 	if err == nil {
-		err = fn(sctx, s)
+		v, err = fn(sctx, b)
 	}
 	if span != nil {
 		span.SetOutcome(shardOutcome(ctx, err))
-		attrs := map[string]float64{"shard": float64(s.ID)}
+		attrs := map[string]float64{"shard": float64(shardID), "replica": float64(replica)}
 		if d > 0 {
 			attrs["deadline_ms"] = float64(d) / float64(time.Millisecond)
 		}
 		span.End(attrs)
 	}
-	return err
+	return v, err
 }
 
-// shardOutcome classifies a shard operation result for span annotation.
-// callerCtx is the context *outside* the per-shard deadline: when it is
-// cancelled the caller gave up, which is not shard degradation.
+// shardOutcome classifies a shard attempt result for span annotation.
+// callerCtx is the context *outside* the per-attempt deadline: when it is
+// cancelled the caller gave up (or a hedged sibling already won), which is
+// not shard degradation.
 func shardOutcome(callerCtx context.Context, err error) string {
 	switch {
 	case err == nil:
@@ -346,28 +513,114 @@ func shardOutcome(callerCtx context.Context, err error) string {
 	}
 }
 
-// scatter fans fn out to every shard, one goroutine per shard, each under
-// the per-shard deadline, and gathers all results. In degradable mode
-// (strict=false) failed shards are collected and skipped; in strict mode
-// the first failure aborts. Cancellation of ctx propagates to every
-// in-flight shard operation, and the buffered result channel guarantees
-// the shard goroutines terminate (no leaks) even when scatter returns
-// early on error.
-func (c *Coordinator) scatter(ctx context.Context, op string, strict bool, fn func(ctx context.Context, s *Shard) error) (degraded []int, err error) {
+// attemptResult carries one replica attempt's answer.
+type attemptResult[T any] struct {
+	v       T
+	replica int
+	err     error
+}
+
+// callShard runs one operation against shard shardID's replicas with
+// failover and hedging: the primary goes first; an error fails over to
+// the next replica immediately; with a hedge delay configured, a second
+// replica is raced after the delay even without an error. The first
+// success wins and the deferred cancel stops the losers — each attempt
+// writes to a buffered channel, so losers terminate on their own (no
+// goroutine leaks). The error return means every replica failed
+// (ErrReplicaExhausted in the chain) or the caller's ctx ended.
+func callShard[T any](c *Coordinator, ctx context.Context, shardID int, op string, fn func(ctx context.Context, b Backend) (T, error)) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	reps := c.replicas[shardID]
+	attemptCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	results := make(chan attemptResult[T], len(reps))
+	launched := 0
+	launch := func() {
+		replica := launched
+		launched++
+		b := reps[replica]
+		go func() {
+			v, err := runAttempt(c, attemptCtx, shardID, replica, op, b, fn)
+			results <- attemptResult[T]{v, replica, err}
+		}()
+	}
+	launch()
+	var hedgeC <-chan time.Time
+	if hd := time.Duration(c.hedgeDelay.Load()); hd > 0 && len(reps) > 1 {
+		t := time.NewTimer(hd)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var errs []error
+	finished := 0
+	for {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(reps) {
+				c.mHedged.Inc()
+				launch()
+			}
+		case r := <-results:
+			if r.err == nil {
+				return r.v, nil
+			}
+			finished++
+			if ctx.Err() != nil {
+				// The caller gave up; attempt failures racing the
+				// cancellation are not replica failures.
+				return zero, ctx.Err()
+			}
+			errs = append(errs, fmt.Errorf("replica %d: %w", r.replica, r.err))
+			if launched < len(reps) {
+				// Fail over immediately: an error is a stronger signal
+				// than the hedge timer.
+				c.mFailover.Inc()
+				launch()
+			} else if finished == launched {
+				return zero, errors.Join(ErrReplicaExhausted, errors.Join(errs...))
+			}
+		}
+	}
+}
+
+// scatterGather fans fn out to every shard — one callShard per shard, so
+// each fan-out leg gets replication, failover, and hedging — and applies
+// the successful results in the single gather goroutine (apply needs no
+// locking). In degradable mode (strict=false) shards whose replicas all
+// failed are recorded and skipped; in strict mode the first such shard
+// aborts. Cancellation of ctx propagates to every in-flight attempt, and
+// buffered channels at both levels guarantee goroutine termination even
+// when scatterGather returns early.
+func scatterGather[T any](c *Coordinator, ctx context.Context, op string, strict bool, fn func(ctx context.Context, shardID int, b Backend) (T, error), apply func(shardID int, v T)) (degraded []int, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	scatterCtx, cancelAll := context.WithCancel(ctx)
 	defer cancelAll()
-	results := make(chan shardResult, len(c.shards))
-	for _, s := range c.shards {
-		go func(s *Shard) {
-			results <- shardResult{s.ID, c.runShardOp(scatterCtx, s, op, fn)}
-		}(s)
+	type shardAnswer struct {
+		id  int
+		v   T
+		err error
 	}
-	for range c.shards {
+	results := make(chan shardAnswer, len(c.replicas))
+	for id := range c.replicas {
+		go func(id int) {
+			v, err := callShard(c, scatterCtx, id, op, func(sctx context.Context, b Backend) (T, error) {
+				return fn(sctx, id, b)
+			})
+			results <- shardAnswer{id, v, err}
+		}(id)
+	}
+	for range c.replicas {
 		r := <-results
 		if r.err == nil {
+			if apply != nil {
+				apply(r.id, r.v)
+			}
 			continue
 		}
 		if ctx.Err() != nil {
@@ -382,77 +635,86 @@ func (c *Coordinator) scatter(ctx context.Context, op string, strict bool, fn fu
 		degraded = append(degraded, r.id)
 	}
 	sort.Ints(degraded)
-	if len(degraded) == len(c.shards) {
-		return degraded, fmt.Errorf("shard: all %d shards unavailable for %s: %w", len(c.shards), op, ErrShardUnavailable)
+	if len(degraded) == len(c.replicas) {
+		return degraded, fmt.Errorf("shard: all %d shards unavailable for %s: %w", len(c.replicas), op, ErrShardUnavailable)
 	}
 	return degraded, nil
 }
 
-// ScatterStrict runs fn on every shard concurrently and fails on the
-// first shard error — the all-or-nothing fan-out behind result retrieval.
-func (c *Coordinator) ScatterStrict(ctx context.Context, op string, fn func(ctx context.Context, s *Shard) error) error {
+// scatter is the error-only form of scatterGather, kept as the test seam
+// for the fan-out semantics.
+func (c *Coordinator) scatter(ctx context.Context, op string, strict bool, fn func(ctx context.Context, b Backend) error) ([]int, error) {
+	return scatterGather(c, ctx, op, strict, func(sctx context.Context, _ int, b Backend) (struct{}, error) {
+		return struct{}{}, fn(sctx, b)
+	}, nil)
+}
+
+// ScatterStrict runs fn on every shard concurrently (with per-shard
+// replication and hedging) and fails on the first shard whose replicas
+// are all unavailable.
+func (c *Coordinator) ScatterStrict(ctx context.Context, op string, fn func(ctx context.Context, b Backend) error) error {
 	_, err := c.scatter(ctx, op, true, fn)
 	return err
 }
 
 // ScoreAll recomputes the uncertainty of every symbolic index point into
-// unc (indexed by global cell id), scattering per-shard scoring through
-// the worker pool. Each shard writes only the slots of the cells it owns,
-// so shard work is disjoint and the values are byte-identical to a flat
-// scoring pass. Shards that miss the deadline or fail are skipped — their
-// slots keep stale values — and returned as degraded, sorted ascending;
-// callers must exclude their cells from selection until the next
-// successful pass. An error is returned only when the caller's ctx is
-// cancelled or every shard failed.
+// unc (indexed by global cell id), scattering per-shard scoring across
+// backends. Each shard's scores come back aligned with its owned-cell
+// list and are published into unc only on success, so a shard that fails
+// mid-pass leaves its slots untouched (fully stale, never torn) — and the
+// values are byte-identical to a flat scoring pass. Shards whose replicas
+// all missed the deadline or failed are skipped and returned as degraded,
+// sorted ascending; callers must exclude their cells from selection until
+// the next successful pass. An error is returned only when the caller's
+// ctx is cancelled or every shard failed.
 func (c *Coordinator) ScoreAll(ctx context.Context, model learn.Classifier, unc []float64) (degraded []int, err error) {
-	if len(unc) != c.grid.NumCells() {
-		return nil, fmt.Errorf("shard: uncertainty slice has %d slots, grid has %d cells", len(unc), c.grid.NumCells())
+	if len(unc) != c.meta.Grid.NumCells() {
+		return nil, fmt.Errorf("shard: uncertainty slice has %d slots, grid has %d cells", len(unc), c.meta.Grid.NumCells())
 	}
-	return c.scatter(ctx, OpScore, false, func(sctx context.Context, s *Shard) error {
-		centers := c.ownedCenters[s.ID]
-		if len(centers) == 0 {
-			return nil
-		}
-		// Score into a private buffer and publish only on success, so a
-		// shard that fails mid-pass leaves unc untouched (fully stale,
-		// never torn).
-		buf := make([]float64, len(centers))
-		if err := c.pool.Do(sctx, len(centers), func(lo, hi int) error {
-			return learn.UncertaintiesInto(sctx, model, centers[lo:hi], buf[lo:hi])
-		}); err != nil {
-			return err
-		}
-		for i, cell := range s.Cells {
-			unc[cell] = buf[i]
-		}
-		return nil
-	})
-}
-
-// cellScore pairs a cell with its uncertainty during top-k merges.
-type cellScore struct {
-	cell  grid.CellID
-	score float64
+	// Wrap the model so remote backends serialize it once per pass, not
+	// once per shard call (or hedged duplicate).
+	model = &modelBlob{Classifier: model}
+	return scatterGather(c, ctx, OpScore, false,
+		func(sctx context.Context, id int, b Backend) ([]float64, error) {
+			if len(c.ownedCells[id]) == 0 {
+				return nil, nil
+			}
+			scores, err := b.ScoreAll(sctx, model)
+			if err != nil {
+				return nil, err
+			}
+			if len(scores) != len(c.ownedCells[id]) {
+				return nil, fmt.Errorf("shard %d returned %d scores for %d owned cells", id, len(scores), len(c.ownedCells[id]))
+			}
+			return scores, nil
+		},
+		func(id int, scores []float64) {
+			for i, cell := range c.ownedCells[id] {
+				unc[cell] = scores[i]
+			}
+		})
 }
 
 // lessUncertain is the selection order: higher uncertainty first, lower
 // cell id breaking ties — identical to the flat index's comparator, so
 // the merged global top-k matches a flat top-k exactly.
-func lessUncertain(a, b cellScore) bool {
-	if a.score != b.score {
-		return a.score > b.score
+func lessUncertain(a, b CellScore) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
 	}
-	return a.cell < b.cell
+	return a.Cell < b.Cell
 }
 
 // MostUncertain returns the k most uncertain cells, fanning per-shard
-// local top-k selection through the worker pool and merging. Shards
-// listed in skip (the degraded set from the latest ScoreAll) are excluded
-// entirely: their scores are stale. The result can be shorter than k when
-// skipping leaves fewer candidates.
-func (c *Coordinator) MostUncertain(ctx context.Context, unc []float64, k int, skip []int) ([]grid.CellID, error) {
-	if len(unc) != c.grid.NumCells() {
-		return nil, fmt.Errorf("shard: uncertainty slice has %d slots, grid has %d cells", len(unc), c.grid.NumCells())
+// top-k selection across backends and merging with the flat comparator.
+// Shards listed in skip (the degraded set from the latest ScoreAll) are
+// excluded entirely — their scores are stale and their backends are not
+// contacted. Shards that fail the top-k call itself are skipped for this
+// selection and returned in degraded. The result can be shorter than k
+// when skipping leaves fewer candidates.
+func (c *Coordinator) MostUncertain(ctx context.Context, unc []float64, k int, skip []int) (cells []grid.CellID, degraded []int, err error) {
+	if len(unc) != c.meta.Grid.NumCells() {
+		return nil, nil, fmt.Errorf("shard: uncertainty slice has %d slots, grid has %d cells", len(unc), c.meta.Grid.NumCells())
 	}
 	if k < 1 {
 		k = 1
@@ -461,125 +723,140 @@ func (c *Coordinator) MostUncertain(ctx context.Context, unc []float64, k int, s
 	for _, s := range skip {
 		skipSet[s] = true
 	}
-	// Per-shard local top-k: each shard's candidate list is its k best
-	// owned cells, so the union provably contains the global top-k.
-	local := make([][]cellScore, len(c.shards))
-	err := c.pool.Do(ctx, len(c.shards), func(lo, hi int) error {
-		for s := lo; s < hi; s++ {
-			if skipSet[s] {
-				continue
-			}
-			local[s] = topKCells(unc, c.shards[s].Cells, k)
+	active := make([]int, 0, len(c.replicas))
+	for id := range c.replicas {
+		if !skipSet[id] {
+			active = append(active, id)
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	var merged []cellScore
-	for _, l := range local {
-		merged = append(merged, l...)
+	if len(active) == 0 {
+		return nil, nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	scatterCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	type topkAnswer struct {
+		id  int
+		top []CellScore
+		err error
+	}
+	results := make(chan topkAnswer, len(active))
+	for _, id := range active {
+		go func(id int) {
+			top, err := callShard(c, scatterCtx, id, OpTopK, func(sctx context.Context, b Backend) ([]CellScore, error) {
+				owned := c.ownedCells[id]
+				if len(owned) == 0 {
+					return nil, nil
+				}
+				// Per-shard local top-k: each shard's candidate list is
+				// its k best owned cells, so the union provably contains
+				// the global top-k.
+				scores := make([]float64, len(owned))
+				for i, cell := range owned {
+					scores[i] = unc[cell]
+				}
+				return b.MostUncertain(sctx, scores, k)
+			})
+			results <- topkAnswer{id, top, err}
+		}(id)
+	}
+	var merged []CellScore
+	for range active {
+		r := <-results
+		if r.err == nil {
+			merged = append(merged, r.top...)
+			continue
+		}
+		if ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
+		c.recordDegraded(r.id, r.err)
+		degraded = append(degraded, r.id)
+	}
+	sort.Ints(degraded)
+	if len(degraded) == len(active) {
+		return nil, degraded, fmt.Errorf("shard: all %d shards unavailable for %s: %w", len(active), OpTopK, ErrShardUnavailable)
 	}
 	sort.Slice(merged, func(i, j int) bool { return lessUncertain(merged[i], merged[j]) })
 	if len(merged) > k {
 		merged = merged[:k]
 	}
-	out := make([]grid.CellID, len(merged))
+	cells = make([]grid.CellID, len(merged))
 	for i, m := range merged {
-		out[i] = m.cell
+		cells[i] = m.Cell
 	}
-	return out, nil
+	return cells, degraded, nil
 }
 
-// topKCells selects the k best cells of one shard by insertion into a
-// bounded slice (k is tiny on the hot path: the winner and a runner-up).
-func topKCells(unc []float64, cells []grid.CellID, k int) []cellScore {
+// topKOwned selects the k best of one shard's owned cells by insertion
+// into a bounded slice (k is tiny on the hot path: the winner and a
+// runner-up). scores is aligned with cells.
+func topKOwned(cells []grid.CellID, scores []float64, k int) []CellScore {
 	if k > len(cells) {
 		k = len(cells)
 	}
-	best := make([]cellScore, 0, k)
-	for _, cell := range cells {
-		cs := cellScore{cell: cell, score: unc[cell]}
+	if k < 1 {
+		return nil
+	}
+	best := make([]CellScore, 0, k)
+	for i, cell := range cells {
+		cs := CellScore{Cell: cell, Score: scores[i]}
 		if len(best) == k && !lessUncertain(cs, best[k-1]) {
 			continue
 		}
-		i := len(best)
+		j := len(best)
 		if len(best) < k {
 			best = append(best, cs)
 		} else {
-			i = k - 1
+			j = k - 1
 		}
-		for i > 0 && lessUncertain(cs, best[i-1]) {
-			best[i] = best[i-1]
-			i--
+		for j > 0 && lessUncertain(cs, best[j-1]) {
+			best[j] = best[j-1]
+			j--
 		}
-		best[i] = cs
+		best[j] = cs
 	}
 	return best
 }
 
-// LoadCell reconstructs a cell's tuples from its owning shard, remapping
-// row ids to global. Rows come back sorted by global id (local and global
-// order agree within a shard). A failing or slow owner yields an
-// ErrShardUnavailable-wrapped error and counts toward
-// shard_degraded_total; callers degrade (runner-up cell, resident region)
-// rather than failing the step.
+// LoadCell reconstructs a cell's tuples from its owning shard (first
+// healthy replica), with row ids remapped to global. Rows come back
+// sorted by global id (local and global order agree within a shard). A
+// shard whose replicas all fail yields an ErrShardUnavailable-wrapped
+// error and counts toward shard_degraded_total; callers degrade
+// (runner-up cell, resident region) rather than failing the step.
 func (c *Coordinator) LoadCell(ctx context.Context, cell grid.CellID) (ids []uint32, vals [][]float64, entriesVisited int, err error) {
 	owner, err := c.OwnerOfCell(cell)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	s := c.shards[owner]
-	var rows []chunkstore.MergedRow
-	err = c.withShard(ctx, s, OpLoad, func(sctx context.Context) error {
-		box, err := c.grid.CellBox(cell)
-		if err != nil {
-			return err
-		}
-		chunks, err := s.Mapping.Chunks(cell)
-		if err != nil {
-			return err
-		}
-		rows, entriesVisited, err = s.Store.MergeChunks(sctx, box, chunks)
-		return err
+	type loaded struct {
+		ids     []uint32
+		vals    [][]float64
+		entries int
+	}
+	r, err := callShard(c, ctx, owner, OpLoad, func(sctx context.Context, b Backend) (loaded, error) {
+		ids, vals, entries, err := b.LoadCell(sctx, cell)
+		return loaded{ids, vals, entries}, err
 	})
 	if err != nil {
-		return nil, nil, 0, err
+		if ctx.Err() != nil {
+			return nil, nil, 0, ctx.Err()
+		}
+		c.recordDegraded(owner, err)
+		return nil, nil, 0, fmt.Errorf("shard %d %s: %w", owner, OpLoad, errors.Join(ErrShardUnavailable, err))
 	}
-	ids = make([]uint32, len(rows))
-	vals = make([][]float64, len(rows))
-	for i, r := range rows {
-		ids[i] = s.IDMap[r.ID]
-		vals[i] = r.Vals
-	}
-	return ids, vals, entriesVisited, nil
-}
-
-// withShard runs one single-shard operation under the deadline and fault
-// hook, translating failures (other than caller cancellation) into
-// degradation-classified errors.
-func (c *Coordinator) withShard(ctx context.Context, s *Shard, op string, fn func(ctx context.Context) error) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	err := c.runShardOp(ctx, s, op, func(sctx context.Context, _ *Shard) error {
-		return fn(sctx)
-	})
-	if err == nil {
-		return nil
-	}
-	if ctx.Err() != nil {
-		return ctx.Err()
-	}
-	c.recordDegraded(s.ID, err)
-	return fmt.Errorf("shard %d %s: %w", s.ID, op, errors.Join(ErrShardUnavailable, err))
+	return r.ids, r.vals, r.entries, nil
 }
 
 // FetchRows reconstructs the tuples with the given global ids, scattering
-// to the shards that hold them and merging. It matches the flat store's
-// FetchRows contract: duplicates are collapsed, the result is sorted by
-// (global) id, and out-of-range ids are an error. Sampling must see every
-// shard, so this path is strict — a failing shard fails the call.
+// to every shard (each returns the subset it holds) and merging. It
+// matches the flat store's FetchRows contract: duplicates are collapsed,
+// the result is sorted by (global) id, and out-of-range ids are an error.
+// Sampling must see every shard, so this path is strict — a shard whose
+// replicas are all unavailable fails the call.
 func (c *Coordinator) FetchRows(ctx context.Context, ids []uint32) ([]chunkstore.MergedRow, error) {
 	if len(ids) == 0 {
 		return nil, nil
@@ -595,25 +872,17 @@ func (c *Coordinator) FetchRows(ctx context.Context, ids []uint32) ([]chunkstore
 		n++
 	}
 	uniq = uniq[:n]
-	if int(uniq[len(uniq)-1]) >= c.man.RowCount {
-		return nil, fmt.Errorf("shard: row %d out of range [0,%d)", uniq[len(uniq)-1], c.man.RowCount)
+	if int(uniq[len(uniq)-1]) >= c.meta.RowCount {
+		return nil, fmt.Errorf("shard: row %d out of range [0,%d)", uniq[len(uniq)-1], c.meta.RowCount)
 	}
-	perShard := make([][]chunkstore.MergedRow, len(c.shards))
-	err := c.ScatterStrict(ctx, OpFetch, func(sctx context.Context, s *Shard) error {
-		local := intersectLocal(uniq, s.IDMap)
-		if len(local) == 0 {
-			return nil
-		}
-		rows, err := s.Store.FetchRows(sctx, local)
-		if err != nil {
-			return err
-		}
-		for i := range rows {
-			rows[i].ID = s.IDMap[rows[i].ID]
-		}
-		perShard[s.ID] = rows
-		return nil
-	})
+	perShard := make([][]chunkstore.MergedRow, len(c.replicas))
+	_, err := scatterGather(c, ctx, OpFetch, true,
+		func(sctx context.Context, id int, b Backend) ([]chunkstore.MergedRow, error) {
+			return b.FetchRows(sctx, uniq)
+		},
+		func(id int, rows []chunkstore.MergedRow) {
+			perShard[id] = rows
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -626,6 +895,32 @@ func (c *Coordinator) FetchRows(ctx context.Context, ids []uint32) ([]chunkstore
 		return nil, fmt.Errorf("shard: fetched %d of %d requested rows; store is inconsistent", len(out), len(uniq))
 	}
 	return out, nil
+}
+
+// Retrieve runs the marked-segment scan on every shard and merges the
+// fully reconstructed rows under global ids, ascending. Retrieval is the
+// final answer, so the scatter is strict: a shard whose replicas are all
+// unavailable fails the call rather than silently dropping its rows.
+// entries sums the posting entries every shard visited.
+func (c *Coordinator) Retrieve(ctx context.Context, marked [][]bool) (rows []RetrievedRow, entries int, err error) {
+	type scanned struct {
+		rows    []RetrievedRow
+		entries int
+	}
+	_, err = scatterGather(c, ctx, OpRetrieve, true,
+		func(sctx context.Context, id int, b Backend) (scanned, error) {
+			r, n, err := b.Retrieve(sctx, marked)
+			return scanned{r, n}, err
+		},
+		func(id int, s scanned) {
+			rows = append(rows, s.rows...)
+			entries += s.entries
+		})
+	if err != nil {
+		return nil, 0, err
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	return rows, entries, nil
 }
 
 // intersectLocal returns the local ids (positions in idmap) of the global
@@ -650,11 +945,24 @@ func intersectLocal(globalIDs []uint32, idmap []uint32) []uint32 {
 
 // CostEstimate returns the bytes and posting entries loading the cell
 // would read from its owning shard (the flat Mapping.CostEstimate
-// equivalent).
+// equivalent), trying replicas in order.
 func (c *Coordinator) CostEstimate(cell grid.CellID) (bytes int64, entries int, err error) {
 	owner, err := c.OwnerOfCell(cell)
 	if err != nil {
 		return 0, 0, err
 	}
-	return c.shards[owner].Mapping.CostEstimate(cell)
+	var errs []error
+	var prev Backend
+	for _, b := range c.replicas[owner] {
+		if b == prev {
+			continue // in-process replicas share one backend
+		}
+		prev = b
+		bytes, entries, err = b.CostEstimate(context.Background(), cell)
+		if err == nil {
+			return bytes, entries, nil
+		}
+		errs = append(errs, err)
+	}
+	return 0, 0, fmt.Errorf("shard %d estimate: %w", owner, errors.Join(ErrShardUnavailable, ErrReplicaExhausted, errors.Join(errs...)))
 }

@@ -1,0 +1,141 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/uei-db/uei/internal/chunkstore"
+	"github.com/uei-db/uei/internal/grid"
+	"github.com/uei-db/uei/internal/learn"
+	"github.com/uei-db/uei/internal/pool"
+	"github.com/uei-db/uei/internal/vec"
+)
+
+// LocalBackend adapts one in-process *Shard to the Backend interface —
+// the transport-free implementation whose behavior is byte-identical to
+// the pre-interface coordinator. Replicated local coordinators reuse one
+// LocalBackend per shard (the underlying store is concurrency-safe), so
+// hedged duplicate calls race only on immutable state.
+type LocalBackend struct {
+	shard *Shard
+	g     *grid.Grid
+	// cells and centers list the shard's owned cells ascending and their
+	// symbolic index points, aligned.
+	cells   []grid.CellID
+	centers []vec.Point
+	// pool shards CPU-side scoring; shared with the caller.
+	pool *pool.Pool
+}
+
+// NewLocalBackend wraps a shard for in-process serving. cells/centers must
+// be the shard's owned cells ascending with their grid centers, and p the
+// worker pool scoring fans out on (nil falls back to an inline pool).
+func NewLocalBackend(s *Shard, g *grid.Grid, cells []grid.CellID, centers []vec.Point, p *pool.Pool) *LocalBackend {
+	if p == nil {
+		p = pool.New(1)
+	}
+	return &LocalBackend{shard: s, g: g, cells: cells, centers: centers, pool: p}
+}
+
+// Shard exposes the wrapped shard for inspection and tests.
+func (b *LocalBackend) Shard() *Shard { return b.shard }
+
+// ScoreAll implements Backend: model uncertainty over the owned symbolic
+// index points, computed through the worker pool exactly like the flat
+// scoring pass (chunked UncertaintiesInto — byte-identical results).
+func (b *LocalBackend) ScoreAll(ctx context.Context, model learn.Classifier) ([]float64, error) {
+	if len(b.centers) == 0 {
+		return nil, nil
+	}
+	out := make([]float64, len(b.centers))
+	err := b.pool.Do(ctx, len(b.centers), func(lo, hi int) error {
+		return learn.UncertaintiesInto(ctx, model, b.centers[lo:hi], out[lo:hi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MostUncertain implements Backend: bounded insertion over the owned cells
+// with the global comparator.
+func (b *LocalBackend) MostUncertain(ctx context.Context, scores []float64, k int) ([]CellScore, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(scores) != len(b.cells) {
+		return nil, fmt.Errorf("shard %d: %d scores for %d owned cells", b.shard.ID, len(scores), len(b.cells))
+	}
+	return topKOwned(b.cells, scores, k), nil
+}
+
+// LoadCell implements Backend: hash-merge the cell's chunks from the
+// shard's store and remap row ids to global.
+func (b *LocalBackend) LoadCell(ctx context.Context, cell grid.CellID) ([]uint32, [][]float64, int, error) {
+	box, err := b.g.CellBox(cell)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	chunks, err := b.shard.Mapping.Chunks(cell)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	rows, entries, err := b.shard.Store.MergeChunks(ctx, box, chunks)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	ids := make([]uint32, len(rows))
+	vals := make([][]float64, len(rows))
+	for i, r := range rows {
+		ids[i] = b.shard.IDMap[r.ID]
+		vals[i] = r.Vals
+	}
+	return ids, vals, entries, nil
+}
+
+// FetchRows implements Backend: intersect the sorted global ids with the
+// shard's idmap (merge join), fetch the local rows, and remap to global.
+func (b *LocalBackend) FetchRows(ctx context.Context, ids []uint32) ([]chunkstore.MergedRow, error) {
+	local := intersectLocal(ids, b.shard.IDMap)
+	if len(local) == 0 {
+		return nil, nil
+	}
+	rows, err := b.shard.Store.FetchRows(ctx, local)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].ID = b.shard.IDMap[rows[i].ID]
+	}
+	return rows, nil
+}
+
+// Retrieve implements Backend: the shared marked-segment scan over this
+// shard's store, remapped to global ids.
+func (b *LocalBackend) Retrieve(ctx context.Context, marked [][]bool) ([]RetrievedRow, int, error) {
+	rows, entries, err := ScanMarked(ctx, b.g, b.shard.Store, marked)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := range rows {
+		rows[i].ID = b.shard.IDMap[rows[i].ID]
+	}
+	return rows, entries, nil
+}
+
+// CostEstimate implements Backend via the shard's mapping.
+func (b *LocalBackend) CostEstimate(ctx context.Context, cell grid.CellID) (int64, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	return b.shard.Mapping.CostEstimate(cell)
+}
+
+// Stats implements Backend with the shard store's disk I/O counters.
+func (b *LocalBackend) Stats() BackendStats {
+	bytes, chunks := b.shard.Store.IOStats()
+	return BackendStats{BytesRead: bytes, ChunksRead: chunks, TotalBytes: b.shard.Store.TotalBytes()}
+}
+
+// ResetIOStats implements Backend.
+func (b *LocalBackend) ResetIOStats() { b.shard.Store.ResetIOStats() }

@@ -1,0 +1,118 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlaceReplicasDeterministic(t *testing.T) {
+	eps := []string{"10.0.0.1:9101", "10.0.0.2:9101", "10.0.0.3:9101"}
+	a, err := PlaceReplicas(16, eps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlaceReplicas(16, eps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("placement is not deterministic:\n%v\n%v", a, b)
+	}
+}
+
+func TestPlaceReplicasDistinctEndpoints(t *testing.T) {
+	eps := []string{"a", "b", "c", "d"}
+	for _, r := range []int{1, 2, 3, 4} {
+		got, err := PlaceReplicas(32, eps, r)
+		if err != nil {
+			t.Fatalf("replication %d: %v", r, err)
+		}
+		if len(got) != 32 {
+			t.Fatalf("replication %d: %d assignments for 32 shards", r, len(got))
+		}
+		for s, reps := range got {
+			if len(reps) != r {
+				t.Fatalf("shard %d has %d replicas, want %d", s, len(reps), r)
+			}
+			seen := map[int]bool{}
+			for _, e := range reps {
+				if e < 0 || e >= len(eps) {
+					t.Fatalf("shard %d placed on endpoint %d of %d", s, e, len(eps))
+				}
+				if seen[e] {
+					t.Fatalf("shard %d placed twice on endpoint %d: %v", s, e, reps)
+				}
+				seen[e] = true
+			}
+		}
+	}
+}
+
+// TestPlaceReplicasSpread: with many shards over a small fleet, every
+// endpoint should own at least one primary — the vnode count exists
+// precisely to keep the assignment near-even.
+func TestPlaceReplicasSpread(t *testing.T) {
+	eps := []string{"w0", "w1", "w2", "w3"}
+	got, err := PlaceReplicas(64, eps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primaries := make([]int, len(eps))
+	for _, reps := range got {
+		primaries[reps[0]]++
+	}
+	for e, n := range primaries {
+		if n == 0 {
+			t.Errorf("endpoint %s owns no primaries: %v", eps[e], primaries)
+		}
+	}
+}
+
+// TestPlaceReplicasStability is the consistent-hashing property: removing
+// one endpoint must only move the shards that were placed on it.
+func TestPlaceReplicasStability(t *testing.T) {
+	before := []string{"w0", "w1", "w2", "w3"}
+	after := []string{"w0", "w1", "w3"} // w2 removed
+	a, err := PlaceReplicas(48, before, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlaceReplicas(48, after, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for s := range a {
+		was, now := before[a[s][0]], after[b[s][0]]
+		if was == "w2" {
+			continue // had to move
+		}
+		if was != now {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d shards moved despite their endpoint surviving", moved)
+	}
+}
+
+func TestPlaceReplicasValidation(t *testing.T) {
+	eps := []string{"a", "b"}
+	cases := []struct {
+		name   string
+		shards int
+		eps    []string
+		r      int
+	}{
+		{"no shards", 0, eps, 1},
+		{"no endpoints", 4, nil, 1},
+		{"zero replication", 4, eps, 0},
+		{"replication exceeds fleet", 4, eps, 3},
+		{"duplicate endpoint", 4, []string{"a", "a"}, 1},
+	}
+	for _, tc := range cases {
+		if _, err := PlaceReplicas(tc.shards, tc.eps, tc.r); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}

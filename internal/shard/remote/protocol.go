@@ -1,0 +1,121 @@
+// Package remote is the HTTP/JSON shard transport: a Client that
+// implements shard.Backend against a uei-shardd worker, the worker-side
+// Server, and Connect, which assembles a replicated shard.Coordinator
+// over a worker fleet.
+//
+// The protocol is deliberately plain — JSON bodies over HTTP/1.1, one
+// POST per shard operation — because the payloads are small (scores,
+// cell ids, row subsets) and Go's encoding/json round-trips float64
+// exactly (shortest round-trip representation), which is what keeps
+// remote results byte-identical to local ones.
+//
+// Endpoints served by a worker:
+//
+//	GET  /healthz                   liveness ("ok")
+//	GET  /v1/meta                   manifest + per-shard byte sizes
+//	POST /v1/shards/{id}/score      model blob -> owned-cell scores
+//	POST /v1/shards/{id}/topk       aligned scores -> per-shard top-k
+//	POST /v1/shards/{id}/load       cell -> ids, values, entries visited
+//	POST /v1/shards/{id}/fetch      global ids -> owned row subset
+//	POST /v1/shards/{id}/retrieve   marked segments -> rows, entries
+//	POST /v1/shards/{id}/estimate   cell -> bytes, entries
+//
+// Every request may carry an X-Uei-Trace-Id header; the worker echoes it
+// on the response and stamps it into its access log, so a traced
+// session's remote legs are correlatable across processes.
+package remote
+
+import (
+	"encoding/json"
+
+	"github.com/uei-db/uei/internal/chunkstore"
+	"github.com/uei-db/uei/internal/grid"
+	"github.com/uei-db/uei/internal/shard"
+)
+
+// TraceHeader carries the step trace id across the wire so uei-trace can
+// line worker-side activity up with the session's shard_<op> spans.
+const TraceHeader = "X-Uei-Trace-Id"
+
+// MetaResponse is GET /v1/meta: the store identity every endpoint of a
+// fleet must agree on, plus per-shard payload sizes for Meta.TotalBytes.
+type MetaResponse struct {
+	Manifest   *shard.Manifest `json:"manifest"`
+	ShardBytes []int64         `json:"shard_bytes"`
+}
+
+// ScoreRequest carries the serialized model (learn.MarshalModel envelope).
+type ScoreRequest struct {
+	Model json.RawMessage `json:"model"`
+}
+
+// ScoreResponse returns the scores aligned with the shard's owned-cell
+// list, ascending — the Backend.ScoreAll contract.
+type ScoreResponse struct {
+	Scores []float64 `json:"scores"`
+}
+
+// TopKRequest carries the owned-cell-aligned scores back to the shard for
+// local top-k selection.
+type TopKRequest struct {
+	Scores []float64 `json:"scores"`
+	K      int       `json:"k"`
+}
+
+// TopKResponse returns the shard's best k owned cells, best first.
+type TopKResponse struct {
+	Top []shard.CellScore `json:"top"`
+}
+
+// LoadRequest names the cell to reconstruct.
+type LoadRequest struct {
+	Cell grid.CellID `json:"cell"`
+}
+
+// LoadResponse returns the cell's tuples under global row ids, ascending,
+// plus the posting entries the merge visited.
+type LoadResponse struct {
+	IDs     []uint32    `json:"ids"`
+	Vals    [][]float64 `json:"vals"`
+	Entries int         `json:"entries"`
+}
+
+// FetchRequest carries sorted, deduplicated global row ids; the shard
+// answers with the subset it holds.
+type FetchRequest struct {
+	IDs []uint32 `json:"ids"`
+}
+
+// FetchResponse returns the owned rows under global ids, ascending.
+type FetchResponse struct {
+	Rows []chunkstore.MergedRow `json:"rows"`
+}
+
+// RetrieveRequest carries the marked-segment flags, one slice per
+// dimension.
+type RetrieveRequest struct {
+	Marked [][]bool `json:"marked"`
+}
+
+// RetrieveResponse returns the shard's fully reconstructed rows under
+// global ids, ascending, and the posting entries visited.
+type RetrieveResponse struct {
+	Rows    []shard.RetrievedRow `json:"rows"`
+	Entries int                  `json:"entries"`
+}
+
+// EstimateRequest names the cell to cost.
+type EstimateRequest struct {
+	Cell grid.CellID `json:"cell"`
+}
+
+// EstimateResponse returns the load cost of the cell on this shard.
+type EstimateResponse struct {
+	Bytes   int64 `json:"bytes"`
+	Entries int   `json:"entries"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,391 @@
+package remote_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/uei-db/uei/internal/core"
+	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/grid"
+	"github.com/uei-db/uei/internal/learn"
+	"github.com/uei-db/uei/internal/obs"
+	"github.com/uei-db/uei/internal/shard"
+	"github.com/uei-db/uei/internal/shard/remote"
+)
+
+func quiet(string, ...any) {}
+
+// worker opens a sharded store and serves it over httptest.
+type worker struct {
+	idx   *core.Index
+	coord *shard.Coordinator
+	srv   *httptest.Server
+}
+
+func buildStore(t testing.TB, n, shards int, seed int64) (string, *dataset.Dataset) {
+	t.Helper()
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := core.Build(dir, ds, core.BuildOptions{TargetChunkBytes: 2048, Shards: shards}); err != nil {
+		t.Fatal(err)
+	}
+	return dir, ds
+}
+
+func startWorker(t testing.TB, dir string, shards int) *worker {
+	t.Helper()
+	idx, err := core.Open(context.Background(), dir, core.Options{
+		MemoryBudgetBytes: 1 << 20, Shards: shards, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(idx.Close)
+	coord := idx.ShardCoordinator()
+	if coord == nil {
+		t.Fatal("store is not sharded")
+	}
+	srv := httptest.NewServer(remote.NewServer(coord, quiet))
+	t.Cleanup(srv.Close)
+	return &worker{idx: idx, coord: coord, srv: srv}
+}
+
+func trainedModel(t testing.TB, ds *dataset.Dataset) learn.Classifier {
+	t.Helper()
+	bounds, err := ds.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := learn.NewDWKNN(5, bounds.Widths())
+	var X [][]float64
+	var y []int
+	for i := 0; i < 20; i++ {
+		X = append(X, ds.CopyRow(dataset.RowID(i*(ds.Len()/20))))
+		y = append(y, i%2)
+	}
+	if err := model.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// ownedCellWithData finds a cell of shard s that actually holds tuples.
+func ownedCellWithData(t *testing.T, c *shard.Coordinator, s int) grid.CellID {
+	t.Helper()
+	meta := c.Meta()
+	for cell := 0; cell < meta.Grid.NumCells(); cell++ {
+		owner, err := c.OwnerOfCell(grid.CellID(cell))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner != s {
+			continue
+		}
+		if _, entries, err := c.Backends(s)[0].CostEstimate(context.Background(), grid.CellID(cell)); err == nil && entries > 0 {
+			return grid.CellID(cell)
+		}
+	}
+	t.Fatalf("shard %d owns no populated cell", s)
+	return 0
+}
+
+// TestRemoteBackendParity round-trips every Backend operation through the
+// wire protocol and requires byte-identical answers to the in-process
+// backend: the transport must be invisible.
+func TestRemoteBackendParity(t *testing.T) {
+	ctx := context.Background()
+	dir, ds := buildStore(t, 600, 2, 11)
+	w := startWorker(t, dir, 2)
+	model := trainedModel(t, ds)
+
+	client := remote.NewClient(w.srv.URL, nil)
+	meta, err := client.Meta(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Manifest.Shards != 2 {
+		t.Fatalf("meta reports %d shards", meta.Manifest.Shards)
+	}
+
+	cmeta := w.coord.Meta()
+	for s := 0; s < 2; s++ {
+		local := w.coord.Backends(s)[0]
+		rem := remote.NewShardClient(client, s, meta.ShardBytes[s])
+
+		lScores, err := local.ScoreAll(ctx, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rScores, err := rem.ScoreAll(ctx, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(lScores, rScores) {
+			t.Fatalf("shard %d: remote scores differ from local", s)
+		}
+
+		lTop, err := local.MostUncertain(ctx, lScores, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rTop, err := rem.MostUncertain(ctx, rScores, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(lTop, rTop) {
+			t.Fatalf("shard %d: top-k differs: local %v remote %v", s, lTop, rTop)
+		}
+
+		cell := ownedCellWithData(t, w.coord, s)
+		lIDs, lVals, lEntries, err := local.LoadCell(ctx, cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rIDs, rVals, rEntries, err := rem.LoadCell(ctx, cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(lIDs, rIDs) || !reflect.DeepEqual(lVals, rVals) || lEntries != rEntries {
+			t.Fatalf("shard %d cell %d: remote load differs from local", s, cell)
+		}
+
+		ids := []uint32{0, 1, 2, 7, 100, 333, 599}
+		lRows, err := local.FetchRows(ctx, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rRows, err := rem.FetchRows(ctx, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(lRows, rRows) {
+			t.Fatalf("shard %d: remote fetch differs from local", s)
+		}
+
+		marked := make([][]bool, cmeta.Dims())
+		for d := range marked {
+			marked[d] = make([]bool, cmeta.SegmentsPerDim)
+			for i := range marked[d] {
+				marked[d][i] = i%2 == 0
+			}
+		}
+		lRet, lRetEntries, err := local.Retrieve(ctx, marked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rRet, rRetEntries, err := rem.Retrieve(ctx, marked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(lRet, rRet) || lRetEntries != rRetEntries {
+			t.Fatalf("shard %d: remote retrieve differs from local", s)
+		}
+
+		lBytes, lEnt, err := local.CostEstimate(ctx, cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rBytes, rEnt, err := rem.CostEstimate(ctx, cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lBytes != rBytes || lEnt != rEnt {
+			t.Fatalf("shard %d: remote estimate (%d, %d) differs from local (%d, %d)", s, rBytes, rEnt, lBytes, lEnt)
+		}
+	}
+}
+
+// TestTraceHeaderEcho: the worker echoes X-Uei-Trace-Id, and the client
+// stamps it from a traced context.
+func TestTraceHeaderEcho(t *testing.T) {
+	dir, _ := buildStore(t, 300, 2, 5)
+	w := startWorker(t, dir, 2)
+
+	body := strings.NewReader(`{"cell":0}`)
+	req, err := http.NewRequest(http.MethodPost, w.srv.URL+"/v1/shards/0/estimate", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(remote.TraceHeader, "trace-echo-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(remote.TraceHeader); got != "trace-echo-42" {
+		t.Errorf("worker echoed trace id %q, want %q", got, "trace-echo-42")
+	}
+
+	// The client stamps the header from the context's trace.
+	var seen string
+	capture := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		seen = r.Header.Get(remote.TraceHeader)
+		w.srv.Config.Handler.ServeHTTP(rw, r)
+	}))
+	defer capture.Close()
+	tr := obs.NewTracer(io.Discard).NewTrace()
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	sc := remote.NewShardClient(remote.NewClient(capture.URL, nil), 0, 0)
+	if _, _, err := sc.CostEstimate(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if seen == "" || seen != tr.ID() {
+		t.Errorf("client sent trace id %q, context trace is %q", seen, tr.ID())
+	}
+}
+
+// TestServerErrorMapping checks the status-code contract: unknown shard →
+// 404, undecodable request → 400, and both carry a JSON error body.
+func TestServerErrorMapping(t *testing.T) {
+	dir, _ := buildStore(t, 300, 2, 5)
+	w := startWorker(t, dir, 2)
+
+	post := func(path, body string) (*http.Response, string) {
+		resp, err := http.Post(w.srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(b)
+	}
+
+	resp, body := post("/v1/shards/99/estimate", `{"cell":0}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown shard: status %d, want 404", resp.StatusCode)
+	}
+	var e remote.ErrorResponse
+	if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+		t.Errorf("unknown shard: body %q is not an error envelope", body)
+	}
+
+	resp, body = post("/v1/shards/0/topk", `{not json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json: status %d, want 400", resp.StatusCode)
+	}
+	if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+		t.Errorf("bad json: body %q is not an error envelope", body)
+	}
+
+	resp, body = post("/v1/shards/0/score", `{"model":{"kind":"no-such-model","spec":{}}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad model: status %d, want 400 (got body %q)", resp.StatusCode, body)
+	}
+}
+
+// TestConnectReplicatedParity: a replicated remote coordinator answers a
+// scoring pass identically to the local one it proxies.
+func TestConnectReplicatedParity(t *testing.T) {
+	ctx := context.Background()
+	dir, ds := buildStore(t, 600, 2, 11)
+	w1 := startWorker(t, dir, 2)
+	w2 := startWorker(t, dir, 2)
+	model := trainedModel(t, ds)
+
+	rcoord, err := remote.Connect(ctx, remote.ConnectOptions{
+		Endpoints:   []string{w1.srv.URL, w2.srv.URL},
+		Replication: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcoord.NumShards() != 2 || rcoord.Replication() != 2 {
+		t.Fatalf("remote coordinator: %d shards, replication %d", rcoord.NumShards(), rcoord.Replication())
+	}
+
+	want := make([]float64, w1.coord.Meta().Grid.NumCells())
+	if _, err := w1.coord.ScoreAll(ctx, model, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, rcoord.Meta().Grid.NumCells())
+	if degraded, err := rcoord.ScoreAll(ctx, model, got); err != nil || len(degraded) != 0 {
+		t.Fatalf("remote ScoreAll: degraded %v, err %v", degraded, err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("remote replicated scoring differs from local")
+	}
+}
+
+// TestConnectMetaMismatch: a fleet serving two different stores is
+// rejected at handshake.
+func TestConnectMetaMismatch(t *testing.T) {
+	dirA, _ := buildStore(t, 400, 2, 1)
+	dirB, _ := buildStore(t, 500, 2, 2)
+	wA := startWorker(t, dirA, 2)
+	wB := startWorker(t, dirB, 2)
+	_, err := remote.Connect(context.Background(), remote.ConnectOptions{
+		Endpoints: []string{wA.srv.URL, wB.srv.URL},
+	})
+	if err == nil || !strings.Contains(err.Error(), "disagree") {
+		t.Fatalf("mismatched fleet: err = %v, want a disagree error", err)
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	if _, err := remote.Connect(context.Background(), remote.ConnectOptions{}); err == nil {
+		t.Error("no endpoints: want error")
+	}
+	dir, _ := buildStore(t, 300, 2, 5)
+	w := startWorker(t, dir, 2)
+	_, err := remote.Connect(context.Background(), remote.ConnectOptions{
+		Endpoints:   []string{w.srv.URL},
+		Replication: 2,
+	})
+	if err == nil {
+		t.Error("replication 2 over 1 endpoint: want error")
+	}
+}
+
+// TestKillWorkerFailover: with R=2, losing one worker mid-flight degrades
+// nothing — the surviving replica answers identically; losing both
+// exhausts the replicas.
+func TestKillWorkerFailover(t *testing.T) {
+	ctx := context.Background()
+	dir, _ := buildStore(t, 600, 2, 11)
+	w1 := startWorker(t, dir, 2)
+	w2 := startWorker(t, dir, 2)
+
+	rcoord, err := remote.Connect(ctx, remote.ConnectOptions{
+		Endpoints:   []string{w1.srv.URL, w2.srv.URL},
+		Replication: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []uint32{0, 3, 9, 100, 599}
+	want, err := rcoord.FetchRows(ctx, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w1.srv.CloseClientConnections()
+	w1.srv.Close()
+	got, err := rcoord.FetchRows(ctx, ids)
+	if err != nil {
+		t.Fatalf("fetch after killing one of two replicas: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("failover changed the result set")
+	}
+
+	w2.srv.CloseClientConnections()
+	w2.srv.Close()
+	_, err = rcoord.FetchRows(ctx, ids)
+	if err == nil {
+		t.Fatal("fetch with every worker dead should fail")
+	}
+	if !errors.Is(err, shard.ErrReplicaExhausted) || !errors.Is(err, shard.ErrShardUnavailable) {
+		t.Fatalf("err = %v, want ErrReplicaExhausted and ErrShardUnavailable in the chain", err)
+	}
+}

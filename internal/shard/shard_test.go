@@ -280,13 +280,13 @@ func TestScatterDegradesFailingShard(t *testing.T) {
 	reg := obs.NewRegistry()
 	c.Instrument(reg)
 	boom := errors.New("boom")
-	c.SetFaultHook(func(_ context.Context, shard int, _ string) error {
+	c.SetFaultHook(func(_ context.Context, shard, _ int, _ string) error {
 		if shard == 2 {
 			return boom
 		}
 		return nil
 	})
-	degraded, err := c.scatter(context.Background(), OpScore, false, func(context.Context, *Shard) error { return nil })
+	degraded, err := c.scatter(context.Background(), OpScore, false, func(context.Context, Backend) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,13 +297,13 @@ func TestScatterDegradesFailingShard(t *testing.T) {
 		t.Errorf("shard_degraded_total = %d, want 1", got)
 	}
 	// Strict mode surfaces the failure as ErrShardUnavailable.
-	err = c.ScatterStrict(context.Background(), OpFetch, func(context.Context, *Shard) error { return nil })
+	err = c.ScatterStrict(context.Background(), OpFetch, func(context.Context, Backend) error { return nil })
 	if !errors.Is(err, ErrShardUnavailable) || !errors.Is(err, boom) {
 		t.Errorf("strict err = %v, want ErrShardUnavailable wrapping boom", err)
 	}
 	// All shards failing is an error even in degradable mode.
-	c.SetFaultHook(func(context.Context, int, string) error { return boom })
-	if _, err := c.scatter(context.Background(), OpScore, false, func(context.Context, *Shard) error { return nil }); !errors.Is(err, ErrShardUnavailable) {
+	c.SetFaultHook(func(context.Context, int, int, string) error { return boom })
+	if _, err := c.scatter(context.Background(), OpScore, false, func(context.Context, Backend) error { return nil }); !errors.Is(err, ErrShardUnavailable) {
 		t.Errorf("all-failed err = %v, want ErrShardUnavailable", err)
 	}
 }
@@ -311,7 +311,7 @@ func TestScatterDegradesFailingShard(t *testing.T) {
 func TestShardDeadlineSkipsSlowShard(t *testing.T) {
 	ds := skyDataset(t, 200)
 	c := openCoordinator(t, buildSharded(t, ds, 2), OpenOptions{Workers: 2, Deadline: 20 * time.Millisecond})
-	c.SetFaultHook(func(ctx context.Context, shard int, _ string) error {
+	c.SetFaultHook(func(ctx context.Context, shard, _ int, _ string) error {
 		if shard == 1 {
 			<-ctx.Done() // stuck until the per-shard deadline fires
 			return ctx.Err()
@@ -319,7 +319,7 @@ func TestShardDeadlineSkipsSlowShard(t *testing.T) {
 		return nil
 	})
 	start := time.Now()
-	degraded, err := c.scatter(context.Background(), OpScore, false, func(context.Context, *Shard) error { return nil })
+	degraded, err := c.scatter(context.Background(), OpScore, false, func(context.Context, Backend) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +335,7 @@ func TestScatterCancellationLeaksNoGoroutines(t *testing.T) {
 	ds := skyDataset(t, 200)
 	c := openCoordinator(t, buildSharded(t, ds, 4), OpenOptions{Workers: 2})
 	release := make(chan struct{})
-	c.SetFaultHook(func(ctx context.Context, shard int, _ string) error {
+	c.SetFaultHook(func(ctx context.Context, shard, _ int, _ string) error {
 		if shard != 0 {
 			select {
 			case <-ctx.Done():
@@ -353,7 +353,7 @@ func TestScatterCancellationLeaksNoGoroutines(t *testing.T) {
 			time.Sleep(2 * time.Millisecond)
 			cancel()
 		}()
-		_, err := c.scatter(ctx, OpScore, false, func(context.Context, *Shard) error { return nil })
+		_, err := c.scatter(ctx, OpScore, false, func(context.Context, Backend) error { return nil })
 		if err == nil {
 			t.Fatal("cancelled scatter should fail")
 		}
@@ -396,7 +396,7 @@ func TestScoreAllWritesOnlyOwnedCells(t *testing.T) {
 		}
 	}
 	// With shard 3 failing, its cells keep the stale sentinel.
-	c.SetFaultHook(func(_ context.Context, shard int, _ string) error {
+	c.SetFaultHook(func(_ context.Context, shard, _ int, _ string) error {
 		if shard == 3 {
 			return errors.New("down")
 		}
@@ -421,10 +421,14 @@ func TestScoreAllWritesOnlyOwnedCells(t *testing.T) {
 			t.Fatalf("cell %d: stale=%v owned-by-degraded=%v", cell, u == -99, owned[grid.CellID(cell)])
 		}
 	}
-	// MostUncertain skips the degraded shard's cells entirely.
-	top, err := c.MostUncertain(context.Background(), unc, 5, degraded)
+	// MostUncertain skips the degraded shard's cells entirely (and, with
+	// the remaining shards healthy, degrades nothing further).
+	top, newlyDegraded, err := c.MostUncertain(context.Background(), unc, 5, degraded)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(newlyDegraded) != 0 {
+		t.Fatalf("topk degraded = %v, want none", newlyDegraded)
 	}
 	for _, cell := range top {
 		if owned[cell] {

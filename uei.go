@@ -43,6 +43,11 @@ var (
 	// ErrShardUnavailable classifies degraded-shard failures; step errors
 	// from a fully unavailable sharded index wrap it.
 	ErrShardUnavailable = shard.ErrShardUnavailable
+	// ErrReplicaExhausted marks a shard operation that failed on every
+	// replica. It always travels with ErrShardUnavailable in the chain;
+	// errors.Is against it to distinguish "all copies down" from a
+	// single-copy miss.
+	ErrReplicaExhausted = shard.ErrReplicaExhausted
 )
 
 // --- v2 call options ---
@@ -50,12 +55,15 @@ var (
 // apiConfig collects the cross-cutting knobs the v2 constructors accept as
 // functional options.
 type apiConfig struct {
-	limiter       *IOLimiter
-	workers       int
-	registry      *Registry
-	tracer        *Tracer
-	shards        int
-	shardDeadline time.Duration
+	limiter        *IOLimiter
+	workers        int
+	registry       *Registry
+	tracer         *Tracer
+	shards         int
+	shardDeadline  time.Duration
+	shardEndpoints []string
+	replication    int
+	hedgeDelay     time.Duration
 }
 
 // Option configures a facade constructor (Open, CreateTable, OpenTable,
@@ -93,6 +101,30 @@ func WithShards(n int) Option { return func(c *apiConfig) { c.shards = n } }
 // degrades instead of failing). Ignored by flat stores. It takes
 // precedence over Options.ShardDeadline when both are set.
 func WithShardDeadline(d time.Duration) Option { return func(c *apiConfig) { c.shardDeadline = d } }
+
+// WithShardEndpoints serves the index through remote uei-shardd workers
+// instead of a local store directory: Open handshakes the fleet, places
+// each shard on workers by consistent hashing, and routes every per-shard
+// operation over HTTP. The directory argument of Open is ignored (may be
+// empty). Results are byte-identical to a local open of the same store.
+// It takes precedence over Options.ShardEndpoints when both are set.
+func WithShardEndpoints(endpoints ...string) Option {
+	return func(c *apiConfig) { c.shardEndpoints = endpoints }
+}
+
+// WithReplication places each shard on n distinct workers (remote) or n
+// logical replicas of the in-process backend (local sharded): operations
+// fail over between replicas and a shard degrades only when all of them
+// fail (the error then wraps ErrReplicaExhausted). With remote endpoints
+// n must not exceed the endpoint count. It takes precedence over
+// Options.Replication when both are set.
+func WithReplication(n int) Option { return func(c *apiConfig) { c.replication = n } }
+
+// WithHedgeDelay fires each per-shard operation on a second replica if
+// the first has not answered within d; the first reply wins and the loser
+// is cancelled. Requires replication > 1 to have any effect. It takes
+// precedence over Options.HedgeDelay when both are set.
+func WithHedgeDelay(d time.Duration) Option { return func(c *apiConfig) { c.hedgeDelay = d } }
 
 func applyOptions(o []Option) apiConfig {
 	var c apiConfig
@@ -194,6 +226,15 @@ func Open(ctx context.Context, dir string, opts Options, o ...Option) (*Index, e
 	}
 	if c.shardDeadline != 0 {
 		opts.ShardDeadline = c.shardDeadline
+	}
+	if len(c.shardEndpoints) > 0 {
+		opts.ShardEndpoints = c.shardEndpoints
+	}
+	if c.replication != 0 {
+		opts.Replication = c.replication
+	}
+	if c.hedgeDelay != 0 {
+		opts.HedgeDelay = c.hedgeDelay
 	}
 	return core.Open(ctx, dir, opts)
 }
