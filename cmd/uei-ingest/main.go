@@ -8,6 +8,8 @@
 //	uei-ingest -csv photoobj.csv -out ./store
 //	uei-ingest -gen 1000000 -seed 7 -out ./store -chunk 481280
 //	uei-ingest -inspect ./store
+//	uei-ingest -gen 100000 -live -out ./live       # WAL-backed live store
+//	uei-ingest -csv grows.csv -follow -out ./live  # tail new rows into it
 package main
 
 import (
@@ -18,7 +20,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"github.com/uei-db/uei/internal/chunkstore"
@@ -26,6 +31,7 @@ import (
 	"github.com/uei-db/uei/internal/dataset"
 	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/shard"
+	"github.com/uei-db/uei/internal/stream"
 )
 
 func main() {
@@ -48,6 +54,8 @@ func run() (err error) {
 		shards   = flag.Int("shards", 1, "partition the store into this many shards (1 = flat legacy layout)")
 		segments = flag.Int("segments", 0, "sharded build: grid segments per dimension cells are hashed over (0 = default 5)")
 		traceFl  = flag.String("trace", "", "write a hierarchical span trace of the ingest as JSONL to this file (analyze with uei-trace)")
+		live     = flag.Bool("live", false, "build the live (streaming) layout: a WAL-backed write store that accepts appends after the build (see -follow)")
+		follow   = flag.Bool("follow", false, "tail -csv into an existing live store in -out: already-ingested rows are skipped, new lines are appended and flushed as they land; Ctrl-C stops")
 	)
 	flag.Parse()
 
@@ -57,8 +65,17 @@ func run() (err error) {
 	if *inspect != "" {
 		return inspectStore(*inspect)
 	}
+	if *follow {
+		if *csvPath == "" || *out == "" {
+			return fmt.Errorf("-follow requires -csv and -out (an existing live store)")
+		}
+		return followCSV(*csvPath, *out)
+	}
 	if *out == "" {
 		return fmt.Errorf("-out is required")
+	}
+	if *live && *external {
+		return fmt.Errorf("-live does not support -external (the live builder seeds from an in-memory dataset)")
 	}
 
 	// With -trace, the whole ingest is one hierarchical trace: an "ingest"
@@ -135,13 +152,16 @@ func run() (err error) {
 
 	start = time.Now()
 	_, build := obs.StartSpan(ctx, "build")
-	if err := core.Build(*out, ds, core.BuildOptions{TargetChunkBytes: *chunk, Shards: *shards, SegmentsPerDim: *segments}); err != nil {
+	if err := core.Build(*out, ds, core.BuildOptions{TargetChunkBytes: *chunk, Shards: *shards, SegmentsPerDim: *segments, LiveIngest: *live}); err != nil {
 		build.SetOutcome("error")
 		build.End(nil)
 		return err
 	}
 	build.End(map[string]float64{"shards": float64(*shards)})
-	if *shards > 1 {
+	if *live {
+		fmt.Printf("live store built in %v (%d shards); append with -follow or POST /v1/append\n",
+			time.Since(start).Round(time.Millisecond), *shards)
+	} else if *shards > 1 {
 		fmt.Printf("index built in %v (%d shards)\n", time.Since(start).Round(time.Millisecond), *shards)
 	} else {
 		fmt.Printf("index built in %v\n", time.Since(start).Round(time.Millisecond))
@@ -193,7 +213,129 @@ func buildExternalFromCSV(path, out string, chunk, spill int) (*chunkstore.Store
 	})
 }
 
+// followCSV tails a headered numeric CSV into an existing live store:
+// rows the store already holds are skipped, new complete lines are
+// appended (WAL-fsynced) and flushed so they become visible to readers,
+// and a torn trailing line is kept pending until its newline arrives.
+func followCSV(path, dir string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	db, err := stream.Open(dir, stream.Options{})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", path, err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+
+	header, err := readFullLine(br, "")
+	if err != nil {
+		return fmt.Errorf("read csv header: %w", err)
+	}
+	if header == "" {
+		return fmt.Errorf("%s: empty csv header", path)
+	}
+	cols := strings.Split(strings.TrimRight(header, "\r"), ",")
+	want := db.Columns()
+	if len(cols) != len(want) {
+		return fmt.Errorf("%s has %d columns, live store has %d (%v)", path, len(cols), len(want), want)
+	}
+
+	skip := db.TotalRows()
+	fmt.Printf("following %s into %s (epoch %d, %d rows already ingested)...\n", path, dir, db.Epoch(), skip)
+	appended := 0
+	var pending string
+	var batch [][]float64
+	flushBatch := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if _, err := db.Append(batch); err != nil {
+			return err
+		}
+		appended += len(batch)
+		batch = batch[:0]
+		// Flush eagerly so tailed rows commit an epoch readers can see
+		// without waiting for the memtable size threshold.
+		return db.Flush(ctx)
+	}
+	for {
+		line, err := readFullLine(br, pending)
+		switch {
+		case err == errTornLine:
+			// End of file, possibly mid-line: hold the fragment, drain the
+			// batch, and poll for growth.
+			pending = line
+			if err := flushBatch(); err != nil {
+				return err
+			}
+			select {
+			case <-ctx.Done():
+				fmt.Printf("\nstopped; %d rows appended (epoch %d, %d total rows)\n", appended, db.Epoch(), db.TotalRows())
+				return nil
+			case <-time.After(500 * time.Millisecond):
+			}
+			continue
+		case err != nil:
+			return err
+		}
+		pending = ""
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != len(want) {
+			return fmt.Errorf("csv row %q has %d fields, want %d", line, len(fields), len(want))
+		}
+		row := make([]float64, len(fields))
+		for i, field := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return fmt.Errorf("csv field %q (%s): %w", field, want[i], err)
+			}
+			row[i] = v
+		}
+		batch = append(batch, row)
+		if len(batch) >= 1024 {
+			if err := flushBatch(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// errTornLine marks a line still missing its newline at EOF.
+var errTornLine = fmt.Errorf("torn line")
+
+// readFullLine returns the next newline-terminated line (without the
+// newline), prepending a fragment held from the previous poll. At EOF it
+// returns the accumulated fragment with errTornLine.
+func readFullLine(br *bufio.Reader, pending string) (string, error) {
+	chunk, err := br.ReadString('\n')
+	if err == io.EOF {
+		return pending + chunk, errTornLine
+	}
+	if err != nil {
+		return "", err
+	}
+	return pending + strings.TrimSuffix(chunk, "\n"), nil
+}
+
 func inspectStore(dir string) error {
+	if stream.IsLiveDir(dir) {
+		return inspectLiveStore(dir)
+	}
 	if shard.IsShardedDir(dir) {
 		return inspectShardedStore(dir)
 	}
@@ -216,6 +358,28 @@ func inspectStore(dir string) error {
 		}
 		fmt.Printf("  dim %d (%s): %d chunks, %d bytes, %d row refs, values [%g, %g]\n",
 			d, m.Columns[d], len(chunks), bytes, refs, m.MinValues[d], m.MaxValues[d])
+	}
+	return nil
+}
+
+func inspectLiveStore(dir string) error {
+	info, err := stream.Inspect(dir)
+	if err != nil {
+		return err
+	}
+	m := info.Manifest
+	fmt.Printf("live store %s:\n", dir)
+	fmt.Printf("  epoch:         %d\n", m.Epoch)
+	fmt.Printf("  shards:        %d\n", m.Shards)
+	fmt.Printf("  dimensions:    %d (%v)\n", len(m.Columns), m.Columns)
+	fmt.Printf("  grid:          %d segments per dim\n", m.SegmentsPerDim)
+	fmt.Printf("  chunk target:  %d bytes\n", m.TargetChunkBytes)
+	fmt.Printf("  flushed rows:  %d\n", m.FlushedRows)
+	fmt.Printf("  wal:           %d file(s), %d bytes, %d unflushed row(s)\n", info.WALFiles, info.WALBytes, info.WALRows)
+	fmt.Printf("  high water:    row id %d (%d acknowledged rows)\n", info.HighWaterID, int(info.HighWaterID)+1)
+	fmt.Printf("  segments:      %d\n", len(m.Segments))
+	for _, seg := range m.Segments {
+		fmt.Printf("    seg %d (shard %d): %d rows, %d bytes\n", seg.ID, seg.Shard, seg.Rows, seg.Bytes)
 	}
 	return nil
 }

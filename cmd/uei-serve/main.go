@@ -66,6 +66,9 @@ func run() error {
 		endpoints   = flag.String("shard-endpoints", "", "comma-separated uei-shardd worker URLs; serves the index remotely instead of opening -store")
 		replication = flag.Int("replication", 1, "replicas per shard across the worker fleet (shards degrade only when all replicas fail)")
 		hedge       = flag.Duration("hedge-delay", 0, "fire per-shard calls on a second replica after this delay, first reply wins (0 disables; needs -replication > 1)")
+		live        = flag.Bool("live", false, "require the live (streaming) layout and enable POST /v1/append (with -gen, builds a live store)")
+		followLive  = flag.Bool("follow-live", false, "sessions advance to newly flushed data at iteration boundaries (default: each session explores the epoch it opened)")
+		flushEvery  = flag.Duration("flush-interval", 0, "live store: also flush the memtable on this period so trickle appends become visible (0 = size/demand only)")
 	)
 	flag.Parse()
 
@@ -103,7 +106,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := core.Build(tmp, ds, core.BuildOptions{TargetChunkBytes: 64 * 1024, Shards: *shards}); err != nil {
+		if err := core.Build(tmp, ds, core.BuildOptions{TargetChunkBytes: 64 * 1024, Shards: *shards, LiveIngest: *live}); err != nil {
 			return err
 		}
 		dir = tmp
@@ -146,6 +149,9 @@ func run() error {
 		HedgeDelay:            *hedge,
 		Tracer:                tracer,
 		SLOBudget:             *sloBudget,
+		LiveIngest:            *live,
+		FollowLive:            *followLive,
+		FlushInterval:         *flushEvery,
 	})
 	if err != nil {
 		return err
@@ -159,6 +165,13 @@ func run() error {
 	}
 	fmt.Printf("serving %d tuples on http://%s/v1/sessions (budget %d bytes, %d session slots)\n",
 		m.Index().RowCount(), *addr, *budget, *maxSessions)
+	if m.Index().Live() != nil {
+		mode := "sessions pin their opening epoch"
+		if *followLive {
+			mode = "sessions follow new epochs"
+		}
+		fmt.Printf("live ingest on http://%s/v1/append (epoch %d; %s)\n", *addr, m.Index().LiveEpoch(), mode)
+	}
 	fmt.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof); Ctrl-C drains\n", *addr)
 	if tracer != nil {
 		fmt.Printf("tracing steps to %s (SLO budget %v); analyze with uei-trace\n", *traceFile, m.SLO().Budget())

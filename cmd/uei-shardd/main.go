@@ -100,11 +100,15 @@ func run() error {
 		return fmt.Errorf("%s holds a flat store; uei-shardd serves the sharded layout: %w", dir, shard.ErrShardUnavailable)
 	}
 
+	man, err := shard.LoadManifest(dir)
+	if err != nil {
+		return err
+	}
 	logf := log.New(os.Stdout, "", log.LstdFlags).Printf
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	srv := &http.Server{Addr: *addr, Handler: remote.NewServer(coord, logf)}
+	srv := &http.Server{Addr: *addr, Handler: remote.NewServer(coord, man, logf)}
 
 	meta := coord.Meta()
 	fmt.Printf("serving %d shards (%d tuples, %d dims) on http://%s/v1/shards/...\n",

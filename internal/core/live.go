@@ -1,0 +1,291 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/uei-db/uei/internal/chunkstore"
+	"github.com/uei-db/uei/internal/memcache"
+	"github.com/uei-db/uei/internal/obs"
+	"github.com/uei-db/uei/internal/pool"
+	"github.com/uei-db/uei/internal/prefetch"
+	"github.com/uei-db/uei/internal/shard"
+	"github.com/uei-db/uei/internal/stream"
+)
+
+// ErrNotLive is returned by the write-path methods (Append, Flush,
+// AdvanceSnapshot) of an index opened over a static layout.
+var ErrNotLive = errors.New("core: index was not opened over a live-ingest layout")
+
+// openLive opens a live (stream) layout: the index reads through a pinned
+// snapshot epoch and exposes the write path (Append/Flush). Geometry is
+// fixed by the layout, so SegmentsPerDim and Shards are validated against
+// the manifest exactly like the static sharded open.
+func openLive(ctx context.Context, dir string, opts Options) (*Index, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	man, err := stream.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Shards == 1 && man.Shards > 1 {
+		return nil, fmt.Errorf("core: %s holds a %d-shard live store but the flat layout was requested: %w", dir, man.Shards, chunkstore.ErrLayoutMismatch)
+	}
+	if opts.Shards > 1 && man.Shards != opts.Shards {
+		return nil, fmt.Errorf("core: %s holds a %d-shard live store but %d shards were requested: %w", dir, man.Shards, opts.Shards, chunkstore.ErrLayoutMismatch)
+	}
+	if opts.SegmentsPerDim == 0 {
+		opts.SegmentsPerDim = man.SegmentsPerDim
+	} else if opts.SegmentsPerDim != man.SegmentsPerDim {
+		return nil, fmt.Errorf("core: live store was created over %d segments per dimension; cannot open with %d (cell geometry is pinned)", man.SegmentsPerDim, opts.SegmentsPerDim)
+	}
+	opts, err = opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	opts.Registry = reg
+	var bc *chunkstore.BlockCache
+	if opts.BlockCacheBytes > 0 {
+		cacheBudget, err := memcache.NewBudget(opts.BlockCacheBytes)
+		if err != nil {
+			return nil, err
+		}
+		bc, err = chunkstore.NewBlockCache(cacheBudget)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sdb, err := stream.Open(dir, stream.Options{
+		Limiter:         opts.Limiter,
+		Workers:         opts.Workers,
+		BlockCache:      bc,
+		Registry:        reg,
+		Tracer:          opts.Tracer,
+		MemtableBytes:   opts.MemtableBytes,
+		FlushInterval:   opts.FlushInterval,
+		CompactSegments: opts.CompactSegments,
+	})
+	if err != nil {
+		return nil, err
+	}
+	snap, err := sdb.Acquire()
+	if err != nil {
+		sdb.Close()
+		return nil, err
+	}
+	pl := pool.New(opts.Workers)
+	var idx *Index
+	if man.Shards > 1 {
+		coord, err := buildLiveCoordinator(snap, opts, pl, bc)
+		if err == nil {
+			idx, err = newShardedIndex(opts, coord, pl, bc)
+		}
+		if err != nil {
+			pl.Close()
+			snap.Release()
+			sdb.Close()
+			return nil, err
+		}
+	} else {
+		idx, err = newLiveFlatIndex(opts, snap, pl, bc, reg)
+		if err != nil {
+			pl.Close()
+			snap.Release()
+			sdb.Close()
+			return nil, err
+		}
+	}
+	idx.live = sdb
+	idx.snap = snap
+	idx.liveBC = bc
+	return idx, nil
+}
+
+// newLiveFlatIndex wires a flat live index: no chunk store or mapping —
+// every storage touch goes through the pinned snapshot's multi-part
+// helpers instead.
+func newLiveFlatIndex(opts Options, snap *stream.Snapshot, pl *pool.Pool, bc *chunkstore.BlockCache, reg *obs.Registry) (*Index, error) {
+	g := snap.Grid()
+	budget, err := memcache.NewBudget(opts.MemoryBudgetBytes)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := memcache.NewCache(budget, snap.Dims())
+	if err != nil {
+		return nil, err
+	}
+	if err := cache.SetMaxRegions(opts.ResidentRegions); err != nil {
+		return nil, err
+	}
+	if bc != nil {
+		bc.Instrument(reg)
+	}
+	budget.Instrument(reg)
+	pl.Instrument(reg)
+	idx := &Index{
+		opts:        opts,
+		pool:        pl,
+		grid:        g,
+		budget:      budget,
+		cache:       cache,
+		centers:     g.Centers(),
+		uncertainty: make([]float64, g.NumCells()),
+		pendingCell: memcache.NoRegion,
+		reg:         reg,
+		tracer:      opts.Tracer,
+		mSwaps:      reg.Counter("uei_region_swaps_total"),
+		mDeferred:   reg.Counter("uei_swaps_deferred_total"),
+		mPrefHits:   reg.Counter("uei_prefetch_hits_total"),
+		mEntries:    reg.Counter("uei_entries_visited_total"),
+		hScore:      reg.Histogram(obs.PhaseHistName(obs.PhaseScore), nil),
+		hLoad:       reg.Histogram(obs.PhaseHistName(obs.PhaseLoad), nil),
+		hSwap:       reg.Histogram(obs.PhaseHistName(obs.PhaseSwap), nil),
+	}
+	if opts.EnablePrefetch {
+		pf, err := prefetch.New(idx.loadCell)
+		if err != nil {
+			return nil, err
+		}
+		pf.Instrument(reg)
+		idx.pf = pf
+	}
+	return idx, nil
+}
+
+// buildLiveCoordinator assembles a local scatter-gather coordinator over
+// one snapshot epoch of a sharded live store: the synthesized manifest
+// carries the same grid geometry and hash contract a build-time
+// shards.json would, so routing, scoring, and retrieval behave exactly as
+// over a static sharded layout of the same rows.
+func buildLiveCoordinator(snap *stream.Snapshot, opts Options, pl *pool.Pool, bc *chunkstore.BlockCache) (*shard.Coordinator, error) {
+	man, err := snap.ShardManifest()
+	if err != nil {
+		return nil, err
+	}
+	shards, err := snap.Shards()
+	if err != nil {
+		return nil, err
+	}
+	return shard.NewLocalCoordinator(man, shards, shard.OpenOptions{
+		Limiter:    opts.Limiter,
+		Workers:    opts.Workers,
+		Pool:       pl,
+		Deadline:   opts.ShardDeadline,
+		BlockCache: bc,
+		Replicas:   opts.Replication,
+		HedgeDelay: opts.HedgeDelay,
+	})
+}
+
+// Live returns the streaming write store backing this index, or nil for a
+// static layout. It is the seam for ingest tooling (direct appends,
+// explicit compaction, failpoints in tests).
+func (x *Index) Live() *stream.DB { return x.live }
+
+// LiveEpoch returns the snapshot epoch this index currently reads, or 0
+// for a static layout. Views report the epoch pinned at their creation
+// until they AdvanceSnapshot.
+func (x *Index) LiveEpoch() uint64 {
+	if x.snap == nil {
+		return 0
+	}
+	return x.snap.Epoch()
+}
+
+// FollowsLive reports whether this index opts into advancing its snapshot
+// at iteration boundaries (Options.FollowLive on a live layout).
+func (x *Index) FollowsLive() bool { return x.live != nil && x.opts.FollowLive }
+
+// Append validates and durably stages rows in the live write store. The
+// rows are acknowledged once WAL-fsynced; they become read-visible to NEW
+// snapshots after the next flush, and never to the currently pinned one —
+// a running iteration's view cannot shift under it. Returns the first
+// assigned global row id.
+func (x *Index) Append(ctx context.Context, rows [][]float64) (uint32, error) {
+	if x.closed.Load() {
+		return 0, ErrClosed
+	}
+	if x.live == nil {
+		return 0, ErrNotLive
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return x.live.Append(rows)
+}
+
+// Flush folds every pending appended row into committed segments,
+// advancing the live epoch. Held snapshots are unaffected; call
+// AdvanceSnapshot (or open with FollowLive) to observe the new epoch.
+func (x *Index) Flush(ctx context.Context) error {
+	if x.closed.Load() {
+		return ErrClosed
+	}
+	if x.live == nil {
+		return ErrNotLive
+	}
+	return x.live.Flush(ctx)
+}
+
+// AdvanceSnapshot re-pins this index (or view) to the newest committed
+// epoch, if it moved. It must only be called at iteration boundaries: it
+// invalidates symbolic-point scores and drops cached regions (their cell
+// contents may have grown), while the uniform sample is kept — row ids
+// and values are immutable under append-only ingest, so the sample stays
+// a valid uniform draw of a prefix of the data. Reports whether the
+// snapshot moved.
+func (x *Index) AdvanceSnapshot() (bool, error) {
+	if x.closed.Load() {
+		return false, ErrClosed
+	}
+	if x.live == nil {
+		return false, ErrNotLive
+	}
+	if x.live.Epoch() == x.snap.Epoch() {
+		return false, nil
+	}
+	snap, err := x.live.Acquire()
+	if err != nil {
+		return false, err
+	}
+	if snap.Epoch() == x.snap.Epoch() {
+		snap.Release()
+		return false, nil
+	}
+	if x.coord != nil {
+		coord, err := buildLiveCoordinator(snap, x.opts, x.pool, x.liveBC)
+		if err != nil {
+			snap.Release()
+			return false, err
+		}
+		coord.Instrument(x.reg)
+		x.coord = coord
+	}
+	old := x.snap
+	x.snap = snap
+	old.Release()
+	// A prefetch launched under the old epoch could deliver a stale
+	// region later; recreate the prefetcher so pending loads are
+	// cancelled and forgotten.
+	if x.pf != nil {
+		x.pf.Close()
+		pf, err := prefetch.New(x.loadCell)
+		if err != nil {
+			return true, err
+		}
+		pf.Instrument(x.reg)
+		x.pf = pf
+	}
+	x.cache.DropRegion()
+	x.scoresValid = false
+	x.degradedShards = nil
+	x.pendingCell = memcache.NoRegion
+	x.deferredFor = 0
+	return true, nil
+}

@@ -100,6 +100,29 @@ type Options struct {
 	// the delay; the first reply wins and the loser is cancelled. Zero
 	// disables hedging.
 	HedgeDelay time.Duration
+	// LiveIngest requires the directory to hold the live (stream) layout:
+	// Open fails with chunkstore.ErrLayoutMismatch otherwise. Live layouts
+	// are auto-detected either way; the flag only pins the expectation,
+	// the way Shards pins the shard count. Append/Flush work on any index
+	// opened over a live layout.
+	LiveIngest bool
+	// FollowLive lets an exploration session advance its pinned snapshot
+	// to the newest committed epoch at iteration boundaries (the IDE
+	// provider calls AdvanceSnapshot before each selection). Off by
+	// default: a session then explores exactly the epoch it opened,
+	// byte-identical to a static index over the same rows, no matter how
+	// many appends land meanwhile.
+	FollowLive bool
+	// MemtableBytes is the live write store's freeze threshold (zero
+	// selects the stream default). Ignored by static layouts.
+	MemtableBytes int64
+	// FlushInterval additionally flushes the live memtable on a timer so
+	// trickle appends become visible; zero flushes on size/demand only.
+	FlushInterval time.Duration
+	// CompactSegments is the per-shard segment count that triggers
+	// background compaction on a live layout (zero selects the stream
+	// default).
+	CompactSegments int
 }
 
 // withDefaults validates and fills zero values.

@@ -9,6 +9,7 @@ import (
 
 	"github.com/uei-db/uei/internal/dataset"
 	"github.com/uei-db/uei/internal/learn"
+	"github.com/uei-db/uei/internal/shard"
 	"github.com/uei-db/uei/internal/shard/remote"
 )
 
@@ -89,7 +90,11 @@ func BenchmarkRemoteShardedStep(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer backing.Close()
-	handler := remote.NewServer(backing.ShardCoordinator(), func(string, ...any) {})
+	man, err := shard.LoadManifest(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	handler := remote.NewServer(backing.ShardCoordinator(), man, func(string, ...any) {})
 	w1 := httptest.NewServer(handler)
 	defer w1.Close()
 	w2 := httptest.NewServer(handler)

@@ -19,6 +19,7 @@ import (
 	"github.com/uei-db/uei/internal/prefetch"
 	"github.com/uei-db/uei/internal/shard"
 	"github.com/uei-db/uei/internal/shard/remote"
+	"github.com/uei-db/uei/internal/stream"
 	"github.com/uei-db/uei/internal/vec"
 )
 
@@ -41,8 +42,14 @@ type BuildOptions struct {
 	// SegmentsPerDim fixes the grid cells are hashed over when Shards > 1
 	// (it must match the grid used at open; the sharded manifest records
 	// it). Zero selects the Options default (5). Ignored by flat builds,
-	// whose grid is chosen freely at Open.
+	// whose grid is chosen freely at Open — but pinned by live builds,
+	// whose cell geometry must stay epoch-invariant.
 	SegmentsPerDim int
+	// LiveIngest builds the live (stream) layout instead of a static one:
+	// a WAL-backed write store whose manifest epochs accept appends after
+	// the build. The dataset's bounds pin the grid; later appends must
+	// fall inside them.
+	LiveIngest bool
 }
 
 // Build performs the Index Initialization phase: vertical decomposition,
@@ -53,6 +60,17 @@ type BuildOptions struct {
 func Build(dir string, ds *dataset.Dataset, opts BuildOptions) error {
 	if opts.Shards < 0 {
 		return fmt.Errorf("core: shard count %d must not be negative", opts.Shards)
+	}
+	if opts.LiveIngest {
+		segsPD := opts.SegmentsPerDim
+		if segsPD == 0 {
+			segsPD = 5
+		}
+		return stream.Create(dir, ds, stream.CreateOptions{
+			Shards:           opts.Shards,
+			SegmentsPerDim:   segsPD,
+			TargetChunkBytes: opts.TargetChunkBytes,
+		})
 	}
 	if opts.Shards > 1 {
 		return shard.Build(dir, ds, shard.BuildOptions{
@@ -80,6 +98,16 @@ type Index struct {
 	// are nil and every storage touch goes through the coordinator's
 	// scatter-gather instead. Views share the parent's coordinator.
 	coord *shard.Coordinator
+	// live, when non-nil, is the streaming write path (LSM store) and snap
+	// the epoch this index currently reads. A flat live index has nil
+	// store/mapping and reads through snap's multi-part helpers; a sharded
+	// live index reads through coord, rebuilt per snapshot. Views borrow
+	// live and pin their own clone of the parent's snapshot.
+	live *stream.DB
+	snap *stream.Snapshot
+	// liveBC is the shared block cache of a live layout (store-less, so
+	// the flat accessor can't reach it through the chunk store).
+	liveBC *chunkstore.BlockCache
 	// degradedShards lists the shards skipped by the latest scoring pass
 	// (their uncertainty slots are stale); selection excludes their cells
 	// until a later pass succeeds. Per-view state, like uncertainty.
@@ -139,6 +167,12 @@ func Open(ctx context.Context, dir string, opts Options) (*Index, error) {
 	}
 	if len(opts.ShardEndpoints) > 0 {
 		return openRemote(ctx, opts)
+	}
+	if stream.IsLiveDir(dir) {
+		return openLive(ctx, dir, opts)
+	}
+	if opts.LiveIngest {
+		return nil, fmt.Errorf("core: %s does not hold a live-ingest layout: %w", dir, chunkstore.ErrLayoutMismatch)
 	}
 	sharded := shard.IsShardedDir(dir)
 	if opts.Shards == 1 && sharded {
@@ -297,14 +331,14 @@ func openRemote(ctx context.Context, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	man := coord.Manifest()
-	if opts.Shards > 1 && man.Shards != opts.Shards {
-		return nil, fmt.Errorf("core: fleet serves %d shards but %d were requested: %w", man.Shards, opts.Shards, chunkstore.ErrLayoutMismatch)
+	meta := coord.Meta()
+	if opts.Shards > 1 && meta.Shards != opts.Shards {
+		return nil, fmt.Errorf("core: fleet serves %d shards but %d were requested: %w", meta.Shards, opts.Shards, chunkstore.ErrLayoutMismatch)
 	}
 	if opts.SegmentsPerDim == 0 {
-		opts.SegmentsPerDim = man.SegmentsPerDim
-	} else if opts.SegmentsPerDim != man.SegmentsPerDim {
-		return nil, fmt.Errorf("core: store was sharded over %d segments per dimension; cannot open with %d (cell ownership is grid-dependent)", man.SegmentsPerDim, opts.SegmentsPerDim)
+		opts.SegmentsPerDim = meta.SegmentsPerDim
+	} else if opts.SegmentsPerDim != meta.SegmentsPerDim {
+		return nil, fmt.Errorf("core: store was sharded over %d segments per dimension; cannot open with %d (cell ownership is grid-dependent)", meta.SegmentsPerDim, opts.SegmentsPerDim)
 	}
 	opts, err = opts.withDefaults()
 	if err != nil {
@@ -378,18 +412,28 @@ func newShardedIndex(opts Options, coord *shard.Coordinator, pl *pool.Pool, bc *
 // Options.Registry, or the private one Open created).
 func (x *Index) Registry() *obs.Registry { return x.reg }
 
-// Close shuts down the prefetcher (canceling any in-flight background
-// load) and the worker pool. It is idempotent and safe to call while a
-// prefetch load is running; subsequent index operations return ErrClosed.
-// On a view (NewView) only the view's private state stops: the shared pool
-// and store stay up for the parent and its other views.
+// Close cancels and joins every background goroutine the index owns —
+// the prefetcher (canceling any in-flight load) and, on a live layout,
+// the stream store's flusher and compactor — then shuts down the worker
+// pool and releases the pinned snapshot. It is idempotent and safe to
+// call while a prefetch load or background flush is running; subsequent
+// index operations return ErrClosed. On a view (NewView) only the view's
+// private state stops: the shared pool, store, and live write path stay
+// up for the parent and its other views (a view still releases its own
+// snapshot pin).
 func (x *Index) Close() {
 	x.closeOnce.Do(func() {
 		x.closed.Store(true)
 		if x.pf != nil {
 			x.pf.Close()
 		}
+		if x.snap != nil {
+			x.snap.Release()
+		}
 		if !x.isView {
+			if x.live != nil {
+				x.live.Close()
+			}
 			x.pool.Close()
 		}
 	})
@@ -426,13 +470,21 @@ func (x *Index) BlockCache() *chunkstore.BlockCache {
 	if x.coord != nil {
 		return x.coord.BlockCache()
 	}
+	if x.snap != nil {
+		return x.liveBC
+	}
 	return x.store.BlockCache()
 }
 
-// RowCount returns the number of tuples in the store (all shards).
+// RowCount returns the number of tuples visible to this index: the store
+// row count for static layouts (all shards), the pinned snapshot's
+// flushed row count for live ones.
 func (x *Index) RowCount() int {
 	if x.coord != nil {
 		return x.coord.Meta().RowCount
+	}
+	if x.snap != nil {
+		return x.snap.RowCount()
 	}
 	return x.store.RowCount()
 }
@@ -442,6 +494,9 @@ func (x *Index) Dims() int {
 	if x.coord != nil {
 		return x.coord.Meta().Dims()
 	}
+	if x.snap != nil {
+		return x.snap.Dims()
+	}
 	return x.store.Dims()
 }
 
@@ -450,30 +505,44 @@ func (x *Index) Columns() []string {
 	if x.coord != nil {
 		return x.coord.Meta().Columns
 	}
+	if x.snap != nil {
+		return x.snap.Columns()
+	}
 	return x.store.Columns()
 }
 
-// Bounds returns the per-dimension value bounds recorded at build time.
+// Bounds returns the per-dimension value bounds recorded at build time
+// (for live layouts, pinned at creation).
 func (x *Index) Bounds() vec.Box {
 	if x.coord != nil {
 		return x.coord.Meta().Bounds
 	}
+	if x.snap != nil {
+		return x.snap.Bounds()
+	}
 	return x.store.Bounds()
 }
 
-// TotalBytes returns the on-disk payload size of all chunks (all shards).
+// TotalBytes returns the on-disk payload size of all chunks (all shards,
+// or all segments of the pinned snapshot).
 func (x *Index) TotalBytes() int64 {
 	if x.coord != nil {
 		return x.coord.Meta().TotalBytes
+	}
+	if x.snap != nil {
+		return x.snap.TotalBytes()
 	}
 	return x.store.TotalBytes()
 }
 
 // IOStats returns cumulative bytes and chunk files read (summed across
-// shards in the sharded layout).
+// shards or snapshot segments).
 func (x *Index) IOStats() (bytes int64, chunks int64) {
 	if x.coord != nil {
 		return x.coord.IOStats()
+	}
+	if x.snap != nil {
+		return x.snap.IOStats()
 	}
 	return x.store.IOStats()
 }
@@ -482,6 +551,10 @@ func (x *Index) IOStats() (bytes int64, chunks int64) {
 func (x *Index) ResetIOStats() {
 	if x.coord != nil {
 		x.coord.ResetIOStats()
+		return
+	}
+	if x.snap != nil {
+		x.snap.ResetIOStats()
 		return
 	}
 	x.store.ResetIOStats()
@@ -496,6 +569,9 @@ func (x *Index) FetchRows(ctx context.Context, ids []uint32) ([]chunkstore.Merge
 	}
 	if x.coord != nil {
 		return x.coord.FetchRows(ctx, ids)
+	}
+	if x.snap != nil {
+		return x.snap.FetchRows(ctx, ids)
 	}
 	return x.store.FetchRows(ctx, ids)
 }
@@ -695,6 +771,20 @@ func (x *Index) loadCell(ctx context.Context, cell int) ([]uint32, [][]float64, 
 			return nil, nil, fmt.Errorf("core: loading cell %d: %w", cell, err)
 		}
 		x.mEntries.Add(int64(visited))
+		return ids, vals, nil
+	}
+	if x.snap != nil {
+		rows, visited, err := x.snap.LoadCell(ctx, grid.CellID(cell))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: loading cell %d: %w", cell, err)
+		}
+		x.mEntries.Add(int64(visited))
+		ids := make([]uint32, len(rows))
+		vals := make([][]float64, len(rows))
+		for i, r := range rows {
+			ids[i] = r.ID
+			vals[i] = r.Vals
+		}
 		return ids, vals, nil
 	}
 	box, err := x.grid.CellBox(grid.CellID(cell))
@@ -1039,6 +1129,8 @@ func (x *Index) ResultRetrieval(ctx context.Context, model learn.Classifier, min
 	var entries int
 	if x.coord != nil {
 		rows, entries, err = x.coord.Retrieve(ctx, markedSeg)
+	} else if x.snap != nil {
+		rows, entries, err = x.snap.ScanMarked(ctx, markedSeg)
 	} else {
 		rows, entries, err = shard.ScanMarked(ctx, x.grid, x.store, markedSeg)
 	}
@@ -1077,6 +1169,9 @@ func (x *Index) ResultRetrieval(ctx context.Context, model learn.Classifier, min
 func (x *Index) CellEstimate(id grid.CellID) (bytes int64, entries int, err error) {
 	if x.coord != nil {
 		return x.coord.CostEstimate(id)
+	}
+	if x.snap != nil {
+		return x.snap.CostEstimate(id)
 	}
 	return x.mapping.CostEstimate(id)
 }

@@ -100,6 +100,21 @@ func (x *Index) NewView(vo ViewOptions) (*Index, error) {
 		hLoad:       x.reg.Histogram(obs.PhaseHistName(obs.PhaseLoad), nil),
 		hSwap:       x.reg.Histogram(obs.PhaseHistName(obs.PhaseSwap), nil),
 	}
+	if x.live != nil {
+		// Pin the PARENT's epoch, not the latest: the serving layer's
+		// lazily-derived per-index state (oracle datasets, admission
+		// bookkeeping) is sized to the parent's row count, so a view must
+		// not silently see more rows than its parent. A view that wants
+		// newer data calls AdvanceSnapshot (FollowLive does it per
+		// iteration).
+		snap, err := x.snap.Clone()
+		if err != nil {
+			return nil, err
+		}
+		v.live = x.live
+		v.snap = snap
+		v.liveBC = x.liveBC
+	}
 	if opts.EnablePrefetch {
 		pf, err := prefetch.New(v.loadCell)
 		if err != nil {

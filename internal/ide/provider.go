@@ -63,8 +63,17 @@ func (p *UEIProvider) Name() string { return "uei" }
 func (p *UEIProvider) Prepare(ctx context.Context) error { return p.idx.InitExploration(ctx) }
 
 // BeforeSelect implements Provider: Algorithm 2 lines 15-20 (re-score P,
-// choose p*, load g* — with prefetch/deferral inside the index).
+// choose p*, load g* — with prefetch/deferral inside the index). On a
+// live index opened with FollowLive it first advances the pinned snapshot
+// to the newest flushed epoch: the iteration boundary is the only point
+// where the visible row set may move, so within the iteration scores,
+// regions, and retrieval all agree on one epoch.
 func (p *UEIProvider) BeforeSelect(ctx context.Context, model learn.Classifier) error {
+	if p.idx.FollowsLive() {
+		if _, err := p.idx.AdvanceSnapshot(); err != nil {
+			return err
+		}
+	}
 	_, err := p.idx.EnsureRegion(ctx, model)
 	return err
 }

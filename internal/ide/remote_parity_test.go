@@ -9,6 +9,7 @@ import (
 
 	"github.com/uei-db/uei/internal/al"
 	"github.com/uei-db/uei/internal/core"
+	"github.com/uei-db/uei/internal/shard"
 	"github.com/uei-db/uei/internal/shard/remote"
 )
 
@@ -35,7 +36,11 @@ func (f *fixture) startRemoteCluster(t *testing.T, shards, n int) *remoteCluster
 		t.Fatal(err)
 	}
 	t.Cleanup(backing.Close)
-	handler := remote.NewServer(backing.ShardCoordinator(), func(string, ...any) {})
+	man, err := shard.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := remote.NewServer(backing.ShardCoordinator(), man, func(string, ...any) {})
 	cl := &remoteCluster{}
 	for i := 0; i < n; i++ {
 		srv := httptest.NewServer(handler)

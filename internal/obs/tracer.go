@@ -23,6 +23,15 @@ const (
 	PhaseRetrieve  = "retrieve"  // final result retrieval
 )
 
+// Background write-path span names. These are NOT budget-attribution
+// phases (they run outside the step, on the stream subsystem's flusher
+// and compactor goroutines), so they stay out of phaseNames — adding them
+// would double-attribute step wall time in the SLO breakdown.
+const (
+	SpanFlush   = "flush"   // memtable → segment flush (stream)
+	SpanCompact = "compact" // segment merge / retirement (stream)
+)
+
 // phaseNames is the closed set IsPhaseName recognizes: the spans whose
 // durations are additive within a step. Container spans ("step",
 // "iteration") and storage spans (shard_*, chunk_read, bcache_get) nest

@@ -15,6 +15,7 @@ import (
 	"github.com/uei-db/uei/internal/ide"
 	"github.com/uei-db/uei/internal/learn"
 	"github.com/uei-db/uei/internal/memcache"
+	"github.com/uei-db/uei/internal/stream"
 )
 
 // errBadRequest marks client mistakes (malformed specs, labels on oracle
@@ -31,6 +32,10 @@ func statusFor(err error) (status, retryAfter int) {
 		return http.StatusBadRequest, 0
 	case errors.Is(err, ErrUnknownSession):
 		return http.StatusNotFound, 0
+	case errors.Is(err, core.ErrNotLive):
+		return http.StatusBadRequest, 0
+	case errors.Is(err, stream.ErrOutOfBounds):
+		return http.StatusUnprocessableEntity, 0
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests, 1
 	case errors.Is(err, ErrSaturated), errors.Is(err, ErrDraining):
@@ -72,12 +77,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // maxBodyBytes bounds request bodies; specs and labels are tiny.
-const maxBodyBytes = 1 << 20
+// Append batches get a larger allowance (maxAppendBodyBytes).
+const (
+	maxBodyBytes       = 1 << 20
+	maxAppendBodyBytes = 16 << 20
+)
 
 // readJSON decodes the request body into v, tolerating an empty body (all
 // request fields are optional).
 func readJSON(r *http.Request, v any) error {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	return readJSONLimit(r, v, maxBodyBytes)
+}
+
+func readJSONLimit(r *http.Request, v any, limit int64) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit))
 	if err != nil {
 		return fmt.Errorf("read body: %v: %w", err, errBadRequest)
 	}
@@ -98,9 +111,11 @@ func readJSON(r *http.Request, v any) error {
 //	POST   /v1/sessions/{id}/step advance (body: StepRequest)
 //	GET    /v1/sessions/{id}/result retrieved result set
 //	DELETE /v1/sessions/{id}      delete
+//	POST   /v1/append             ingest rows into a live store (body: AppendRequest)
 //	GET    /healthz               liveness (503 while draining)
 func (m *Manager) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/sessions", m.handleCreate)
+	mux.HandleFunc("POST /v1/append", m.handleAppend)
 	mux.HandleFunc("GET /v1/sessions", m.handleList)
 	mux.HandleFunc("GET /v1/sessions/{id}", m.handleGet)
 	mux.HandleFunc("POST /v1/sessions/{id}/step", m.handleStep)
@@ -175,6 +190,20 @@ func (m *Manager) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+func (m *Manager) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req AppendRequest
+	if err := readJSONLimit(r, &req, maxAppendBodyBytes); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := m.Append(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (m *Manager) handleHealth(w http.ResponseWriter, _ *http.Request) {

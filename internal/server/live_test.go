@@ -1,0 +1,140 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/uei-db/uei/internal/chunkstore"
+	"github.com/uei-db/uei/internal/core"
+	"github.com/uei-db/uei/internal/dataset"
+)
+
+// buildLiveStore builds a small live (streaming) store.
+func buildLiveStore(t testing.TB, n int) (string, *dataset.Dataset) {
+	t.Helper()
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: n, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := core.Build(dir, ds, core.BuildOptions{TargetChunkBytes: 4096, LiveIngest: true}); err != nil {
+		t.Fatal(err)
+	}
+	return dir, ds
+}
+
+// rowsJSON encodes an AppendRequest from dataset rows.
+func rowsJSON(t *testing.T, ds *dataset.Dataset, ids ...int) string {
+	t.Helper()
+	var req AppendRequest
+	for _, id := range ids {
+		req.Rows = append(req.Rows, ds.CopyRow(dataset.RowID(id%ds.Len())))
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestHTTPLiveAppend drives the ingest endpoint end to end: appends are
+// acknowledged with ids and the committed epoch, out-of-bounds rows are
+// rejected with 422, exploring sessions keep stepping while appends land
+// concurrently, and the endpoint 400s on a static store.
+func TestHTTPLiveAppend(t *testing.T) {
+	dir, ds := buildLiveStore(t, 1500)
+	m := newTestManager(t, dir, func(c *Config) { c.LiveIngest = true })
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	var ack AppendResponse
+	if status := postJSON(t, client, srv.URL+"/v1/append", rowsJSON(t, ds, 0, 1, 2), &ack); status != http.StatusOK {
+		t.Fatalf("append status %d", status)
+	}
+	if ack.FirstID != uint32(ds.Len()) || ack.Count != 3 || ack.TotalRows != ds.Len()+3 || ack.Epoch == 0 {
+		t.Fatalf("append ack = %+v", ack)
+	}
+
+	var ejson errorJSON
+	if status := postJSON(t, client, srv.URL+"/v1/append", `{"rows":[[1e18,1e18,1e18,1e18,1e18]]}`, &ejson); status != http.StatusUnprocessableEntity {
+		t.Fatalf("out-of-bounds append status %d (%s)", status, ejson.Error)
+	}
+	if status := postJSON(t, client, srv.URL+"/v1/append", `{"rows":[]}`, &ejson); status != http.StatusBadRequest {
+		t.Fatalf("empty append status %d", status)
+	}
+
+	// Sessions explore the pinned epoch while an appender hammers ingest.
+	var info SessionInfo
+	if status := postJSON(t, client, srv.URL+"/v1/sessions",
+		`{"max_labels":8,"oracle":{"selectivity":0.02}}`, &info); status != http.StatusCreated {
+		t.Fatalf("create status %d", status)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var r AppendResponse
+			if status := postJSON(t, client, srv.URL+"/v1/append", rowsJSON(t, ds, i*13), &r); status != http.StatusOK {
+				t.Errorf("concurrent append status %d", status)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		var step StepResponse
+		if status := postJSON(t, client, srv.URL+"/v1/sessions/"+info.ID+"/step", `{}`, &step); status != http.StatusOK {
+			t.Fatalf("step %d status %d", i, status)
+		}
+		if step.Done {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Pinned MVCC: the serving index never saw the appended rows.
+	if got := m.Index().RowCount(); got != ds.Len() {
+		t.Errorf("serving RowCount = %d, want pinned %d", got, ds.Len())
+	}
+}
+
+// TestHTTPAppendStaticStore pins the 400 on non-live layouts.
+func TestHTTPAppendStaticStore(t *testing.T) {
+	dir, ds := buildStore(t, 400)
+	m := newTestManager(t, dir, nil)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	var ejson errorJSON
+	status := postJSON(t, srv.Client(), srv.URL+"/v1/append", rowsJSON(t, ds, 0), &ejson)
+	if status != http.StatusBadRequest {
+		t.Fatalf("append on static store: status %d (%s), want 400", status, ejson.Error)
+	}
+}
+
+// TestLiveConfigMismatch: LiveIngest on a static store fails Manager
+// construction with the layout sentinel.
+func TestLiveConfigMismatch(t *testing.T) {
+	dir, _ := buildStore(t, 300)
+	cfg := Config{
+		StoreDir:         dir,
+		TotalBudgetBytes: 4 << 20,
+		LiveIngest:       true,
+	}
+	if _, err := NewManager(context.Background(), cfg); !errors.Is(err, chunkstore.ErrLayoutMismatch) {
+		t.Fatalf("NewManager with LiveIngest over a static store: err = %v, want ErrLayoutMismatch", err)
+	}
+}

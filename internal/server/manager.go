@@ -62,6 +62,7 @@ type Manager struct {
 	gLive      *obs.Gauge
 	gQueued    *obs.Gauge
 	cSteps     *obs.Counter
+	cAppends   *obs.Counter
 	cEvicted   *obs.Counter
 	cResumed   *obs.Counter
 	cAdmitRej  *obs.Counter
@@ -101,6 +102,9 @@ func NewManager(ctx context.Context, cfg Config) (*Manager, error) {
 		ShardEndpoints:    cfg.ShardEndpoints,
 		Replication:       cfg.Replication,
 		HedgeDelay:        cfg.HedgeDelay,
+		LiveIngest:        cfg.LiveIngest,
+		FollowLive:        cfg.FollowLive,
+		FlushInterval:     cfg.FlushInterval,
 	})
 	if err != nil {
 		return nil, err
@@ -158,6 +162,7 @@ func newManagerWithIndex(cfg Config, idx *core.Index) (*Manager, error) {
 		gLive:       reg.Gauge("uei_server_sessions_live"),
 		gQueued:     reg.Gauge("uei_server_queue_depth"),
 		cSteps:      reg.Counter("uei_server_steps_total"),
+		cAppends:    reg.Counter("uei_server_appends_total"),
 		cEvicted:    reg.Counter("uei_server_evictions_total"),
 		cResumed:    reg.Counter("uei_server_resumes_total"),
 		cAdmitRej:   reg.Counter("uei_server_admission_rejects_total"),
@@ -605,6 +610,60 @@ func (m *Manager) doneResponseLocked(h *hosted) StepResponse {
 		resp.Positives = len(h.result.Positive)
 	}
 	return resp
+}
+
+// AppendRequest carries rows to ingest into a live store.
+type AppendRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// AppendResponse acknowledges durably staged rows. The rows are
+// WAL-fsynced when the response is written; they become read-visible to
+// sessions at the next committed epoch (never to a running iteration).
+type AppendResponse struct {
+	// FirstID is the global row id assigned to the first appended row;
+	// the batch occupies [FirstID, FirstID+Count).
+	FirstID uint32 `json:"first_id"`
+	Count   int    `json:"count"`
+	// TotalRows counts every durably appended row (flushed or not).
+	TotalRows int `json:"total_rows"`
+	// Epoch is the currently committed manifest epoch.
+	Epoch uint64 `json:"epoch"`
+}
+
+// Append durably stages rows in the live write store. It shares the
+// server-wide step-concurrency semaphore with Step, so an ingest burst
+// cannot oversubscribe the worker pool under exploring sessions, and is
+// rejected while draining (in-flight appends finish before the store
+// closes, because HTTP shutdown completes before Manager.Close runs).
+func (m *Manager) Append(ctx context.Context, req AppendRequest) (AppendResponse, error) {
+	if m.draining.Load() {
+		return AppendResponse{}, ErrDraining
+	}
+	if len(req.Rows) == 0 {
+		return AppendResponse{}, fmt.Errorf("append requires at least one row: %w", errBadRequest)
+	}
+	live := m.idx.Live()
+	if live == nil {
+		return AppendResponse{}, fmt.Errorf("store is not a live-ingest layout: %w", core.ErrNotLive)
+	}
+	select {
+	case m.stepSem <- struct{}{}:
+	case <-ctx.Done():
+		return AppendResponse{}, ctx.Err()
+	}
+	defer func() { <-m.stepSem }()
+	first, err := m.idx.Append(ctx, req.Rows)
+	if err != nil {
+		return AppendResponse{}, err
+	}
+	m.cAppends.Inc()
+	return AppendResponse{
+		FirstID:   first,
+		Count:     len(req.Rows),
+		TotalRows: live.TotalRows(),
+		Epoch:     live.Epoch(),
+	}, nil
 }
 
 // ResultInfo is the final (or current) retrieval outcome.

@@ -118,6 +118,20 @@ type Config struct {
 	// the first has not answered within the delay (requires Replication >
 	// 1). Zero disables hedging.
 	HedgeDelay time.Duration
+	// LiveIngest requires StoreDir to hold the live (stream) layout and
+	// enables the ingest API (POST /v1/append). Live layouts are
+	// auto-detected either way; the flag pins the expectation the way
+	// Shards pins the shard count.
+	LiveIngest bool
+	// FollowLive lets hosted sessions advance their pinned snapshot to the
+	// newest committed epoch at iteration boundaries. Off by default:
+	// sessions then explore exactly the epoch the server opened, and
+	// evicted sessions resume deterministically.
+	FollowLive bool
+	// FlushInterval flushes the live memtable on a timer so trickle
+	// appends become visible without waiting for the size threshold.
+	// Zero flushes on size/demand only. Ignored for static layouts.
+	FlushInterval time.Duration
 	// Seed drives store generation helpers and default session seeds.
 	Seed int64
 	// Registry receives the server's metrics; nil creates a private one.
@@ -182,6 +196,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.SLOBudget < 0 {
 		return c, errors.New("server: SLOBudget must not be negative")
+	}
+	if c.FlushInterval < 0 {
+		return c, errors.New("server: FlushInterval must not be negative")
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()

@@ -85,7 +85,7 @@ func Build(dir string, ds *dataset.Dataset, opts BuildOptions) error {
 
 	// Partition rows by the owner of their cell. The scan runs in global
 	// id order, so each shard's sub-dataset and idmap come out ascending.
-	ownerByCell, err := cellOwners(g, opts.Shards)
+	ownerByCell, err := CellOwners(g, opts.Shards)
 	if err != nil {
 		return err
 	}
@@ -134,7 +134,7 @@ func Build(dir string, ds *dataset.Dataset, opts BuildOptions) error {
 				return err
 			}
 		}
-		if err := saveIDMap(sdir, idmaps[s]); err != nil {
+		if err := SaveIDMap(sdir, idmaps[s]); err != nil {
 			return err
 		}
 		m.ShardRowCounts[s] = subs[s].Len()
@@ -144,8 +144,10 @@ func Build(dir string, ds *dataset.Dataset, opts BuildOptions) error {
 	return saveManifest(dir, m)
 }
 
-// cellOwners precomputes the owner shard of every cell of g.
-func cellOwners(g *grid.Grid, shards int) ([]int, error) {
+// CellOwners precomputes the owner shard of every cell of g. Exported for
+// the stream subsystem, which partitions flushed memtables by the same
+// assignment the coordinator routes by.
+func CellOwners(g *grid.Grid, shards int) ([]int, error) {
 	owners := make([]int, g.NumCells())
 	for id := 0; id < g.NumCells(); id++ {
 		coords, err := g.Coords(grid.CellID(id))

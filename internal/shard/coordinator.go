@@ -40,20 +40,39 @@ const (
 // cancellation reach a stuck attempt only through it.
 type FaultHook func(ctx context.Context, shard, replica int, op string) error
 
-// Shard is one self-contained slice of the sharded store.
+// Part is one immutable data part of a shard: a private flat chunk store
+// (local ids 0..n-1), the mapping of global grid cells to that store's
+// chunks, and the strictly ascending local→global idmap — so local id
+// order and global id order agree within a part.
+type Part struct {
+	Store   *chunkstore.Store
+	Mapping *grid.Mapping
+	IDMap   []uint32
+}
+
+// RowCount returns the part's row count.
+func (p *Part) RowCount() int { return p.Store.RowCount() }
+
+// Shard is one self-contained slice of the sharded store. Build-time
+// layouts hold exactly one part per shard; live (stream) snapshots hold
+// one part per flushed segment, and reads merge the parts by global id.
 type Shard struct {
 	// ID is the shard index in [0, S).
 	ID int
-	// Store is the shard's private flat chunk store over its rows
-	// (local ids 0..n-1).
-	Store *chunkstore.Store
-	// Mapping resolves global grid cells to this store's chunks.
-	Mapping *grid.Mapping
-	// IDMap translates local row ids to global ones; strictly ascending,
-	// so local id order and global id order agree.
-	IDMap []uint32
+	// Parts are the shard's immutable data parts. Rows are disjoint
+	// across parts (every global row rests in exactly one part).
+	Parts []Part
 	// Cells lists the grid cells this shard owns, ascending.
 	Cells []grid.CellID
+}
+
+// RowCount sums the parts' rows.
+func (s *Shard) RowCount() int {
+	n := 0
+	for i := range s.Parts {
+		n += s.Parts[i].RowCount()
+	}
+	return n
 }
 
 // OpenOptions configures Open.
@@ -113,7 +132,6 @@ type CoordinatorOptions struct {
 // constructed; SetFaultHook, SetDeadline, and SetHedgeDelay may be called
 // at any time.
 type Coordinator struct {
-	man  *Manifest
 	meta Meta
 	// replicas[s] lists shard s's backends, primary first.
 	replicas [][]Backend
@@ -162,14 +180,6 @@ func Open(ctx context.Context, dir string, opts OpenOptions) (*Coordinator, erro
 	if err != nil {
 		return nil, err
 	}
-	owners, err := cellOwners(g, man.Shards)
-	if err != nil {
-		return nil, err
-	}
-	p := opts.Pool
-	if p == nil {
-		p = pool.New(1)
-	}
 	shards := make([]*Shard, man.Shards)
 	for s := 0; s < man.Shards; s++ {
 		sdir := filepath.Join(dir, ShardDirName(s))
@@ -192,17 +202,48 @@ func Open(ctx context.Context, dir string, opts OpenOptions) (*Coordinator, erro
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
-		ids, err := loadIDMap(sdir)
+		ids, err := LoadIDMap(sdir)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
 		if len(ids) != st.RowCount() {
 			return nil, fmt.Errorf("shard %d: idmap has %d entries, store has %d rows", s, len(ids), st.RowCount())
 		}
-		shards[s] = &Shard{ID: s, Store: st, Mapping: mp, IDMap: ids}
+		shards[s] = &Shard{ID: s, Parts: []Part{{Store: st, Mapping: mp, IDMap: ids}}}
+	}
+	return NewLocalCoordinator(man, shards, opts)
+}
+
+// NewLocalCoordinator assembles a coordinator over already-open in-process
+// shards — the tail of Open, also the entry point for live (stream)
+// snapshots, whose multi-part shards are opened and cached by the stream
+// DB rather than loaded from a build-time directory. Shard IDs and owned
+// cells are (re)assigned here from the manifest's grid.
+func NewLocalCoordinator(man *Manifest, shards []*Shard, opts OpenOptions) (*Coordinator, error) {
+	if err := man.validate(); err != nil {
+		return nil, err
+	}
+	if len(shards) != man.Shards {
+		return nil, fmt.Errorf("shard: %d shards for a %d-shard manifest", len(shards), man.Shards)
+	}
+	g, err := grid.New(vec.NewBox(man.MinValues, man.MaxValues), man.SegmentsPerDim)
+	if err != nil {
+		return nil, err
+	}
+	owners, err := CellOwners(g, man.Shards)
+	if err != nil {
+		return nil, err
+	}
+	p := opts.Pool
+	if p == nil {
+		p = pool.New(1)
 	}
 	centers := g.Centers()
 	ownedCenters := make([][]vec.Point, man.Shards)
+	for s := range shards {
+		shards[s].ID = s
+		shards[s].Cells = nil
+	}
 	for id, o := range owners {
 		shards[o].Cells = append(shards[o].Cells, grid.CellID(id))
 		ownedCenters[o] = append(ownedCenters[o], centers[id])
@@ -245,7 +286,7 @@ func NewCoordinator(man *Manifest, replicas [][]Backend, opts CoordinatorOptions
 	if err != nil {
 		return nil, err
 	}
-	owners, err := cellOwners(g, man.Shards)
+	owners, err := CellOwners(g, man.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +339,6 @@ func newCoordinator(man *Manifest, g *grid.Grid, owners []int, replicas [][]Back
 		totalBytes += b.Stats().TotalBytes
 	}
 	c := &Coordinator{
-		man:          man,
 		replicas:     replicas,
 		statBackends: stat,
 		ownerByCell:  owners,
@@ -323,11 +363,6 @@ func newCoordinator(man *Manifest, g *grid.Grid, owners []int, replicas [][]Back
 // and replica counts, columns, bounds, row count, on-disk bytes.
 func (c *Coordinator) Meta() Meta { return c.meta }
 
-// Grid returns the global grid.
-//
-// Deprecated: use Meta().Grid.
-func (c *Coordinator) Grid() *grid.Grid { return c.meta.Grid }
-
 // NumShards returns S.
 func (c *Coordinator) NumShards() int { return len(c.replicas) }
 
@@ -341,37 +376,6 @@ func (c *Coordinator) Shards() []*Shard { return c.shards }
 
 // Backends returns shard s's backends, primary first (read-only).
 func (c *Coordinator) Backends(s int) []Backend { return c.replicas[s] }
-
-// Manifest returns the top-level manifest (read-only).
-//
-// Deprecated: use Meta for the store facts; the raw manifest remains
-// available for layout tooling.
-func (c *Coordinator) Manifest() *Manifest { return c.man }
-
-// Bounds returns the global per-dimension value bounds.
-//
-// Deprecated: use Meta().Bounds.
-func (c *Coordinator) Bounds() vec.Box { return c.meta.Bounds }
-
-// RowCount returns the number of tuples across all shards.
-//
-// Deprecated: use Meta().RowCount.
-func (c *Coordinator) RowCount() int { return c.meta.RowCount }
-
-// Columns returns the attribute names in dimension order (read-only).
-//
-// Deprecated: use Meta().Columns.
-func (c *Coordinator) Columns() []string { return c.meta.Columns }
-
-// Dims returns the dimensionality.
-//
-// Deprecated: use Meta().Dims.
-func (c *Coordinator) Dims() int { return len(c.meta.Columns) }
-
-// TotalBytes sums the on-disk payload of every shard.
-//
-// Deprecated: use Meta().TotalBytes.
-func (c *Coordinator) TotalBytes() int64 { return c.meta.TotalBytes }
 
 // BlockCache returns the shared decoded-chunk cache of a locally opened
 // coordinator, or nil (remote coordinators cache on the worker side).
@@ -441,7 +445,9 @@ func (c *Coordinator) Instrument(reg *obs.Registry) {
 	reg.Gauge("uei_shards").SetInt(int64(len(c.replicas)))
 	reg.Gauge("uei_shard_replicas").SetInt(int64(c.meta.Replication))
 	for _, s := range c.shards {
-		s.Store.Instrument(reg)
+		for i := range s.Parts {
+			s.Parts[i].Store.Instrument(reg)
+		}
 	}
 }
 

@@ -30,7 +30,10 @@ const (
 	idMapVersion = 1
 )
 
-func saveIDMap(dir string, ids []uint32) error {
+// SaveIDMap writes dir's idmap file atomically (tmp + rename). Exported
+// for the stream subsystem, whose flushed segments carry the same CRC'd
+// local→global translation as build-time shards.
+func SaveIDMap(dir string, ids []uint32) error {
 	buf := make([]byte, 0, 4+2+4+4*len(ids)+4)
 	buf = append(buf, idMapMagic...)
 	buf = binary.LittleEndian.AppendUint16(buf, idMapVersion)
@@ -49,7 +52,9 @@ func saveIDMap(dir string, ids []uint32) error {
 	return nil
 }
 
-func loadIDMap(dir string) ([]uint32, error) {
+// LoadIDMap reads and verifies dir's idmap file (CRC, magic, strict
+// ascension).
+func LoadIDMap(dir string) ([]uint32, error) {
 	data, err := os.ReadFile(filepath.Join(dir, idMapFile))
 	if err != nil {
 		return nil, fmt.Errorf("shard: read idmap: %w", err)

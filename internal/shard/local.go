@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"github.com/uei-db/uei/internal/chunkstore"
 	"github.com/uei-db/uei/internal/grid"
@@ -16,6 +17,13 @@ import (
 // the pre-interface coordinator. Replicated local coordinators reuse one
 // LocalBackend per shard (the underlying store is concurrency-safe), so
 // hedged duplicate calls race only on immutable state.
+//
+// A shard holds one part for build-time layouts and several for live
+// (stream) snapshots. Single-part calls take the exact pre-refactor code
+// path; multi-part calls merge per-part results by global id, which
+// yields the same row set a flat store over the union of the parts'
+// rows would produce (chunk reconstruction is per-row value containment,
+// and every part's idmap is strictly ascending).
 type LocalBackend struct {
 	shard *Shard
 	g     *grid.Grid
@@ -69,73 +77,149 @@ func (b *LocalBackend) MostUncertain(ctx context.Context, scores []float64, k in
 	return topKOwned(b.cells, scores, k), nil
 }
 
-// LoadCell implements Backend: hash-merge the cell's chunks from the
-// shard's store and remap row ids to global.
+// LoadCell implements Backend: hash-merge the cell's chunks from each
+// part's store and remap row ids to global.
 func (b *LocalBackend) LoadCell(ctx context.Context, cell grid.CellID) ([]uint32, [][]float64, int, error) {
 	box, err := b.g.CellBox(cell)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	chunks, err := b.shard.Mapping.Chunks(cell)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	rows, entries, err := b.shard.Store.MergeChunks(ctx, box, chunks)
+	rows, entries, err := MergePartsCell(ctx, b.shard.Parts, box, cell)
 	if err != nil {
 		return nil, nil, 0, err
 	}
 	ids := make([]uint32, len(rows))
 	vals := make([][]float64, len(rows))
 	for i, r := range rows {
-		ids[i] = b.shard.IDMap[r.ID]
+		ids[i] = r.ID
 		vals[i] = r.Vals
 	}
 	return ids, vals, entries, nil
 }
 
-// FetchRows implements Backend: intersect the sorted global ids with the
-// shard's idmap (merge join), fetch the local rows, and remap to global.
+// FetchRows implements Backend: intersect the sorted global ids with each
+// part's idmap (merge join), fetch the local rows, and remap to global.
 func (b *LocalBackend) FetchRows(ctx context.Context, ids []uint32) ([]chunkstore.MergedRow, error) {
-	local := intersectLocal(ids, b.shard.IDMap)
-	if len(local) == 0 {
-		return nil, nil
-	}
-	rows, err := b.shard.Store.FetchRows(ctx, local)
-	if err != nil {
-		return nil, err
-	}
-	for i := range rows {
-		rows[i].ID = b.shard.IDMap[rows[i].ID]
-	}
-	return rows, nil
+	return FetchPartsRows(ctx, b.shard.Parts, ids)
 }
 
-// Retrieve implements Backend: the shared marked-segment scan over this
-// shard's store, remapped to global ids.
+// Retrieve implements Backend: the shared marked-segment scan over each
+// part's store, remapped to global ids and merged.
 func (b *LocalBackend) Retrieve(ctx context.Context, marked [][]bool) ([]RetrievedRow, int, error) {
-	rows, entries, err := ScanMarked(ctx, b.g, b.shard.Store, marked)
-	if err != nil {
-		return nil, 0, err
-	}
-	for i := range rows {
-		rows[i].ID = b.shard.IDMap[rows[i].ID]
-	}
-	return rows, entries, nil
+	return ScanPartsMarked(ctx, b.g, b.shard.Parts, marked)
 }
 
-// CostEstimate implements Backend via the shard's mapping.
+// CostEstimate implements Backend by summing the parts' mappings.
 func (b *LocalBackend) CostEstimate(ctx context.Context, cell grid.CellID) (int64, int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, 0, err
 	}
-	return b.shard.Mapping.CostEstimate(cell)
+	var bytes int64
+	var entries int
+	for i := range b.shard.Parts {
+		pb, pe, err := b.shard.Parts[i].Mapping.CostEstimate(cell)
+		if err != nil {
+			return 0, 0, err
+		}
+		bytes += pb
+		entries += pe
+	}
+	return bytes, entries, nil
 }
 
-// Stats implements Backend with the shard store's disk I/O counters.
+// Stats implements Backend with the part stores' disk I/O counters summed.
 func (b *LocalBackend) Stats() BackendStats {
-	bytes, chunks := b.shard.Store.IOStats()
-	return BackendStats{BytesRead: bytes, ChunksRead: chunks, TotalBytes: b.shard.Store.TotalBytes()}
+	var st BackendStats
+	for i := range b.shard.Parts {
+		bytes, chunks := b.shard.Parts[i].Store.IOStats()
+		st.BytesRead += bytes
+		st.ChunksRead += chunks
+		st.TotalBytes += b.shard.Parts[i].Store.TotalBytes()
+	}
+	return st
 }
 
 // ResetIOStats implements Backend.
-func (b *LocalBackend) ResetIOStats() { b.shard.Store.ResetIOStats() }
+func (b *LocalBackend) ResetIOStats() {
+	for i := range b.shard.Parts {
+		b.shard.Parts[i].Store.ResetIOStats()
+	}
+}
+
+// MergePartsCell reconstructs one grid cell across parts: each part
+// hash-merges its own chunks, local ids remap through the part's idmap,
+// and the per-part row sets (disjoint — every global row lives in exactly
+// one part) concatenate into one id-sorted slice. With a single part this
+// is exactly the flat MergeChunks path plus the remap.
+func MergePartsCell(ctx context.Context, parts []Part, box vec.Box, cell grid.CellID) ([]chunkstore.MergedRow, int, error) {
+	var out []chunkstore.MergedRow
+	var entries int
+	for i := range parts {
+		p := &parts[i]
+		chunks, err := p.Mapping.Chunks(cell)
+		if err != nil {
+			return nil, 0, err
+		}
+		rows, pe, err := p.Store.MergeChunks(ctx, box, chunks)
+		if err != nil {
+			return nil, 0, err
+		}
+		entries += pe
+		for j := range rows {
+			rows[j].ID = p.IDMap[rows[j].ID]
+		}
+		out = append(out, rows...)
+	}
+	if len(parts) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	}
+	return out, entries, nil
+}
+
+// FetchPartsRows point-fetches sorted global ids across parts and returns
+// the union sorted by global id.
+func FetchPartsRows(ctx context.Context, parts []Part, ids []uint32) ([]chunkstore.MergedRow, error) {
+	var out []chunkstore.MergedRow
+	for i := range parts {
+		p := &parts[i]
+		local := intersectLocal(ids, p.IDMap)
+		if len(local) == 0 {
+			continue
+		}
+		rows, err := p.Store.FetchRows(ctx, local)
+		if err != nil {
+			return nil, err
+		}
+		for j := range rows {
+			rows[j].ID = p.IDMap[rows[j].ID]
+		}
+		out = append(out, rows...)
+	}
+	if len(parts) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	}
+	return out, nil
+}
+
+// ScanPartsMarked runs the shared marked-segment scan over each part's
+// store and merges the remapped results by global id.
+func ScanPartsMarked(ctx context.Context, g *grid.Grid, parts []Part, marked [][]bool) ([]RetrievedRow, int, error) {
+	var out []RetrievedRow
+	var entries int
+	for i := range parts {
+		p := &parts[i]
+		rows, pe, err := ScanMarked(ctx, g, p.Store, marked)
+		if err != nil {
+			return nil, 0, err
+		}
+		entries += pe
+		for j := range rows {
+			rows[j].ID = p.IDMap[rows[j].ID]
+		}
+		out = append(out, rows...)
+	}
+	if len(parts) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	}
+	return out, entries, nil
+}

@@ -63,6 +63,33 @@ type Manifest struct {
 	ShardRowCounts []int `json:"shard_row_counts"`
 }
 
+// NewManifest assembles and validates a manifest from the store facts.
+// Live (stream) snapshots use it to synthesize the commit point a
+// build-time layout would have written as shards.json, so the same
+// coordinator serves both.
+func NewManifest(shards, segmentsPerDim int, columns []string, minValues, maxValues []float64, targetChunkBytes int, shardRowCounts []int) (*Manifest, error) {
+	total := 0
+	for _, n := range shardRowCounts {
+		total += n
+	}
+	m := &Manifest{
+		FormatVersion:    manifestFormatVersion,
+		Shards:           shards,
+		SegmentsPerDim:   segmentsPerDim,
+		Hash:             hashName,
+		Columns:          append([]string(nil), columns...),
+		RowCount:         total,
+		MinValues:        append([]float64(nil), minValues...),
+		MaxValues:        append([]float64(nil), maxValues...),
+		TargetChunkBytes: targetChunkBytes,
+		ShardRowCounts:   append([]int(nil), shardRowCounts...),
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 // ShardDirName returns the subdirectory name of shard i.
 func ShardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
 

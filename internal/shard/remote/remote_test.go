@@ -55,7 +55,11 @@ func startWorker(t testing.TB, dir string, shards int) *worker {
 	if coord == nil {
 		t.Fatal("store is not sharded")
 	}
-	srv := httptest.NewServer(remote.NewServer(coord, quiet))
+	man, err := shard.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(remote.NewServer(coord, man, quiet))
 	t.Cleanup(srv.Close)
 	return &worker{idx: idx, coord: coord, srv: srv}
 }

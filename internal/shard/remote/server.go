@@ -25,17 +25,20 @@ const maxRequestBytes = 64 << 20
 // over a shared store directory need no per-worker configuration.
 type Server struct {
 	coord *shard.Coordinator
+	man   *shard.Manifest
 	mux   *http.ServeMux
 	logf  func(format string, args ...any)
 }
 
 // NewServer wraps an opened coordinator (shard.Open over the sharded
-// directory). logf receives one line per request; nil uses log.Printf.
-func NewServer(coord *shard.Coordinator, logf func(format string, args ...any)) *Server {
+// directory). man is the store's top-level manifest, served verbatim in
+// the fleet handshake (shard.LoadManifest of the same directory). logf
+// receives one line per request; nil uses log.Printf.
+func NewServer(coord *shard.Coordinator, man *shard.Manifest, logf func(format string, args ...any)) *Server {
 	if logf == nil {
 		logf = log.Printf
 	}
-	s := &Server{coord: coord, mux: http.NewServeMux(), logf: logf}
+	s := &Server{coord: coord, man: man, mux: http.NewServeMux(), logf: logf}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -99,7 +102,7 @@ func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
 	for i := 0; i < n; i++ {
 		bytes[i] = s.coord.Backends(i)[0].Stats().TotalBytes
 	}
-	writeJSON(w, http.StatusOK, MetaResponse{Manifest: s.coord.Manifest(), ShardBytes: bytes})
+	writeJSON(w, http.StatusOK, MetaResponse{Manifest: s.man, ShardBytes: bytes})
 }
 
 // handleOp registers one POST /v1/shards/{id}/<op> route: decode the

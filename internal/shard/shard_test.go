@@ -86,11 +86,11 @@ func TestBuildOpenRoundTrip(t *testing.T) {
 			if c.NumShards() != shards {
 				t.Fatalf("NumShards = %d, want %d", c.NumShards(), shards)
 			}
-			if c.RowCount() != ds.Len() {
-				t.Fatalf("RowCount = %d, want %d", c.RowCount(), ds.Len())
+			if c.Meta().RowCount != ds.Len() {
+				t.Fatalf("RowCount = %d, want %d", c.Meta().RowCount, ds.Len())
 			}
-			if c.Dims() != ds.Dims() {
-				t.Fatalf("Dims = %d, want %d", c.Dims(), ds.Dims())
+			if c.Meta().Dims() != ds.Dims() {
+				t.Fatalf("Dims = %d, want %d", c.Meta().Dims(), ds.Dims())
 			}
 			// Every row lands in exactly one shard, idmaps are ascending and
 			// partition [0, n).
@@ -98,7 +98,10 @@ func TestBuildOpenRoundTrip(t *testing.T) {
 			total := 0
 			for _, s := range c.Shards() {
 				prev := -1
-				for _, id := range s.IDMap {
+				if len(s.Parts) != 1 {
+					t.Fatalf("shard %d has %d parts, want 1 (build-time layout)", s.ID, len(s.Parts))
+				}
+				for _, id := range s.Parts[0].IDMap {
 					if int(id) <= prev {
 						t.Fatalf("shard %d idmap not ascending", s.ID)
 					}
@@ -116,7 +119,7 @@ func TestBuildOpenRoundTrip(t *testing.T) {
 			// Cell ownership is disjoint and matches the hash.
 			for _, s := range c.Shards() {
 				for _, cell := range s.Cells {
-					coords, err := c.Grid().Coords(cell)
+					coords, err := c.Meta().Grid.Coords(cell)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -161,7 +164,7 @@ func TestEmptyShardsAreValid(t *testing.T) {
 	c := openCoordinator(t, dir, OpenOptions{})
 	emptyShards := 0
 	for _, s := range c.Shards() {
-		if s.Store.RowCount() == 0 {
+		if s.RowCount() == 0 {
 			emptyShards++
 		}
 	}
@@ -227,7 +230,7 @@ func TestLoadCellMatchesFlat(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := openCoordinator(t, buildSharded(t, ds, 4), OpenOptions{Workers: 2})
-	g := c.Grid()
+	g := c.Meta().Grid
 	fm, err := grid.BuildMapping(g, flat)
 	if err != nil {
 		t.Fatal(err)
@@ -378,7 +381,7 @@ func TestScatterCancellationLeaksNoGoroutines(t *testing.T) {
 func TestScoreAllWritesOnlyOwnedCells(t *testing.T) {
 	ds := skyDataset(t, 400)
 	c := openCoordinator(t, buildSharded(t, ds, 4), OpenOptions{Workers: 2})
-	unc := make([]float64, c.Grid().NumCells())
+	unc := make([]float64, c.Meta().Grid.NumCells())
 	for i := range unc {
 		unc[i] = -99 // sentinel
 	}

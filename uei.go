@@ -17,6 +17,7 @@ import (
 	"github.com/uei-db/uei/internal/obs"
 	"github.com/uei-db/uei/internal/oracle"
 	"github.com/uei-db/uei/internal/shard"
+	"github.com/uei-db/uei/internal/stream"
 )
 
 // --- sentinel errors ---
@@ -48,6 +49,13 @@ var (
 	// errors.Is against it to distinguish "all copies down" from a
 	// single-copy miss.
 	ErrReplicaExhausted = shard.ErrReplicaExhausted
+	// ErrNotLive is returned by the write-path methods (Index.Append,
+	// Index.Flush, Index.AdvanceSnapshot) of an index opened over a static
+	// layout.
+	ErrNotLive = core.ErrNotLive
+	// ErrOutOfBounds is returned by Index.Append for rows outside the
+	// bounds the live store's grid was pinned to at build time.
+	ErrOutOfBounds = stream.ErrOutOfBounds
 )
 
 // --- v2 call options ---
@@ -64,6 +72,8 @@ type apiConfig struct {
 	shardEndpoints []string
 	replication    int
 	hedgeDelay     time.Duration
+	liveIngest     bool
+	followLive     bool
 }
 
 // Option configures a facade constructor (Open, CreateTable, OpenTable,
@@ -125,6 +135,21 @@ func WithReplication(n int) Option { return func(c *apiConfig) { c.replication =
 // is cancelled. Requires replication > 1 to have any effect. It takes
 // precedence over Options.HedgeDelay when both are set.
 func WithHedgeDelay(d time.Duration) Option { return func(c *apiConfig) { c.hedgeDelay = d } }
+
+// WithLiveIngest requires Open's directory to hold the live (stream)
+// layout — a WAL-backed write store with MVCC snapshot epochs — failing
+// with ErrLayoutMismatch otherwise. Live layouts are auto-detected either
+// way; the flag only pins the expectation, the way WithShards pins the
+// shard count. Index.Append and Index.Flush work on any index opened over
+// a live layout.
+func WithLiveIngest() Option { return func(c *apiConfig) { c.liveIngest = true } }
+
+// WithFollowLive lets exploration sessions over the opened index advance
+// their pinned snapshot to the newest committed epoch at iteration
+// boundaries. Off by default: a session then explores exactly the epoch it
+// opened, byte-identical to a static index over the same rows, no matter
+// how many appends land meanwhile. Implies nothing on static layouts.
+func WithFollowLive() Option { return func(c *apiConfig) { c.followLive = true } }
 
 func applyOptions(o []Option) apiConfig {
 	var c apiConfig
@@ -235,6 +260,12 @@ func Open(ctx context.Context, dir string, opts Options, o ...Option) (*Index, e
 	}
 	if c.hedgeDelay != 0 {
 		opts.HedgeDelay = c.hedgeDelay
+	}
+	if c.liveIngest {
+		opts.LiveIngest = true
+	}
+	if c.followLive {
+		opts.FollowLive = true
 	}
 	return core.Open(ctx, dir, opts)
 }
