@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 
+	"github.com/uei-db/uei/internal/kernel"
 	"github.com/uei-db/uei/internal/learn"
 )
 
@@ -19,9 +20,19 @@ type BatchScorer interface {
 	BatchScore(ctx context.Context, m learn.Classifier, X [][]float64, out []float64, workers int) error
 }
 
+// blockSweepMin is the candidate count above which the batch sweep packs
+// the matrix into a column block for the kernel scoring path: below it
+// the pack copy would rival the model work it saves.
+const blockSweepMin = 256
+
 // batchPosteriors runs the shared posterior sweep behind the uncertainty
-// variants' BatchScore implementations.
+// variants' BatchScore implementations. Models with a columnar path score
+// through a packed block (bit-identical to the row path); everything else
+// takes the row sweep.
 func batchPosteriors(ctx context.Context, m learn.Classifier, X [][]float64, out []float64, workers int) error {
+	if _, ok := learn.AsBlockClassifier(m); ok && len(X) >= blockSweepMin {
+		return learn.BlockPosteriors(ctx, m, kernel.Pack(X), out, workers)
+	}
 	return learn.Posteriors(ctx, m, X, out, workers)
 }
 
@@ -40,7 +51,15 @@ func (LeastConfidence) Score(m learn.Classifier, x []float64) (float64, error) {
 
 // BatchScore implements BatchScorer.
 func (LeastConfidence) BatchScore(ctx context.Context, m learn.Classifier, X [][]float64, out []float64, workers int) error {
-	return learn.Uncertainties(ctx, m, X, out, workers)
+	if err := batchPosteriors(ctx, m, X, out, workers); err != nil {
+		return err
+	}
+	for i, p := range out {
+		if p > 0.5 {
+			out[i] = 1 - p
+		}
+	}
+	return nil
 }
 
 // Margin scores by the (negated) margin between the two class posteriors:

@@ -10,13 +10,16 @@ import (
 	"github.com/uei-db/uei/internal/learn"
 )
 
-// BenchmarkScorePhase measures the per-iteration hot path the tentpole
-// parallelizes: re-scoring every symbolic index point with the current
-// model (Algorithm 2's updateUncertainty). SegmentsPerDim = 10 over the
-// 5-dimensional sky schema gives 100,000 symbolic points — the scale at
-// which the sharded pool must beat the serial pass by ≥2× with 8 workers
-// on a multi-core host. CI's benchmark smoke job compares the workers=1
-// and workers=8 lines.
+// BenchmarkScorePhase measures the per-iteration hot path: re-scoring
+// every symbolic index point with the current model (Algorithm 2's
+// updateUncertainty). SegmentsPerDim = 10 over the 5-dimensional sky
+// schema gives 100,000 symbolic points. Three modes bracket the scoring
+// stack: "legacy" is the per-row path (WithScoreKernel(false)), "kernel"
+// the columnar block path forced to a full rescore every op by rotating
+// between two unrelated models, and "incremental" the kernel path under
+// the IDE's real refit pattern — one label appended per retrain, so the
+// exact dirty rule skips almost every cell. CI's benchmark smoke job
+// compares the mode=kernel workers=1 and workers=8 lines.
 func BenchmarkScorePhase(b *testing.B) {
 	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: 4000, Seed: 21})
 	if err != nil {
@@ -32,42 +35,89 @@ func BenchmarkScorePhase(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	model := learn.NewDWKNN(7, bounds.Widths())
+	scales := bounds.Widths()
+	fitOn := func(nLabels int) *learn.DWKNN {
+		m := learn.NewDWKNN(7, scales)
+		var X [][]float64
+		var y []int
+		for i := 0; i < nLabels; i++ {
+			row := ds.CopyRow(dataset.RowID(i * (ds.Len() / nLabels)))
+			X = append(X, row)
+			y = append(y, i%2) // alternate labels: a crossing boundary
+		}
+		if err := m.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	// Full-rescore rotation: the two models sample different rows, so
+	// neither is an append-only refit of the other and every op pays a
+	// complete pass in every mode.
+	full := []learn.Classifier{fitOn(50), fitOn(51)}
+
+	// Incremental chain: a fresh model per retrain on a growing labeled
+	// prefix, exactly what Session.refit produces. chain[0] is not an
+	// append of chain[len-1], so each wrap-around is a full rescore.
 	var X [][]float64
 	var y []int
-	for i := 0; i < 50; i++ {
-		row := ds.CopyRow(dataset.RowID(i * (ds.Len() / 50)))
-		X = append(X, row)
-		y = append(y, i%2) // alternate labels: a crossing boundary
+	for i := 0; i < 50+256; i++ {
+		X = append(X, ds.CopyRow(dataset.RowID((i*131+17)%ds.Len())))
+		y = append(y, i%2)
 	}
-	if err := model.Fit(X, y); err != nil {
-		b.Fatal(err)
+	var chain []learn.Classifier
+	for n := 50; n <= len(X); n++ {
+		m := learn.NewDWKNN(7, scales)
+		if err := m.Fit(append([][]float64(nil), X[:n]...), append([]int(nil), y[:n]...)); err != nil {
+			b.Fatal(err)
+		}
+		chain = append(chain, m)
 	}
 
 	ctx := context.Background()
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			idx, err := Open(ctx, dir, Options{
-				MemoryBudgetBytes: 1 << 24,
-				SegmentsPerDim:    10, // 10^5 = 100k symbolic index points
-				Workers:           workers,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer idx.Close()
-			if n := idx.NumIndexPoints(); n < 64_000 {
-				b.Fatalf("only %d symbolic points; benchmark needs >= 64k", n)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				idx.InvalidateScores()
-				if err := idx.UpdateUncertainty(ctx, model); err != nil {
+	for _, mode := range []string{"legacy", "kernel", "incremental"} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("mode=%s/workers=%d", mode, workers), func(b *testing.B) {
+				opts := Options{
+					MemoryBudgetBytes: 1 << 24,
+					SegmentsPerDim:    10, // 10^5 = 100k symbolic index points
+					Workers:           workers,
+				}
+				if mode == "legacy" {
+					off := false
+					opts.ScoreKernel = &off
+				}
+				idx, err := Open(ctx, dir, opts)
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-			b.ReportMetric(float64(idx.NumIndexPoints()), "points/op")
-		})
+				defer idx.Close()
+				if n := idx.NumIndexPoints(); n < 64_000 {
+					b.Fatalf("only %d symbolic points; benchmark needs >= 64k", n)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var model learn.Classifier
+					if mode == "incremental" {
+						model = chain[i%len(chain)]
+					} else {
+						model = full[i%len(full)]
+					}
+					idx.InvalidateScores()
+					if err := idx.UpdateUncertainty(ctx, model); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(idx.NumIndexPoints()), "points/op")
+				if mode == "incremental" {
+					skipped := idx.Registry().Counter("uei_score_skipped_cells_total").Value()
+					scored := idx.Registry().Counter("uei_score_scored_cells_total").Value()
+					if scored+skipped > 0 {
+						b.ReportMetric(float64(skipped)/float64(scored+skipped)*100, "skip%")
+					}
+				}
+			})
+		}
 	}
 }
 

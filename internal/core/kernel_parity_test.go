@@ -1,0 +1,420 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/uei-db/uei/internal/dataset"
+	"github.com/uei-db/uei/internal/learn"
+	"github.com/uei-db/uei/internal/shard"
+	"github.com/uei-db/uei/internal/shard/remote"
+)
+
+// appendDWKNNSeq builds the IDE refit sequence: a fresh DWKNN per step,
+// each fit on the previous step's labeled set plus `step` appended labels
+// — exactly what Session.refit produces under append-only labeling, so
+// the exact incremental rescorer fires on every step after the first.
+func appendDWKNNSeq(t testing.TB, ds *dataset.Dataset, steps, base, step int) []learn.Classifier {
+	t.Helper()
+	bounds, err := ds.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales := bounds.Widths()
+	var X [][]float64
+	var y []int
+	add := func(n int) {
+		for i := 0; i < n; i++ {
+			id := (len(X)*131 + 17) % ds.Len()
+			row := ds.CopyRow(dataset.RowID(id))
+			X = append(X, row)
+			y = append(y, len(X)%2)
+		}
+	}
+	add(base)
+	var models []learn.Classifier
+	for s := 0; s < steps; s++ {
+		m := learn.NewDWKNN(5, scales)
+		if err := m.Fit(append([][]float64(nil), X...), append([]int(nil), y...)); err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+		add(step)
+	}
+	return models
+}
+
+// scoreSeq drives one index through the model sequence, capturing the
+// full uncertainty vector and the top-3 selection after every pass.
+func scoreSeq(t testing.TB, idx *Index, models []learn.Classifier) (scores [][]float64, tops [][]int) {
+	t.Helper()
+	ctx := context.Background()
+	for _, m := range models {
+		idx.InvalidateScores()
+		if err := idx.UpdateUncertainty(ctx, m); err != nil {
+			t.Fatal(err)
+		}
+		scores = append(scores, append([]float64(nil), idx.Uncertainties()...))
+		top, err := idx.MostUncertainCells(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ti := make([]int, len(top))
+		for i, c := range top {
+			ti[i] = int(c)
+		}
+		tops = append(tops, ti)
+	}
+	return scores, tops
+}
+
+// requireBitIdentical fails on the first score whose float64 bits differ
+// between the two runs, or any top-k divergence.
+func requireBitIdentical(t *testing.T, wantS, gotS [][]float64, wantT, gotT [][]int) {
+	t.Helper()
+	if len(wantS) != len(gotS) {
+		t.Fatalf("pass counts differ: %d vs %d", len(wantS), len(gotS))
+	}
+	for p := range wantS {
+		if len(wantS[p]) != len(gotS[p]) {
+			t.Fatalf("pass %d: score lengths differ", p)
+		}
+		for i := range wantS[p] {
+			if math.Float64bits(wantS[p][i]) != math.Float64bits(gotS[p][i]) {
+				t.Fatalf("pass %d cell %d: legacy %x kernel %x (%v vs %v)",
+					p, i, math.Float64bits(wantS[p][i]), math.Float64bits(gotS[p][i]),
+					wantS[p][i], gotS[p][i])
+			}
+		}
+		if fmt.Sprint(wantT[p]) != fmt.Sprint(gotT[p]) {
+			t.Fatalf("pass %d: top-k differ: %v vs %v", p, wantT[p], gotT[p])
+		}
+	}
+}
+
+func kernelOff() Options {
+	off := false
+	return Options{Workers: 2, MemoryBudgetBytes: 1 << 20, ScoreKernel: &off}
+}
+
+func kernelOn() Options {
+	return Options{Workers: 2, MemoryBudgetBytes: 1 << 20}
+}
+
+// TestScoreKernelParityFlat: the kernel path (including the exact
+// incremental passes fired by the append-only model sequence) must be
+// byte-identical to the legacy per-row path on a flat store.
+func TestScoreKernelParityFlat(t *testing.T) {
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: 1500, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Build(dir, ds, BuildOptions{TargetChunkBytes: 2048}); err != nil {
+		t.Fatal(err)
+	}
+	models := appendDWKNNSeq(t, ds, 6, 20, 3)
+	// A refit on shuffled labels (not an append) mid-sequence forces a
+	// full rescore after incremental passes.
+	models = append(models, appendDWKNNSeq(t, ds, 1, 37, 1)...)
+
+	legacy, err := Open(context.Background(), dir, kernelOff())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	kern, err := Open(context.Background(), dir, kernelOn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kern.Close()
+
+	ls, lt := scoreSeq(t, legacy, models)
+	ks, kt := scoreSeq(t, kern, models)
+	requireBitIdentical(t, ls, ks, lt, kt)
+
+	// The final result set must match too: retrieval re-scores cells and
+	// rows through the posterior path under test.
+	last := models[len(models)-1]
+	wantIDs, err := legacy.ResultRetrieval(context.Background(), last, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIDs, err := kern.ResultRetrieval(context.Background(), last, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(wantIDs) != fmt.Sprint(gotIDs) {
+		t.Fatalf("result sets differ: legacy %d rows, kernel %d rows", len(wantIDs), len(gotIDs))
+	}
+
+	skipped := kern.Registry().Counter("uei_score_skipped_cells_total").Value()
+	if skipped == 0 {
+		t.Error("kernel index skipped no cells over an append-only refit sequence")
+	}
+	if v := legacy.Registry().Counter("uei_score_skipped_cells_total").Value(); v != 0 {
+		t.Errorf("legacy index reports %d skipped cells", v)
+	}
+}
+
+// TestScoreKernelParitySharded repeats the parity check over the S=2
+// scatter-gather layout, where dirty subsets travel the per-shard
+// Backend.ScoreAll spec.
+func TestScoreKernelParitySharded(t *testing.T) {
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: 1500, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Build(dir, ds, BuildOptions{TargetChunkBytes: 2048, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	models := appendDWKNNSeq(t, ds, 6, 20, 3)
+
+	off := kernelOff()
+	off.Shards = 2
+	legacy, err := Open(context.Background(), dir, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	on := kernelOn()
+	on.Shards = 2
+	kern, err := Open(context.Background(), dir, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kern.Close()
+
+	ls, lt := scoreSeq(t, legacy, models)
+	ks, kt := scoreSeq(t, kern, models)
+	requireBitIdentical(t, ls, ks, lt, kt)
+	if kern.Registry().Counter("uei_score_skipped_cells_total").Value() == 0 {
+		t.Error("sharded kernel index skipped no cells")
+	}
+}
+
+// TestScoreKernelParityRemote runs the same sequence with the shards
+// served over the wire protocol: dirty subsets and d_k² bounds must
+// round-trip JSON without changing a bit.
+func TestScoreKernelParityRemote(t *testing.T) {
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: 1200, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Build(dir, ds, BuildOptions{TargetChunkBytes: 2048, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	backing, err := Open(ctx, dir, Options{MemoryBudgetBytes: 1 << 20, Workers: 2, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backing.Close()
+	man, err := shard.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := httptest.NewServer(remote.NewServer(backing.ShardCoordinator(), man, func(string, ...any) {}))
+	defer w.Close()
+
+	models := appendDWKNNSeq(t, ds, 5, 20, 3)
+	local, err := Open(ctx, dir, Options{MemoryBudgetBytes: 1 << 20, Workers: 2, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	rem, err := Open(ctx, "", Options{
+		MemoryBudgetBytes: 1 << 20, Workers: 2, ShardEndpoints: []string{w.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rem.Close()
+
+	ls, lt := scoreSeq(t, local, models)
+	rs, rt := scoreSeq(t, rem, models)
+	requireBitIdentical(t, ls, rs, lt, rt)
+	if rem.Registry().Counter("uei_score_skipped_cells_total").Value() == 0 {
+		t.Error("remote kernel index skipped no cells")
+	}
+}
+
+// TestScoreKernelParityLiveIngest covers the epoch boundary: scores stay
+// bit-identical across append + flush + AdvanceSnapshot, and the advance
+// resets the incremental state (the pass after it is full, not a delta).
+func TestScoreKernelParityLiveIngest(t *testing.T) {
+	ds, err := dataset.GenerateSky(dataset.SkyConfig{N: 1000, Seed: 54})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := func(opts Options) *Index {
+		dir := t.TempDir()
+		if err := Build(dir, ds, BuildOptions{TargetChunkBytes: 2048, LiveIngest: true}); err != nil {
+			t.Fatal(err)
+		}
+		if opts.MemoryBudgetBytes == 0 {
+			opts.MemoryBudgetBytes = 1 << 20
+		}
+		idx, err := Open(context.Background(), dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(idx.Close)
+		return idx
+	}
+	legacy := open(kernelOff())
+	kern := open(kernelOn())
+
+	models := appendDWKNNSeq(t, ds, 4, 20, 3)
+	ctx := context.Background()
+	drive := func(idx *Index) ([][]float64, [][]int) {
+		s1, t1 := scoreSeq(t, idx, models[:2])
+		rows := [][]float64{ds.CopyRow(0), ds.CopyRow(1)}
+		if _, err := idx.Append(ctx, rows); err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if moved, err := idx.AdvanceSnapshot(); err != nil || !moved {
+			t.Fatalf("AdvanceSnapshot = %v, %v", moved, err)
+		}
+		s2, t2 := scoreSeq(t, idx, models[2:])
+		return append(s1, s2...), append(t1, t2...)
+	}
+	ls, lt := drive(legacy)
+	ks, kt := drive(kern)
+	requireBitIdentical(t, ls, ks, lt, kt)
+}
+
+// TestScoreKernelExactSkipAll: rescoring with a byte-equal refit (zero
+// new labels) must touch no cell and keep the vector bit-identical.
+func TestScoreKernelExactSkipAll(t *testing.T) {
+	idx, ds := openTestIndex(t, 1000, kernelOn())
+	models := appendDWKNNSeq(t, ds, 1, 25, 0)
+	ctx := context.Background()
+	if err := idx.UpdateUncertainty(ctx, models[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), idx.Uncertainties()...)
+	scored0 := idx.Registry().Counter("uei_score_scored_cells_total").Value()
+
+	// Same training set, fresh model object: AppendDelta sees zero new
+	// rows and the whole pass is skipped.
+	same := appendDWKNNSeq(t, ds, 1, 25, 0)
+	idx.InvalidateScores()
+	if err := idx.UpdateUncertainty(ctx, same[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Registry().Counter("uei_score_scored_cells_total").Value(); got != scored0 {
+		t.Errorf("identical refit rescored %d cells", got-scored0)
+	}
+	if idx.Registry().Counter("uei_score_skipped_cells_total").Value() != int64(idx.NumIndexPoints()) {
+		t.Error("identical refit did not skip every cell")
+	}
+	for i, u := range idx.Uncertainties() {
+		if math.Float64bits(u) != math.Float64bits(before[i]) {
+			t.Fatalf("cell %d changed on a no-op refit", i)
+		}
+	}
+}
+
+// TestBoundedStaleness: with the opt-in knob, non-DWKNN retrains reuse
+// the previous complete pass N-1 times and rescore in full on the Nth.
+func TestBoundedStaleness(t *testing.T) {
+	opts := kernelOn()
+	opts.BoundedStaleness = 3
+	idx, ds := openTestIndex(t, 800, opts)
+	ctx := context.Background()
+
+	var X [][]float64
+	var y []int
+	for i := 0; i < 30; i++ {
+		X = append(X, ds.CopyRow(dataset.RowID(i*(ds.Len()/30))))
+		y = append(y, i%2)
+	}
+	fitLogistic := func(n int) learn.Classifier {
+		m := learn.NewLogistic(7)
+		if err := m.Fit(X[:n], y[:n]); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	if err := idx.UpdateUncertainty(ctx, fitLogistic(20)); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]float64(nil), idx.Uncertainties()...)
+
+	// Retrains 2 and 3 are skipped wholesale despite a changed model.
+	for pass := 0; pass < 2; pass++ {
+		idx.InvalidateScores()
+		if err := idx.UpdateUncertainty(ctx, fitLogistic(24+pass*2)); err != nil {
+			t.Fatal(err)
+		}
+		for i, u := range idx.Uncertainties() {
+			if math.Float64bits(u) != math.Float64bits(first[i]) {
+				t.Fatalf("pass %d cell %d rescored under bounded staleness", pass, i)
+			}
+		}
+	}
+	// Retrain 4 is the Nth: a full rescore with the current model.
+	idx.InvalidateScores()
+	model4 := fitLogistic(30)
+	if err := idx.UpdateUncertainty(ctx, model4); err != nil {
+		t.Fatal(err)
+	}
+	fresh := make([]float64, idx.NumIndexPoints())
+	if err := learn.UncertaintiesInto(ctx, model4, idx.centers, fresh); err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range idx.Uncertainties() {
+		if math.Float64bits(u) != math.Float64bits(fresh[i]) {
+			t.Fatalf("cell %d stale after the Nth retrain", i)
+		}
+	}
+}
+
+// TestScoreKernelViewIsolation: views share the packed block but keep
+// private incremental state — interleaved scoring on two views must not
+// cross-contaminate their uncertainty vectors.
+func TestScoreKernelViewIsolation(t *testing.T) {
+	idx, ds := openTestIndex(t, 1200, kernelOn())
+	models := appendDWKNNSeq(t, ds, 3, 20, 4)
+	other := appendDWKNNSeq(t, ds, 3, 31, 5)
+
+	v1, err := idx.NewView(ViewOptions{MemoryBudgetBytes: 1 << 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	v2, err := idx.NewView(ViewOptions{MemoryBudgetBytes: 1 << 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+
+	ctx := context.Background()
+	for i := range models {
+		if err := v1.UpdateUncertainty(ctx, models[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := v2.UpdateUncertainty(ctx, other[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantV1 := make([]float64, idx.NumIndexPoints())
+	if err := learn.UncertaintiesInto(ctx, models[len(models)-1], idx.centers, wantV1); err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range v1.Uncertainties() {
+		if math.Float64bits(u) != math.Float64bits(wantV1[i]) {
+			t.Fatalf("view 1 cell %d diverged from its own model sequence", i)
+		}
+	}
+}

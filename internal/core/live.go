@@ -147,6 +147,7 @@ func newLiveFlatIndex(opts Options, snap *stream.Snapshot, pl *pool.Pool, bc *ch
 		hLoad:       reg.Histogram(obs.PhaseHistName(obs.PhaseLoad), nil),
 		hSwap:       reg.Histogram(obs.PhaseHistName(obs.PhaseSwap), nil),
 	}
+	idx.initScoreKernel()
 	if opts.EnablePrefetch {
 		pf, err := prefetch.New(idx.loadCell)
 		if err != nil {
@@ -285,6 +286,7 @@ func (x *Index) AdvanceSnapshot() (bool, error) {
 	x.cache.DropRegion()
 	x.scoresValid = false
 	x.degradedShards = nil
+	x.resetKernelState()
 	x.pendingCell = memcache.NoRegion
 	x.deferredFor = 0
 	return true, nil

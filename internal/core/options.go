@@ -123,6 +123,28 @@ type Options struct {
 	// background compaction on a live layout (zero selects the stream
 	// default).
 	CompactSegments int
+	// ScoreKernel routes symbolic-point scoring through the columnar
+	// kernel path (contiguous column blocks packed at Open, batched
+	// distance/dot-product kernels, and — for DWKNN models refit on
+	// append-only labeled sets — exact incremental rescoring of only the
+	// cells whose k-nearest-neighbor set can have changed). The kernel
+	// path is bit-identical to the legacy per-row path; nil selects
+	// enabled. Set to a false pointer to force the legacy path.
+	ScoreKernel *bool
+	// BoundedStaleness, when > 1, lets models without an exact
+	// incremental rule (everything but DWKNN) reuse the previous
+	// iteration's full score vector for N-1 consecutive retrains,
+	// rescoring in full every Nth. This is an opt-in approximation — it
+	// trades bounded score staleness for iteration latency — and is
+	// ignored by the exact DWKNN delta path and by the legacy path.
+	// Zero and 1 both mean every retrain rescores.
+	BoundedStaleness int
+}
+
+// scoreKernelEnabled reports whether the columnar kernel path is on
+// (nil defaults to enabled).
+func (o Options) scoreKernelEnabled() bool {
+	return o.ScoreKernel == nil || *o.ScoreKernel
 }
 
 // withDefaults validates and fills zero values.
@@ -174,6 +196,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if len(o.ShardEndpoints) > 0 && o.Replication > len(o.ShardEndpoints) {
 		return o, fmt.Errorf("core: replication %d exceeds %d shard endpoints", o.Replication, len(o.ShardEndpoints))
+	}
+	if o.BoundedStaleness < 0 {
+		return o, fmt.Errorf("core: bounded staleness %d must not be negative", o.BoundedStaleness)
 	}
 	return o, nil
 }

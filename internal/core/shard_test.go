@@ -232,7 +232,10 @@ func TestShardedDegradedScoreStep(t *testing.T) {
 		t.Errorf("DegradedShards = %v after recovery, want nil", got)
 	}
 
-	// Every shard failing is an error, not silent degradation.
+	// Every shard failing is an error, not silent degradation. The model
+	// must genuinely change (a refit on different labels, not an
+	// append-only extension), otherwise the exact incremental rescorer
+	// correctly skips the pass without contacting any shard.
 	coord.SetFaultHook(func(_ context.Context, _, _ int, op string) error {
 		if op == shard.OpScore {
 			return errors.New("total outage")
@@ -240,7 +243,8 @@ func TestShardedDegradedScoreStep(t *testing.T) {
 		return nil
 	})
 	sharded.InvalidateScores()
-	if _, err := sharded.EnsureRegion(ctx, model); !errors.Is(err, shard.ErrShardUnavailable) {
+	model2 := boundaryModel(t, ds, testRegion(t, ds), 55)
+	if _, err := sharded.EnsureRegion(ctx, model2); !errors.Is(err, shard.ErrShardUnavailable) {
 		t.Errorf("all-shards-down err = %v, want ErrShardUnavailable", err)
 	}
 }

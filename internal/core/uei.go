@@ -12,6 +12,7 @@ import (
 	"github.com/uei-db/uei/internal/chunkstore"
 	"github.com/uei-db/uei/internal/dataset"
 	"github.com/uei-db/uei/internal/grid"
+	"github.com/uei-db/uei/internal/kernel"
 	"github.com/uei-db/uei/internal/learn"
 	"github.com/uei-db/uei/internal/memcache"
 	"github.com/uei-db/uei/internal/obs"
@@ -119,10 +120,36 @@ type Index struct {
 
 	// centers is the symbolic index point set P, in cell-id order.
 	centers []vec.Point
+	// blk is the columnar packing of centers for the kernel scoring path
+	// (Options.ScoreKernel). Packed once per Open and shared by views —
+	// the symbolic point set is immutable, even under live ingest (cell
+	// geometry is pinned at store creation).
+	blk *kernel.Block
 	// uncertainty[i] is the last computed uncertainty of centers[i].
 	uncertainty []float64
 	// scoresValid records whether uncertainty reflects the current model.
 	scoresValid bool
+
+	// Incremental-rescore state (per-view, like uncertainty). lastDW is
+	// the DWKNN model the uncertainty vector was last fully scored with
+	// and dk2 its per-center k-th-neighbor squared distances: when the
+	// next model is the same DWKNN refit on an append-only extension of
+	// the labeled set, a center's posterior can change only if a new
+	// labeled point lands strictly inside its k-th-neighbor ball, so only
+	// that dirty subset is rescored. lastComplete records that every
+	// cell's score and d_k² slot is fresh (no degraded shards) — the
+	// delta rule is sound only against a complete previous pass.
+	lastDW       *learn.DWKNN
+	dk2          []float64
+	lastComplete bool
+	// staleRetrains counts consecutive scoring passes reused under
+	// Options.BoundedStaleness for models without an exact delta rule.
+	staleRetrains int
+	// lastSkipped is how many of the |P| cells the most recent
+	// UpdateUncertainty pass skipped (exact delta or bounded staleness);
+	// dirtyBuf is its reused dirty-cell scratch.
+	lastSkipped int
+	dirtyBuf    []int
 
 	// deferredFor counts consecutive iterations the swap to pendingCell
 	// has been deferred awaiting its prefetch.
@@ -149,9 +176,35 @@ type Index struct {
 	mDeferred *obs.Counter
 	mPrefHits *obs.Counter
 	mEntries  *obs.Counter
-	hScore    *obs.Histogram
-	hLoad     *obs.Histogram
-	hSwap     *obs.Histogram
+	// mCellsScored / mCellsSkipped split every scoring pass's |P| cells
+	// into rescored and delta-skipped, across all views of the index.
+	mCellsScored  *obs.Counter
+	mCellsSkipped *obs.Counter
+	hScore        *obs.Histogram
+	hLoad         *obs.Histogram
+	hSwap         *obs.Histogram
+}
+
+// initScoreKernel packs the columnar block over the symbolic points and
+// wires the score-skip instruments. Every constructor calls it after the
+// struct literal; views arrive with the parent's block already set and
+// keep it.
+func (x *Index) initScoreKernel() {
+	if x.blk == nil {
+		x.blk = kernel.Pack(x.centers)
+	}
+	x.mCellsScored = x.reg.Counter("uei_score_scored_cells_total")
+	x.mCellsSkipped = x.reg.Counter("uei_score_skipped_cells_total")
+}
+
+// resetKernelState drops the incremental-rescore state so the next
+// scoring pass runs in full. Called when the snapshot epoch moves (the
+// conservative choice: the symbolic points cannot change, but a full
+// pass on the new epoch keeps the invariants trivially true).
+func (x *Index) resetKernelState() {
+	x.lastDW = nil
+	x.lastComplete = false
+	x.staleRetrains = 0
 }
 
 // Open loads the index over a directory produced by Build, flat or
@@ -255,6 +308,7 @@ func Open(ctx context.Context, dir string, opts Options) (*Index, error) {
 		hLoad:       reg.Histogram(obs.PhaseHistName(obs.PhaseLoad), nil),
 		hSwap:       reg.Histogram(obs.PhaseHistName(obs.PhaseSwap), nil),
 	}
+	idx.initScoreKernel()
 	if opts.EnablePrefetch {
 		pf, err := prefetch.New(idx.loadCell)
 		if err != nil {
@@ -397,6 +451,7 @@ func newShardedIndex(opts Options, coord *shard.Coordinator, pl *pool.Pool, bc *
 		hLoad:       reg.Histogram(obs.PhaseHistName(obs.PhaseLoad), nil),
 		hSwap:       reg.Histogram(obs.PhaseHistName(obs.PhaseSwap), nil),
 	}
+	idx.initScoreKernel()
 	if opts.EnablePrefetch {
 		pf, err := prefetch.New(idx.loadCell)
 		if err != nil {
@@ -647,6 +702,19 @@ func (x *Index) UpdateUncertainty(ctx context.Context, model learn.Classifier) e
 	if x.closed.Load() {
 		return ErrClosed
 	}
+	if !x.opts.scoreKernelEnabled() {
+		x.resetKernelState()
+		return x.updateUncertaintyLegacy(ctx, model)
+	}
+	return x.updateUncertaintyKernel(ctx, model)
+}
+
+// updateUncertaintyLegacy is the pre-kernel scoring pass, preserved
+// verbatim as the WithScoreKernel(false) escape hatch: per-row batch
+// scoring over the center slice, sharded across the pool (flat) or the
+// coordinator (sharded).
+func (x *Index) updateUncertaintyLegacy(ctx context.Context, model learn.Classifier) error {
+	x.lastSkipped = 0
 	if x.coord != nil {
 		degraded, err := x.coord.ScoreAll(ctx, model, x.uncertainty)
 		if err != nil {
@@ -656,6 +724,7 @@ func (x *Index) UpdateUncertainty(ctx context.Context, model learn.Classifier) e
 		if len(degraded) > 0 {
 			x.stepDegraded = true
 		}
+		x.mCellsScored.Add(int64(len(x.centers)))
 		x.scoresValid = true
 		return nil
 	}
@@ -665,9 +734,178 @@ func (x *Index) UpdateUncertainty(ctx context.Context, model learn.Classifier) e
 	if err != nil {
 		return fmt.Errorf("core: scoring index points: %w", err)
 	}
+	x.mCellsScored.Add(int64(len(x.centers)))
 	x.scoresValid = true
 	return nil
 }
+
+// updateUncertaintyKernel is the columnar scoring pass. Three routes, all
+// bit-identical on the cells they score:
+//
+//  1. Exact incremental (DWKNN refit on an append-only labeled set): the
+//     retained d_k² bounds prove which cells' k-nearest-neighbor sets can
+//     have changed; only that dirty subset is rescored.
+//  2. Bounded staleness (opt-in, non-DWKNN models): reuse the previous
+//     complete pass for N-1 consecutive retrains.
+//  3. Full columnar pass over the packed block, capturing fresh d_k²
+//     bounds when the model is a DWKNN.
+func (x *Index) updateUncertaintyKernel(ctx context.Context, model learn.Classifier) error {
+	n := len(x.centers)
+	x.lastSkipped = 0
+	dw, isDW := learn.AsDWKNN(model)
+
+	// Route 1: exact delta skipping against the retained model.
+	if isDW && x.lastComplete && x.lastDW != nil {
+		if newRows, ok := dw.AppendDelta(x.lastDW); ok {
+			return x.rescoreDirty(ctx, model, dw, newRows)
+		}
+	}
+
+	// Route 2: bounded staleness for models without a delta rule.
+	if !isDW && x.opts.BoundedStaleness > 1 && x.lastComplete {
+		if x.staleRetrains < x.opts.BoundedStaleness-1 {
+			x.staleRetrains++
+			x.lastSkipped = n
+			x.mCellsSkipped.Add(int64(n))
+			x.scoresValid = true
+			return nil
+		}
+		x.staleRetrains = 0
+	}
+
+	// Route 3: full columnar pass.
+	if isDW {
+		if cap(x.dk2) < n {
+			x.dk2 = make([]float64, n)
+		}
+		x.dk2 = x.dk2[:n]
+	}
+	if x.coord != nil {
+		pass := shard.ScorePass{Kernel: true}
+		if isDW {
+			pass.NeedDK = true
+			pass.DK2 = x.dk2
+		}
+		degraded, err := x.coord.ScoreAllPass(ctx, model, x.uncertainty, pass)
+		if err != nil {
+			return fmt.Errorf("core: scoring index points: %w", err)
+		}
+		x.degradedShards = degraded
+		if len(degraded) > 0 {
+			x.stepDegraded = true
+		}
+		x.finishFullPass(dw, isDW && len(degraded) == 0, len(degraded) == 0, n)
+		return nil
+	}
+	var err error
+	if isDW {
+		err = x.pool.Do(ctx, n, func(lo, hi int) error {
+			return learn.BlockUncertaintiesDKInto(ctx, dw, x.blk, lo, hi, x.uncertainty[lo:hi], x.dk2[lo:hi])
+		})
+	} else {
+		err = x.pool.Do(ctx, n, func(lo, hi int) error {
+			return learn.BlockUncertaintiesInto(ctx, model, x.blk, lo, hi, x.uncertainty[lo:hi])
+		})
+	}
+	if err != nil {
+		return fmt.Errorf("core: scoring index points: %w", err)
+	}
+	x.finishFullPass(dw, isDW, true, n)
+	return nil
+}
+
+// finishFullPass records the outcome of a complete columnar rescore:
+// retain the DWKNN (with its fresh d_k² bounds) for the next delta pass
+// when every cell was scored, otherwise drop the incremental state so the
+// next pass runs in full.
+func (x *Index) finishFullPass(dw *learn.DWKNN, retainDW, complete bool, n int) {
+	if retainDW {
+		x.lastDW = dw
+	} else {
+		x.lastDW = nil
+	}
+	x.lastComplete = complete
+	x.staleRetrains = 0
+	x.mCellsScored.Add(int64(n))
+	x.scoresValid = true
+}
+
+// rescoreDirty is the exact incremental pass: the refit model equals the
+// retained one plus newRows appended to the labeled set, so a center's
+// k-nearest-neighbor set — and hence its posterior — can change only if
+// some new point lies strictly inside the center's k-th-neighbor ball
+// (ties lose to the incumbent on the (distance, index) total order).
+// Clean cells keep bit-identical scores by construction; dirty cells are
+// rescored through the same block kernels as a full pass.
+func (x *Index) rescoreDirty(ctx context.Context, model learn.Classifier, dw *learn.DWKNN, newRows [][]float64) error {
+	n := len(x.centers)
+	if len(newRows) > 0 {
+		var err error
+		x.dirtyBuf, err = dw.DirtyCells(x.blk, newRows, x.dk2, x.dirtyBuf[:0])
+		if err != nil {
+			return fmt.Errorf("core: computing dirty cells: %w", err)
+		}
+	} else {
+		x.dirtyBuf = x.dirtyBuf[:0]
+	}
+	dirty := x.dirtyBuf
+	if len(dirty) == 0 {
+		// The refit cannot have moved any center's neighbor set: every
+		// score and d_k² bound carries over exactly.
+		x.lastDW = dw
+		x.lastSkipped = n
+		x.mCellsSkipped.Add(int64(n))
+		x.scoresValid = true
+		return nil
+	}
+	if x.coord != nil {
+		degraded, err := x.coord.ScoreAllPass(ctx, model, x.uncertainty, shard.ScorePass{
+			Kernel: true,
+			Dirty:  dirty,
+			NeedDK: true,
+			DK2:    x.dk2,
+		})
+		if err != nil {
+			return fmt.Errorf("core: scoring index points: %w", err)
+		}
+		x.degradedShards = degraded
+		if len(degraded) > 0 {
+			// Some dirty cells kept stale scores and stale d_k² bounds:
+			// selection already excludes them, and dropping the retained
+			// model forces the next pass to rescore in full.
+			x.stepDegraded = true
+			x.lastDW = nil
+			x.lastComplete = false
+			x.scoresValid = true
+			return nil
+		}
+	} else {
+		scores := make([]float64, len(dirty))
+		dks := make([]float64, len(dirty))
+		maxShards := (len(dirty) + dirtyShardRows - 1) / dirtyShardRows
+		err := x.pool.DoCapped(ctx, len(dirty), maxShards, func(lo, hi int) error {
+			return learn.BlockUncertaintiesDKAt(ctx, dw, x.blk, dirty[lo:hi], scores[lo:hi], dks[lo:hi])
+		})
+		if err != nil {
+			return fmt.Errorf("core: scoring index points: %w", err)
+		}
+		for i, cell := range dirty {
+			x.uncertainty[cell] = scores[i]
+			x.dk2[cell] = dks[i]
+		}
+	}
+	x.lastDW = dw
+	x.lastSkipped = n - len(dirty)
+	x.mCellsScored.Add(int64(len(dirty)))
+	x.mCellsSkipped.Add(int64(x.lastSkipped))
+	x.scoresValid = true
+	return nil
+}
+
+// dirtyShardRows is the minimum dirty-cell count per pool shard: small
+// dirty sets stay on few goroutines (often one), since fan-out overhead
+// would dwarf the work.
+const dirtyShardRows = 2048
 
 // MostUncertainCells returns the top-k cells by symbolic-point uncertainty,
 // descending, with cell id as the deterministic tie-breaker. k is clamped
@@ -849,8 +1087,9 @@ func (x *Index) EnsureRegion(ctx context.Context, model learn.Classifier) (grid.
 		return 0, fmt.Errorf("core: no selectable cells (degraded shards %v): %w", x.degradedShards, shard.ErrShardUnavailable)
 	}
 	x.hScore.ObserveDuration(score.End(map[string]float64{
-		"points": float64(len(x.centers)),
-		"cell":   float64(top[0]),
+		"points":  float64(len(x.centers)),
+		"cell":    float64(top[0]),
+		"skipped": float64(x.lastSkipped),
 	}))
 
 	target := top[0]
@@ -1086,9 +1325,15 @@ func (x *Index) ResultRetrieval(ctx context.Context, model learn.Classifier, min
 	// Score every cell center in one sharded batch pass; the posteriors are
 	// reused for the final trim below.
 	post := make([]float64, x.grid.NumCells())
-	err := x.pool.Do(ctx, len(x.centers), func(lo, hi int) error {
+	score := func(lo, hi int) error {
 		return learn.PosteriorsInto(ctx, model, x.centers[lo:hi], post[lo:hi])
-	})
+	}
+	if x.opts.scoreKernelEnabled() {
+		score = func(lo, hi int) error {
+			return learn.BlockPosteriorsInto(ctx, model, x.blk, lo, hi, post[lo:hi])
+		}
+	}
+	err := x.pool.Do(ctx, len(x.centers), score)
 	if err != nil {
 		return nil, err
 	}

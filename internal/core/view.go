@@ -83,6 +83,10 @@ func (x *Index) NewView(vo ViewOptions) (*Index, error) {
 		budget:  budget,
 		cache:   cache,
 		centers: x.centers,
+		// The packed column block is immutable and shared like centers;
+		// incremental-rescore state (lastDW, dk2) stays private and cold,
+		// because it tracks the view's own uncertainty vector.
+		blk: x.blk,
 		// The registry's instruments are get-or-create by name, so every
 		// view's swap/prefetch counters and phase histograms aggregate into
 		// the same server-wide series.
@@ -100,6 +104,7 @@ func (x *Index) NewView(vo ViewOptions) (*Index, error) {
 		hLoad:       x.reg.Histogram(obs.PhaseHistName(obs.PhaseLoad), nil),
 		hSwap:       x.reg.Histogram(obs.PhaseHistName(obs.PhaseSwap), nil),
 	}
+	v.initScoreKernel()
 	if x.live != nil {
 		// Pin the PARENT's epoch, not the latest: the serving layer's
 		// lazily-derived per-index state (oracle datasets, admission

@@ -128,6 +128,7 @@ func (e *Env) OpenIndex(ctx context.Context, runSeed int64) (*core.Index, error)
 		Shards:            e.Cfg.Shards,
 		Replication:       e.Cfg.Replication,
 		HedgeDelay:        e.Cfg.HedgeDelay,
+		ScoreKernel:       e.Cfg.ScoreKernel,
 	})
 }
 

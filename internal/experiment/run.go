@@ -289,6 +289,7 @@ func (e *Env) openIndexWith(runSeed int64, segments, sampleSize int, prefetch bo
 		Shards:            e.Cfg.Shards,
 		Replication:       e.Cfg.Replication,
 		HedgeDelay:        e.Cfg.HedgeDelay,
+		ScoreKernel:       e.Cfg.ScoreKernel,
 	})
 }
 

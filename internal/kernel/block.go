@@ -1,0 +1,71 @@
+// Package kernel holds the columnar scoring primitives: a packed
+// structure-of-arrays block of float64 points plus allocation-free batched
+// float kernels over its columns. The package is a leaf — it knows nothing
+// about classifiers, grids, or shards — so every layer of the scoring
+// stack (learn models, the flat index, per-shard backends) can share one
+// layout.
+//
+// Bit-parity contract: every kernel in this package performs exactly the
+// float64 operations the corresponding scalar row loop performs, per
+// element, in the same order — columnar layout changes which point the CPU
+// visits next, never the expression tree evaluated for a given point. The
+// learn package's parity tests assert this with math.Float64bits.
+package kernel
+
+// blockAlign is the column stride alignment in float64 words. 8 words =
+// 64 bytes = one cache line, so every column starts cache-line aligned
+// relative to the backing array and unrolled strips never split a line.
+const blockAlign = 8
+
+// Block is an immutable columnar copy of n points in dims dimensions:
+// column d occupies Data[d*Stride : d*Stride+N]. It is packed once (at
+// index open, view creation, or backend construction) and shared read-only
+// by every scoring goroutine; under live ingest the grid geometry — and
+// therefore the block — is epoch-invariant until the layout itself is
+// rebuilt.
+type Block struct {
+	// N is the number of points.
+	N int
+	// Dims is the dimensionality.
+	Dims int
+	// Stride is the column stride in float64 words: N rounded up to a
+	// multiple of blockAlign. The padding words at each column tail are
+	// zero and never read.
+	Stride int
+	// Data is the flat backing array, len Dims*Stride.
+	Data []float64
+}
+
+// Pack copies points (row layout, all rows of length dims) into a new
+// columnar block. An empty point set yields a block with N == 0.
+func Pack(points [][]float64) *Block {
+	n := len(points)
+	dims := 0
+	if n > 0 {
+		dims = len(points[0])
+	}
+	stride := (n + blockAlign - 1) / blockAlign * blockAlign
+	b := &Block{N: n, Dims: dims, Stride: stride, Data: make([]float64, dims*stride)}
+	for d := 0; d < dims; d++ {
+		col := b.Data[d*stride : d*stride+n]
+		for i, p := range points {
+			col[i] = p[d]
+		}
+	}
+	return b
+}
+
+// Col returns column d, length N.
+func (b *Block) Col(d int) []float64 {
+	return b.Data[d*b.Stride : d*b.Stride+b.N]
+}
+
+// Row reconstructs point i into out (len >= Dims) and returns out[:Dims].
+// It is the row-order escape hatch for classifiers without a block path.
+func (b *Block) Row(i int, out []float64) []float64 {
+	out = out[:b.Dims]
+	for d := range out {
+		out[d] = b.Data[d*b.Stride+i]
+	}
+	return out
+}

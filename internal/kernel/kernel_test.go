@@ -1,0 +1,153 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randPoints(rng *rand.Rand, n, dims int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dims)
+		for d := range p {
+			p[d] = rng.NormFloat64() * 10
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 8, 9, 100} {
+		pts := randPoints(rng, n, 3)
+		b := Pack(pts)
+		if b.N != n || (n > 0 && b.Dims != 3) {
+			t.Fatalf("n=%d: got N=%d Dims=%d", n, b.N, b.Dims)
+		}
+		if b.Stride%blockAlign != 0 || b.Stride < n {
+			t.Fatalf("n=%d: bad stride %d", n, b.Stride)
+		}
+		row := make([]float64, 3)
+		for i, p := range pts {
+			got := b.Row(i, row)
+			for d := range p {
+				if math.Float64bits(got[d]) != math.Float64bits(p[d]) {
+					t.Fatalf("row %d dim %d: got %v want %v", i, d, got[d], p[d])
+				}
+				if math.Float64bits(b.Col(d)[i]) != math.Float64bits(p[d]) {
+					t.Fatalf("col %d row %d mismatch", d, i)
+				}
+			}
+		}
+	}
+}
+
+// Each strip kernel must perform bit-identical arithmetic to its scalar
+// reference loop.
+func TestKernelsBitParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 37 // odd: exercises the unroll tail
+	col := make([]float64, n)
+	for i := range col {
+		col[i] = rng.NormFloat64() * 5
+	}
+
+	t.Run("ScaleInto", func(t *testing.T) {
+		scale := 0.37
+		dst := make([]float64, n)
+		ScaleInto(dst, col, scale)
+		for i := range col {
+			if math.Float64bits(dst[i]) != math.Float64bits(col[i]/scale) {
+				t.Fatalf("i=%d", i)
+			}
+		}
+	})
+	t.Run("AddSquaredDiff", func(t *testing.T) {
+		v := 1.234567
+		dst := make([]float64, n)
+		want := make([]float64, n)
+		for i := range dst {
+			dst[i] = col[i] * 0.1
+			want[i] = dst[i]
+		}
+		AddSquaredDiff(dst, col, v)
+		for i := range want {
+			d := v - col[i]
+			want[i] += d * d
+			if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("i=%d", i)
+			}
+		}
+	})
+	t.Run("AxpyStandardized", func(t *testing.T) {
+		w, mean, std := -0.7, 2.5, 1.3
+		dst := make([]float64, n)
+		want := make([]float64, n)
+		AxpyStandardized(dst, col, w, mean, std)
+		for i := range want {
+			want[i] += w * (col[i] - mean) / std
+			if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("i=%d", i)
+			}
+		}
+	})
+	t.Run("AddGaussianLL", func(t *testing.T) {
+		variance := 0.81
+		mean := -1.5
+		logTerm := -0.5 * math.Log(2*math.Pi*variance)
+		twoVar := 2 * variance
+		dst := make([]float64, n)
+		want := make([]float64, n)
+		AddGaussianLL(dst, col, mean, logTerm, twoVar)
+		for i := range want {
+			d := col[i] - mean
+			want[i] += -0.5*math.Log(2*math.Pi*variance) - d*d/(2*variance)
+			if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("i=%d", i)
+			}
+		}
+	})
+}
+
+// SelectKMin must return exactly the prefix a full sort by (value, index)
+// would — including under heavy ties (the all-equidistant case).
+func TestSelectKMinMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		rows := 1 + rng.Intn(60)
+		k := 1 + rng.Intn(rows+3) // sometimes k > rows
+		stride := 1 + rng.Intn(4)
+		offset := rng.Intn(stride)
+		d2 := make([]float64, offset+rows*stride+3)
+		for i := range d2 {
+			// Small integer values force many exact ties.
+			d2[i] = float64(rng.Intn(5))
+		}
+		ref := make([]Neighbor, rows)
+		for r := 0; r < rows; r++ {
+			ref[r] = Neighbor{Idx: r, D2: d2[offset+r*stride]}
+		}
+		sort.SliceStable(ref, func(i, j int) bool {
+			if ref[i].D2 != ref[j].D2 {
+				return ref[i].D2 < ref[j].D2
+			}
+			return ref[i].Idx < ref[j].Idx
+		})
+		kk := k
+		if kk > rows {
+			kk = rows
+		}
+		got := SelectKMin(d2, offset, stride, rows, k, make([]Neighbor, 0, kk))
+		if len(got) != kk {
+			t.Fatalf("trial %d: got %d want %d", trial, len(got), kk)
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: pos %d got %+v want %+v", trial, i, got[i], ref[i])
+			}
+		}
+	}
+}

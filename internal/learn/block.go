@@ -1,0 +1,208 @@
+package learn
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/uei-db/uei/internal/kernel"
+)
+
+// BlockClassifier is implemented by classifiers with a columnar scoring
+// path over a packed kernel.Block. BlockPosterior fills out[0:hi-lo] with
+// P(positive | block point i) for i in [lo, hi). Implementations must be
+// read-only with respect to the model (disjoint ranges run concurrently)
+// and bit-identical to the row paths — the block layout may change memory
+// order, never the per-point arithmetic. All four classifiers in this
+// package comply.
+type BlockClassifier interface {
+	Classifier
+	BlockPosterior(blk *kernel.Block, lo, hi int, out []float64) error
+}
+
+// classifierUnwrapper is implemented by decorators (e.g. the shard layer's
+// serialization memoizer) that wrap a Classifier without re-implementing
+// its optimized paths.
+type classifierUnwrapper interface{ UnwrapClassifier() Classifier }
+
+// UnwrapClassifier peels decorator layers off c until the innermost
+// classifier is reached.
+func UnwrapClassifier(c Classifier) Classifier {
+	for {
+		u, ok := c.(classifierUnwrapper)
+		if !ok {
+			return c
+		}
+		c = u.UnwrapClassifier()
+	}
+}
+
+// AsBlockClassifier reports whether c (possibly behind decorators) has a
+// columnar scoring path.
+func AsBlockClassifier(c Classifier) (BlockClassifier, bool) {
+	bc, ok := UnwrapClassifier(c).(BlockClassifier)
+	return bc, ok
+}
+
+// AsDWKNN reports whether c (possibly behind decorators) is a DWKNN — the
+// model with an exact incremental rescoring rule.
+func AsDWKNN(c Classifier) (*DWKNN, bool) {
+	dw, ok := UnwrapClassifier(c).(*DWKNN)
+	return dw, ok
+}
+
+// rowScratchPool backs the row-reconstruction fallback for classifiers
+// without a block path.
+var rowScratchPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// BlockPosteriorsInto fills out[0:hi-lo] with posteriors of block points
+// [lo, hi), checking ctx between batchBlock-sized chunks exactly like
+// PosteriorsInto. Classifiers without a block path fall back to row
+// reconstruction (a pure copy), so results match the row path bit for bit
+// in every case.
+func BlockPosteriorsInto(ctx context.Context, c Classifier, blk *kernel.Block, lo, hi int, out []float64) error {
+	if hi-lo != len(out) {
+		return fmt.Errorf("learn: %d block points but %d output slots", hi-lo, len(out))
+	}
+	bc, hasBlock := AsBlockClassifier(c)
+	var row []float64
+	var rowPtr *[]float64
+	if !hasBlock {
+		rowPtr = rowScratchPool.Get().(*[]float64)
+		if cap(*rowPtr) < blk.Dims {
+			*rowPtr = make([]float64, blk.Dims)
+		}
+		row = (*rowPtr)[:blk.Dims]
+		defer rowScratchPool.Put(rowPtr)
+	}
+	for base := lo; base < hi; base += batchBlock {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := base + batchBlock
+		if end > hi {
+			end = hi
+		}
+		if hasBlock {
+			if err := bc.BlockPosterior(blk, base, end, out[base-lo:end-lo]); err != nil {
+				return err
+			}
+			continue
+		}
+		for i := base; i < end; i++ {
+			p, err := c.PosteriorPositive(blk.Row(i, row))
+			if err != nil {
+				return err
+			}
+			out[i-lo] = p
+		}
+	}
+	return nil
+}
+
+// BlockPosteriors fills out[i] = P(positive | block point i) using up to
+// workers goroutines over contiguous block ranges — the columnar twin of
+// Posteriors, byte-identical to it for any worker count.
+func BlockPosteriors(ctx context.Context, c Classifier, blk *kernel.Block, out []float64, workers int) error {
+	n := blk.N
+	if n != len(out) {
+		return fmt.Errorf("learn: %d block points but %d output slots", n, len(out))
+	}
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return BlockPosteriorsInto(ctx, c, blk, 0, n, out)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		lo, hi := s*n/workers, (s+1)*n/workers
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[s] = BlockPosteriorsInto(ctx, c, blk, lo, hi, out[lo:hi])
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BlockUncertaintiesInto is BlockPosteriorsInto followed by the
+// least-confidence transform min(p, 1-p) — the columnar twin of
+// UncertaintiesInto.
+func BlockUncertaintiesInto(ctx context.Context, c Classifier, blk *kernel.Block, lo, hi int, out []float64) error {
+	if err := BlockPosteriorsInto(ctx, c, blk, lo, hi, out); err != nil {
+		return err
+	}
+	for i, p := range out {
+		if p > 0.5 {
+			out[i] = 1 - p
+		}
+	}
+	return nil
+}
+
+// BlockUncertaintiesDKInto scores block points [lo, hi) with a DWKNN,
+// writing uncertainties to out[0:hi-lo] and each point's k-th-neighbor
+// squared distance to dk2[0:hi-lo] — one pass produces both the scores and
+// the incremental rescorer's bounds.
+func BlockUncertaintiesDKInto(ctx context.Context, dw *DWKNN, blk *kernel.Block, lo, hi int, out, dk2 []float64) error {
+	if hi-lo != len(out) || hi-lo != len(dk2) {
+		return fmt.Errorf("learn: %d block points but %d/%d output slots", hi-lo, len(out), len(dk2))
+	}
+	for base := lo; base < hi; base += batchBlock {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := base + batchBlock
+		if end > hi {
+			end = hi
+		}
+		if err := dw.BlockPosteriorDK(blk, base, end, out[base-lo:end-lo], dk2[base-lo:end-lo]); err != nil {
+			return err
+		}
+	}
+	for i, p := range out {
+		if p > 0.5 {
+			out[i] = 1 - p
+		}
+	}
+	return nil
+}
+
+// BlockUncertaintiesDKAt is BlockUncertaintiesDKInto over an arbitrary
+// ascending subset of block points — the dirty-cell rescoring path. out
+// and dk2 align with cells.
+func BlockUncertaintiesDKAt(ctx context.Context, dw *DWKNN, blk *kernel.Block, cells []int, out, dk2 []float64) error {
+	if len(cells) != len(out) || len(cells) != len(dk2) {
+		return fmt.Errorf("learn: %d dirty cells but %d/%d output slots", len(cells), len(out), len(dk2))
+	}
+	for base := 0; base < len(cells); base += batchBlock {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := base + batchBlock
+		if end > len(cells) {
+			end = len(cells)
+		}
+		if err := dw.BlockPosteriorDKAt(blk, cells[base:end], out[base:end], dk2[base:end]); err != nil {
+			return err
+		}
+	}
+	for i, p := range out {
+		if p > 0.5 {
+			out[i] = 1 - p
+		}
+	}
+	return nil
+}

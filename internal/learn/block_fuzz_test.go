@@ -1,0 +1,177 @@
+package learn
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/uei-db/uei/internal/kernel"
+)
+
+// topK ranks query indices by the uncertainty-sampling comparator (higher
+// uncertainty first, lower index breaking ties) — the same total order the
+// core layer uses to pick the next region.
+func topK(unc []float64, k int) []int {
+	idx := make([]int, len(unc))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if unc[idx[a]] != unc[idx[b]] {
+			return unc[idx[a]] > unc[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// FuzzBlockParity is the cross-model scoring-mode agreement property: for
+// a random dataset and query block, every classifier's columnar path —
+// and, for DWKNN, the dirty-cell delta path — must reproduce the row
+// path's posteriors bit for bit, and therefore the identical top-k
+// selection. Query sets deliberately include duplicates (degenerate
+// equidistant neighborhoods) and exact copies of training rows.
+func FuzzBlockParity(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint8(2), uint16(300))
+	f.Add(int64(42), uint8(7), uint8(5), uint16(1))
+	f.Add(int64(99), uint8(60), uint8(3), uint16(513))
+	f.Add(int64(7), uint8(4), uint8(0), uint16(17))
+	f.Fuzz(func(t *testing.T, seed int64, nTrainRaw, dimsRaw uint8, nqRaw uint16) {
+		dims := 1 + int(dimsRaw)%6
+		nTrain := 6 + int(nTrainRaw)%60
+		nq := 1 + int(nqRaw)%700
+		rng := rand.New(rand.NewSource(seed))
+
+		X := make([][]float64, nTrain)
+		y := make([]int, nTrain)
+		for i := range X {
+			row := make([]float64, dims)
+			for d := range row {
+				row[d] = rng.NormFloat64() * 3
+			}
+			X[i] = row
+			y[i] = rng.Intn(2)
+		}
+		// Both classes must appear for every model to fit.
+		y[0], y[1] = 0, 1
+		scales := make([]float64, dims)
+		for d := range scales {
+			scales[d] = 0.25 + rng.Float64()*4
+		}
+
+		com, err := NewCommittee(3, seed, func(i int) Classifier { return NewDWKNN(3+i, nil) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		models := map[string]Classifier{
+			"dwknn":     NewDWKNN(5, scales),
+			"logistic":  NewLogistic(seed),
+			"gnb":       NewGaussianNB(),
+			"committee": com,
+		}
+		for name, m := range models {
+			if err := m.Fit(X, y); err != nil {
+				t.Fatalf("fit %s: %v", name, err)
+			}
+		}
+
+		Q := make([][]float64, nq)
+		for i := range Q {
+			switch {
+			case i > 0 && rng.Intn(8) == 0:
+				// Duplicate an earlier query: equidistant/tied neighborhoods.
+				Q[i] = Q[rng.Intn(i)]
+			case rng.Intn(8) == 0:
+				// Exact training row: zero distance to a labeled point.
+				Q[i] = X[rng.Intn(nTrain)]
+			default:
+				q := make([]float64, dims)
+				for d := range q {
+					q[d] = rng.NormFloat64() * 4
+				}
+				Q[i] = q
+			}
+		}
+		blk := kernel.Pack(Q)
+		ctx := context.Background()
+
+		for name, m := range models {
+			want := make([]float64, nq)
+			if err := m.(BatchClassifier).BatchPosterior(Q, want); err != nil {
+				t.Fatalf("%s row: %v", name, err)
+			}
+			got := make([]float64, nq)
+			if err := BlockPosteriorsInto(ctx, m, blk, 0, nq, got); err != nil {
+				t.Fatalf("%s block: %v", name, err)
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s query %d: block %v != row %v", name, i, got[i], want[i])
+				}
+			}
+			wantU := make([]float64, nq)
+			gotU := make([]float64, nq)
+			for i := range want {
+				wantU[i] = math.Min(want[i], 1-want[i])
+				gotU[i] = math.Min(got[i], 1-got[i])
+			}
+			wt, gt := topK(wantU, 5), topK(gotU, 5)
+			for i := range wt {
+				if wt[i] != gt[i] {
+					t.Fatalf("%s: top-k rank %d differs: row %d vs block %d", name, i, wt[i], gt[i])
+				}
+			}
+		}
+
+		// DWKNN mode 3: delta rescoring. Fit an append-only predecessor,
+		// score it, then patch only the dirty cells — the patched vector
+		// must equal a from-scratch pass under the current model.
+		nOld := nTrain - 1 - rng.Intn(4)
+		if nOld >= 5 {
+			old := NewDWKNN(5, scales)
+			if err := old.Fit(X[:nOld], y[:nOld]); err != nil {
+				t.Fatal(err)
+			}
+			cur := models["dwknn"].(*DWKNN)
+			newRows, ok := cur.AppendDelta(old)
+			if !ok {
+				t.Fatalf("AppendDelta rejected an append-only refit (%d -> %d rows)", nOld, nTrain)
+			}
+			p := make([]float64, nq)
+			dk2 := make([]float64, nq)
+			if err := old.BlockPosteriorDK(blk, 0, nq, p, dk2); err != nil {
+				t.Fatal(err)
+			}
+			dirty, err := cur.DirtyCells(blk, newRows, dk2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub := make([]float64, len(dirty))
+			subDK := make([]float64, len(dirty))
+			if err := cur.BlockPosteriorDKAt(blk, dirty, sub, subDK); err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range dirty {
+				p[c], dk2[c] = sub[i], subDK[i]
+			}
+			full := make([]float64, nq)
+			fullDK := make([]float64, nq)
+			if err := cur.BlockPosteriorDK(blk, 0, nq, full, fullDK); err != nil {
+				t.Fatal(err)
+			}
+			for i := range full {
+				if math.Float64bits(p[i]) != math.Float64bits(full[i]) {
+					t.Fatalf("delta query %d: patched %v != full %v", i, p[i], full[i])
+				}
+				if math.Float64bits(dk2[i]) != math.Float64bits(fullDK[i]) {
+					t.Fatalf("delta query %d: patched dk² %v != full %v", i, dk2[i], fullDK[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,264 @@
+package learn
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/uei-db/uei/internal/kernel"
+)
+
+func parityModels(t *testing.T, rng *rand.Rand, n, dims int) map[string]Classifier {
+	t.Helper()
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, dims)
+		for d := range row {
+			row[d] = rng.NormFloat64() * 3
+		}
+		X[i] = row
+		y[i] = i % 2
+	}
+	scales := make([]float64, dims)
+	for d := range scales {
+		scales[d] = 0.5 + rng.Float64()*4
+	}
+	com, err := NewCommittee(3, 7, func(i int) Classifier { return NewDWKNN(3+i, nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := map[string]Classifier{
+		"dwknn":      NewDWKNN(7, scales),
+		"dwknn-auto": NewDWKNN(5, nil),
+		"logistic":   NewLogistic(11),
+		"gnb":        NewGaussianNB(),
+		"committee":  com,
+	}
+	for name, m := range models {
+		if err := m.Fit(X, y); err != nil {
+			t.Fatalf("fit %s: %v", name, err)
+		}
+	}
+	return models
+}
+
+// Every model's block path must agree bit-for-bit with its row path, on
+// query counts that exercise strip boundaries and unroll tails.
+func TestBlockPosteriorBitParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, nq := range []int{1, 3, 511, 512, 513, 1100} {
+		models := parityModels(t, rng, 60, 4)
+		Q := make([][]float64, nq)
+		for i := range Q {
+			q := make([]float64, 4)
+			for d := range q {
+				q[d] = rng.NormFloat64() * 5
+			}
+			Q[i] = q
+		}
+		blk := kernel.Pack(Q)
+		for name, m := range models {
+			want := make([]float64, nq)
+			if err := m.(BatchClassifier).BatchPosterior(Q, want); err != nil {
+				t.Fatalf("%s row: %v", name, err)
+			}
+			got := make([]float64, nq)
+			if err := BlockPosteriorsInto(context.Background(), m, blk, 0, nq, got); err != nil {
+				t.Fatalf("%s block: %v", name, err)
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s nq=%d query %d: block %v != row %v", name, nq, i, got[i], want[i])
+				}
+			}
+			// Sub-range scoring must agree with the full pass.
+			if nq > 10 {
+				lo, hi := 3, nq-2
+				sub := make([]float64, hi-lo)
+				if err := BlockPosteriorsInto(context.Background(), m, blk, lo, hi, sub); err != nil {
+					t.Fatalf("%s sub: %v", name, err)
+				}
+				for i := range sub {
+					if math.Float64bits(sub[i]) != math.Float64bits(want[lo+i]) {
+						t.Fatalf("%s sub-range query %d mismatch", name, lo+i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The degenerate all-equidistant DWKNN weight case (dk == d1 forces unit
+// weights) and tiny training sets (k clamped to len(x)) must survive the
+// block path.
+func TestBlockPosteriorDegenerateDWKNN(t *testing.T) {
+	// All training points on a unit circle; queries at the center are
+	// exactly equidistant from every one of them.
+	n := 8
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		X[i] = []float64{math.Cos(a), math.Sin(a)}
+		y[i] = i % 2
+	}
+	for _, k := range []int{3, 7, 20} { // 20 > n: k clamps to len(x)
+		dw := NewDWKNN(k, []float64{1, 1})
+		if err := dw.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		Q := [][]float64{{0, 0}, {0.001, 0}, {0, 0}, {5, 5}}
+		blk := kernel.Pack(Q)
+		want := make([]float64, len(Q))
+		if err := dw.BatchPosterior(Q, want); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float64, len(Q))
+		dk2 := make([]float64, len(Q))
+		if err := dw.BlockPosteriorDK(blk, 0, len(Q), got, dk2); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("k=%d query %d: %v != %v", k, i, got[i], want[i])
+			}
+		}
+		// Center queries: every neighbor at distance 1 → dk² == 1.
+		if dk2[0] != 1 || dk2[2] != 1 {
+			t.Fatalf("k=%d: center dk² = %v, want 1", k, dk2[0])
+		}
+	}
+}
+
+// AppendDelta must accept exactly the append-only extensions and reject
+// everything else; DirtyCells must flag every center whose posterior or
+// dk² can change — verified against a full rescore.
+func TestAppendDeltaDirtyCellsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	scales := []float64{2, 0.5, 1.5}
+	mkRows := func(n int) ([][]float64, []int) {
+		X := make([][]float64, n)
+		y := make([]int, n)
+		for i := range X {
+			row := make([]float64, 3)
+			for d := range row {
+				row[d] = rng.NormFloat64() * 4
+			}
+			X[i] = row
+			y[i] = rng.Intn(2)
+		}
+		return X, y
+	}
+	for trial := 0; trial < 30; trial++ {
+		nOld := 10 + rng.Intn(40)
+		nNew := 1 + rng.Intn(6)
+		X, y := mkRows(nOld + nNew)
+		old := NewDWKNN(7, scales)
+		if err := old.Fit(X[:nOld], y[:nOld]); err != nil {
+			t.Fatal(err)
+		}
+		cur := NewDWKNN(7, scales)
+		if err := cur.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		newRows, ok := cur.AppendDelta(old)
+		if !ok || len(newRows) != nNew {
+			t.Fatalf("trial %d: AppendDelta ok=%v rows=%d want %d", trial, ok, len(newRows), nNew)
+		}
+
+		// Score a center set under the old model, then check the dirty rule
+		// against a full rescore under the new model.
+		nc := 200
+		C := make([][]float64, nc)
+		for i := range C {
+			c := make([]float64, 3)
+			for d := range c {
+				c[d] = rng.NormFloat64() * 4
+			}
+			C[i] = c
+		}
+		blk := kernel.Pack(C)
+		oldP := make([]float64, nc)
+		oldDK := make([]float64, nc)
+		if err := old.BlockPosteriorDK(blk, 0, nc, oldP, oldDK); err != nil {
+			t.Fatal(err)
+		}
+		newP := make([]float64, nc)
+		newDK := make([]float64, nc)
+		if err := cur.BlockPosteriorDK(blk, 0, nc, newP, newDK); err != nil {
+			t.Fatal(err)
+		}
+		dirty, err := cur.DirtyCells(blk, newRows, oldDK, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inDirty := make(map[int]bool, len(dirty))
+		for _, c := range dirty {
+			inDirty[c] = true
+		}
+		for i := 0; i < nc; i++ {
+			changed := math.Float64bits(oldP[i]) != math.Float64bits(newP[i]) ||
+				math.Float64bits(oldDK[i]) != math.Float64bits(newDK[i])
+			if changed && !inDirty[i] {
+				t.Fatalf("trial %d: center %d changed but not flagged dirty", trial, i)
+			}
+			if !inDirty[i] {
+				// Exactness: clean centers keep identical scores and bounds.
+				if math.Float64bits(oldP[i]) != math.Float64bits(newP[i]) {
+					t.Fatalf("trial %d: clean center %d posterior drifted", trial, i)
+				}
+			}
+		}
+
+		// Rejections: different K, different scales, mutated prefix, label flip.
+		other := NewDWKNN(5, scales)
+		if err := other.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := other.AppendDelta(old); ok {
+			t.Fatal("K mismatch accepted")
+		}
+		s2 := append([]float64(nil), scales...)
+		s2[0] = 3
+		resc := NewDWKNN(7, s2)
+		if err := resc.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := resc.AppendDelta(old); ok {
+			t.Fatal("scale drift accepted")
+		}
+		yFlip := append([]int(nil), y...)
+		yFlip[0] = 1 - yFlip[0]
+		flip := NewDWKNN(7, scales)
+		if err := flip.Fit(X, yFlip); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := flip.AppendDelta(old); ok {
+			t.Fatal("label flip accepted")
+		}
+		if _, ok := old.AppendDelta(cur); ok {
+			t.Fatal("shrinking set accepted")
+		}
+	}
+}
+
+// A model fitted with fewer rows than K must refuse AppendDelta (its
+// effective neighborhood grows with every new row, so no skip is exact).
+func TestAppendDeltaSmallTrainingSet(t *testing.T) {
+	scales := []float64{1, 1}
+	X := [][]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	y := []int{0, 1, 0, 1, 0}
+	old := NewDWKNN(7, scales)
+	if err := old.Fit(X[:3], y[:3]); err != nil { // 3 < K=7
+		t.Fatal(err)
+	}
+	cur := NewDWKNN(7, scales)
+	if err := cur.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.AppendDelta(old); ok {
+		t.Fatal("AppendDelta accepted an under-K base model")
+	}
+}

@@ -3,6 +3,9 @@ package learn
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+
+	"github.com/uei-db/uei/internal/kernel"
 )
 
 // Committee trains an ensemble of classifiers on bootstrap resamples of the
@@ -119,7 +122,12 @@ func (c *Committee) BatchPosterior(X [][]float64, out []float64) error {
 	for i := range out {
 		out[i] = 0
 	}
-	tmp := make([]float64, len(X))
+	buf := committeeTmpPool.Get().(*committeeTmp)
+	defer committeeTmpPool.Put(buf)
+	if cap(buf.tmp) < len(X) {
+		buf.tmp = make([]float64, len(X))
+	}
+	tmp := buf.tmp[:len(X)]
 	for _, m := range c.Members {
 		if bm, ok := m.(BatchClassifier); ok {
 			if err := bm.BatchPosterior(X, tmp); err != nil {
@@ -147,6 +155,64 @@ func (c *Committee) BatchPosterior(X [][]float64, out []float64) error {
 	}
 	return nil
 }
+
+// BlockPosterior implements BlockClassifier: the mean member posterior over
+// a packed block, member-by-member in member order — the same accumulation
+// sequence as BatchPosterior, ending in the same divide — so results are
+// bit-identical to both scalar paths. Members without a block path fall
+// back to row reconstruction (a pure copy, so their arithmetic is
+// unchanged). The member buffer is pooled: zero steady-state allocation.
+func (c *Committee) BlockPosterior(blk *kernel.Block, lo, hi int, out []float64) error {
+	if !c.fitted {
+		return ErrNotFitted
+	}
+	w := hi - lo
+	buf := committeeTmpPool.Get().(*committeeTmp)
+	defer committeeTmpPool.Put(buf)
+	if cap(buf.tmp) < w {
+		buf.tmp = make([]float64, w)
+	}
+	if cap(buf.row) < blk.Dims {
+		buf.row = make([]float64, blk.Dims)
+	}
+	tmp := buf.tmp[:w]
+	dst := out[:w]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, m := range c.Members {
+		if bm, ok := m.(BlockClassifier); ok {
+			if err := bm.BlockPosterior(blk, lo, hi, tmp); err != nil {
+				return err
+			}
+		} else {
+			for i := 0; i < w; i++ {
+				p, err := m.PosteriorPositive(blk.Row(lo+i, buf.row))
+				if err != nil {
+					return err
+				}
+				tmp[i] = p
+			}
+		}
+		for i, p := range tmp {
+			dst[i] += p
+		}
+	}
+	// Divide (not multiply by a reciprocal): same parity rationale as
+	// BatchPosterior.
+	n := float64(len(c.Members))
+	for i := range dst {
+		dst[i] = clampProb(dst[i] / n)
+	}
+	return nil
+}
+
+type committeeTmp struct {
+	tmp []float64
+	row []float64
+}
+
+var committeeTmpPool = sync.Pool{New: func() any { return &committeeTmp{} }}
 
 // VoteDisagreement returns the fraction of members whose hard vote differs
 // from the majority, in [0, 0.5]. Query-by-committee selects the point that

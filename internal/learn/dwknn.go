@@ -3,7 +3,9 @@ package learn
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
+
+	"github.com/uei-db/uei/internal/kernel"
 )
 
 // DWKNN is the dual weighted k-nearest-neighbor classifier of Gou et al.,
@@ -28,7 +30,8 @@ type DWKNN struct {
 	// rowc in [0,2048] vs dec in [-90,90]). When nil, Fit derives scales
 	// from the training data extent; a caller who knows the full data
 	// domain (the IDE engine does) should set it explicitly so scaling does
-	// not drift as the labeled set grows.
+	// not drift as the labeled set grows — explicit scales are also what
+	// makes AppendDelta fire across retrains.
 	Scales []float64
 
 	x      [][]float64 // scaled copies of the training rows
@@ -81,10 +84,9 @@ func (c *DWKNN) Fit(X [][]float64, y []int) error {
 func (c *DWKNN) Fitted() bool { return c.fitted }
 
 // neighbor pairs a training index with its squared distance to the query.
-type neighbor struct {
-	idx int
-	d2  float64
-}
+// It is the kernel package's selection element; ordering is (D2, Idx)
+// ascending everywhere.
+type neighbor = kernel.Neighbor
 
 // PosteriorPositive returns the dual-weighted positive class probability.
 func (c *DWKNN) PosteriorPositive(x []float64) (float64, error) {
@@ -94,14 +96,16 @@ func (c *DWKNN) PosteriorPositive(x []float64) (float64, error) {
 	if len(x) != c.dims {
 		return 0, fmt.Errorf("learn: query has %d dims, model has %d", len(x), c.dims)
 	}
-	s := newDWKNNScratch(c)
+	s := getDWKNNScratch(c)
+	defer putDWKNNScratch(s)
 	return c.posterior(x, s), nil
 }
 
-// BatchPosterior implements BatchClassifier: it reuses one scratch buffer
-// across the whole batch, so the per-query cost is pure distance math with
-// no allocation. It is read-only and safe to call concurrently on disjoint
-// shards (the parallel scorer shards query points across workers).
+// BatchPosterior implements BatchClassifier: it reuses one pooled scratch
+// buffer across the whole batch, so the per-query cost is pure distance
+// math with zero steady-state allocation. It is read-only and safe to call
+// concurrently on disjoint shards (the parallel scorer shards query points
+// across workers).
 func (c *DWKNN) BatchPosterior(X [][]float64, out []float64) error {
 	if !c.fitted {
 		return ErrNotFitted
@@ -109,7 +113,8 @@ func (c *DWKNN) BatchPosterior(X [][]float64, out []float64) error {
 	if len(X) != len(out) {
 		return fmt.Errorf("learn: %d queries but %d output slots", len(X), len(out))
 	}
-	s := newDWKNNScratch(c)
+	s := getDWKNNScratch(c)
+	defer putDWKNNScratch(s)
 	for i, x := range X {
 		if len(x) != c.dims {
 			return fmt.Errorf("learn: query %d has %d dims, model has %d", i, len(x), c.dims)
@@ -119,39 +124,65 @@ func (c *DWKNN) BatchPosterior(X [][]float64, out []float64) error {
 	return nil
 }
 
-// dwknnScratch holds the per-call buffers of the k-NN search so batch
-// evaluation allocates once per shard instead of once per query.
+// dwknnScratch holds the per-call buffers of the k-NN search. Buffers are
+// pooled package-wide and grown on demand, so batch evaluation allocates
+// nothing in steady state.
 type dwknnScratch struct {
 	q     []float64
-	all   []neighbor
+	best  []neighbor
 	dists []float64
+	// Block-path strips, sized lazily: qs holds the scaled query strip
+	// (strip*dims), dist2 the per-row distance strips (strip*len(x)), and
+	// mark the per-strip dirty flags of DirtyCells.
+	qs    []float64
+	dist2 []float64
+	mark  []bool
 }
 
-func newDWKNNScratch(c *DWKNN) *dwknnScratch {
+var dwknnScratchPool = sync.Pool{New: func() any { return &dwknnScratch{} }}
+
+func getDWKNNScratch(c *DWKNN) *dwknnScratch {
+	s := dwknnScratchPool.Get().(*dwknnScratch)
+	k := c.effectiveK()
+	if cap(s.q) < c.dims {
+		s.q = make([]float64, c.dims)
+	}
+	if cap(s.best) < k {
+		s.best = make([]neighbor, k)
+	}
+	if cap(s.dists) < k {
+		s.dists = make([]float64, k)
+	}
+	return s
+}
+
+func putDWKNNScratch(s *dwknnScratch) { dwknnScratchPool.Put(s) }
+
+func (c *DWKNN) effectiveK() int {
 	k := c.K
 	if k > len(c.x) {
 		k = len(c.x)
 	}
-	return &dwknnScratch{
-		q:     make([]float64, c.dims),
-		all:   make([]neighbor, len(c.x)),
-		dists: make([]float64, k),
-	}
+	return k
 }
 
 // posterior computes the dual-weighted positive posterior for one
 // (dimension-checked) query using the caller's scratch.
 func (c *DWKNN) posterior(x []float64, s *dwknnScratch) float64 {
-	k := c.K
-	if k > len(c.x) {
-		k = len(c.x)
-	}
-	nb := c.nearestInto(x, k, s)
+	nb := c.nearestInto(x, c.effectiveK(), s)
+	p, _ := c.posteriorFrom(nb, s.dists)
+	return p
+}
 
+// posteriorFrom turns a sorted neighbor list into the dual-weighted
+// posterior, also returning the k-th (last) neighbor's squared distance —
+// the d_k² bound the incremental rescorer keys on. dists is scratch with
+// cap >= len(nb).
+func (c *DWKNN) posteriorFrom(nb []neighbor, dists []float64) (float64, float64) {
 	// Distances (not squared) drive the weights.
-	dists := s.dists[:len(nb)]
+	dists = dists[:len(nb)]
 	for i, n := range nb {
-		dists[i] = math.Sqrt(n.d2)
+		dists[i] = math.Sqrt(n.D2)
 	}
 	d1, dk := dists[0], dists[len(dists)-1]
 	var wPos, wAll float64
@@ -161,49 +192,268 @@ func (c *DWKNN) posterior(x []float64, s *dwknnScratch) float64 {
 			w = (dk - dists[i]) / (dk - d1) * (dk + d1) / (dk + dists[i])
 		}
 		wAll += w
-		if c.y[n.idx] == ClassPositive {
+		if c.y[n.Idx] == ClassPositive {
 			wPos += w
 		}
 	}
+	dk2 := nb[len(nb)-1].D2
 	if wAll == 0 {
 		// Degenerate: dk > d1 makes the farthest neighbor weightless, but
 		// the nearest always has weight 1 unless k == 1 and the point
 		// coincides; fall back to unweighted vote.
 		pos := 0
 		for _, n := range nb {
-			if c.y[n.idx] == ClassPositive {
+			if c.y[n.Idx] == ClassPositive {
 				pos++
 			}
 		}
-		return clampProb(float64(pos) / float64(len(nb)))
+		return clampProb(float64(pos) / float64(len(nb))), dk2
 	}
-	return clampProb(wPos / wAll)
+	return clampProb(wPos / wAll), dk2
 }
 
 // nearestInto returns the k training points closest to x (scaled space),
 // sorted by ascending distance with index as tie-breaker for determinism.
-// The result aliases s.all and is valid until the next call.
+// Selection is bounded insertion into a k-slot buffer — identical output
+// to the former full sort+truncate ((d², idx) is a strict total order, and
+// indexes ascend during the scan so ties never displace an earlier entry)
+// at O(n·k) worst case instead of O(n log n), with no sort.Slice closure
+// overhead. The result aliases s.best and is valid until the next call.
 func (c *DWKNN) nearestInto(x []float64, k int, s *dwknnScratch) []neighbor {
-	q := s.q
+	q := s.q[:c.dims]
 	for j, v := range x {
 		q[j] = v / c.scales[j]
 	}
-	all := s.all[:len(c.x)]
+	best := s.best[:0]
 	for i, row := range c.x {
 		var d2 float64
 		for j, v := range row {
 			diff := v - q[j]
 			d2 += diff * diff
 		}
-		all[i] = neighbor{idx: i, d2: d2}
-	}
-	sort.Slice(all, func(a, b int) bool {
-		if all[a].d2 != all[b].d2 {
-			return all[a].d2 < all[b].d2
+		if len(best) == k {
+			if !best[k-1].Less(d2, i) {
+				continue
+			}
+			best = best[:k-1]
 		}
-		return all[a].idx < all[b].idx
-	})
-	return all[:k]
+		j := len(best)
+		best = append(best, neighbor{})
+		for j > 0 && best[j-1].Less(d2, i) {
+			best[j] = best[j-1]
+			j--
+		}
+		best[j] = neighbor{Idx: i, D2: d2}
+	}
+	return best
+}
+
+// dwknnStrip is the block-path strip width: 256 centers × 8 bytes = 16 KiB
+// per dimension column, so a strip's scaled queries plus the distance rows
+// of a typical labeled set stay L2-resident.
+const dwknnStrip = 256
+
+// BlockPosterior implements BlockClassifier over a packed columnar block.
+func (c *DWKNN) BlockPosterior(blk *kernel.Block, lo, hi int, out []float64) error {
+	return c.BlockPosteriorDK(blk, lo, hi, out, nil)
+}
+
+// BlockPosteriorDK scores centers [lo, hi) of the block, writing posteriors
+// to out[0:hi-lo] and, when dk2 is non-nil, each center's k-th-neighbor
+// squared distance to dk2[0:hi-lo] — the bound the exact incremental
+// rescorer needs. Bit-identical to the row path: per (center, row) the
+// squared distance accumulates over dimensions in ascending order with the
+// row path's exact expressions, and selection shares its (d², idx) order.
+func (c *DWKNN) BlockPosteriorDK(blk *kernel.Block, lo, hi int, out, dk2 []float64) error {
+	if !c.fitted {
+		return ErrNotFitted
+	}
+	if blk.Dims != c.dims {
+		return fmt.Errorf("learn: block has %d dims, model has %d", blk.Dims, c.dims)
+	}
+	s := getDWKNNScratch(c)
+	defer putDWKNNScratch(s)
+	for base := lo; base < hi; base += dwknnStrip {
+		w := hi - base
+		if w > dwknnStrip {
+			w = dwknnStrip
+		}
+		qs := c.stripScratch(s, w)
+		for d := 0; d < c.dims; d++ {
+			kernel.ScaleInto(qs[d*w:d*w+w], blk.Col(d)[base:base+w], c.scales[d])
+		}
+		c.scoreStrip(s, w, out[base-lo:], dk2Sub(dk2, base-lo))
+	}
+	return nil
+}
+
+// BlockPosteriorDKAt scores an arbitrary (ascending) subset of block
+// centers — the dirty-set path. cells indexes into the block; out and dk2
+// (optional) align with cells.
+func (c *DWKNN) BlockPosteriorDKAt(blk *kernel.Block, cells []int, out, dk2 []float64) error {
+	if !c.fitted {
+		return ErrNotFitted
+	}
+	if blk.Dims != c.dims {
+		return fmt.Errorf("learn: block has %d dims, model has %d", blk.Dims, c.dims)
+	}
+	s := getDWKNNScratch(c)
+	defer putDWKNNScratch(s)
+	for base := 0; base < len(cells); base += dwknnStrip {
+		w := len(cells) - base
+		if w > dwknnStrip {
+			w = dwknnStrip
+		}
+		qs := c.stripScratch(s, w)
+		for d := 0; d < c.dims; d++ {
+			col := blk.Col(d)
+			sc := c.scales[d]
+			qd := qs[d*w : d*w+w]
+			for i, cell := range cells[base : base+w] {
+				qd[i] = col[cell] / sc
+			}
+		}
+		c.scoreStrip(s, w, out[base:], dk2Sub(dk2, base))
+	}
+	return nil
+}
+
+func dk2Sub(dk2 []float64, off int) []float64 {
+	if dk2 == nil {
+		return nil
+	}
+	return dk2[off:]
+}
+
+// stripScratch sizes the block-path buffers for a strip of width w and
+// returns the scaled-query strip (layout [d*w+i]).
+func (c *DWKNN) stripScratch(s *dwknnScratch, w int) []float64 {
+	if cap(s.qs) < c.dims*w {
+		s.qs = make([]float64, c.dims*dwknnStrip)
+	}
+	if cap(s.dist2) < len(c.x)*w {
+		s.dist2 = make([]float64, len(c.x)*dwknnStrip)
+	}
+	return s.qs[:c.dims*w]
+}
+
+// scoreStrip computes posteriors (and optional dk²) for the w centers whose
+// scaled queries are staged in s.qs, writing out[0:w] / dk2[0:w].
+func (c *DWKNN) scoreStrip(s *dwknnScratch, w int, out, dk2 []float64) {
+	qs := s.qs
+	dist2 := s.dist2[:len(c.x)*w]
+	clear(dist2)
+	for r, row := range c.x {
+		dr := dist2[r*w : r*w+w]
+		for d, v := range row {
+			kernel.AddSquaredDiff(dr, qs[d*w:d*w+w], v)
+		}
+	}
+	k := c.effectiveK()
+	for i := 0; i < w; i++ {
+		nb := kernel.SelectKMin(dist2, i, w, len(c.x), k, s.best[:0])
+		p, kd2 := c.posteriorFrom(nb, s.dists)
+		out[i] = p
+		if dk2 != nil {
+			dk2[i] = kd2
+		}
+	}
+}
+
+// AppendDelta reports whether this model is an append-only extension of
+// old — same K, dims, and bit-identical scales, with old's scaled training
+// rows and labels a pointwise-equal prefix of this model's, and old already
+// holding at least K rows (so the effective neighborhood size is K for
+// both). When it is, the returned slice holds exactly the newly appended
+// scaled rows, and the exact skip rule applies: a query's k-NN set — hence
+// its posterior and d_k — is unchanged unless some new row lies strictly
+// within the query's old d_k (ties lose to the incumbent's smaller index).
+func (c *DWKNN) AppendDelta(old *DWKNN) ([][]float64, bool) {
+	if old == nil || !c.fitted || !old.fitted {
+		return nil, false
+	}
+	if c.K != old.K || c.dims != old.dims {
+		return nil, false
+	}
+	if len(old.x) < old.K || len(old.x) > len(c.x) {
+		return nil, false
+	}
+	for j := range c.scales {
+		if c.scales[j] != old.scales[j] {
+			return nil, false
+		}
+	}
+	for i, row := range old.x {
+		if old.y[i] != c.y[i] {
+			return nil, false
+		}
+		nrow := c.x[i]
+		for j := range row {
+			if row[j] != nrow[j] {
+				return nil, false
+			}
+		}
+	}
+	return c.x[len(old.x):], true
+}
+
+// DirtyCells scans the block and appends to out the indices of centers for
+// which some row of newRows (scaled space, as returned by AppendDelta) lies
+// strictly within the center's recorded k-th-neighbor squared distance
+// dk2[i] — exactly the centers whose k-NN set can have changed. The
+// comparison uses the same scaled-distance arithmetic as scoring, so the
+// dirty test is exact, not approximate.
+func (c *DWKNN) DirtyCells(blk *kernel.Block, newRows [][]float64, dk2 []float64, out []int) ([]int, error) {
+	if !c.fitted {
+		return nil, ErrNotFitted
+	}
+	if blk.Dims != c.dims {
+		return nil, fmt.Errorf("learn: block has %d dims, model has %d", blk.Dims, c.dims)
+	}
+	if len(dk2) != blk.N {
+		return nil, fmt.Errorf("learn: %d dk² entries for %d block centers", len(dk2), blk.N)
+	}
+	s := getDWKNNScratch(c)
+	defer putDWKNNScratch(s)
+	for base := 0; base < blk.N; base += dwknnStrip {
+		w := blk.N - base
+		if w > dwknnStrip {
+			w = dwknnStrip
+		}
+		if cap(s.qs) < c.dims*w {
+			s.qs = make([]float64, c.dims*dwknnStrip)
+		}
+		if cap(s.dist2) < w {
+			s.dist2 = make([]float64, dwknnStrip)
+		}
+		if cap(s.mark) < w {
+			s.mark = make([]bool, dwknnStrip)
+		}
+		qs := s.qs[:c.dims*w]
+		mark := s.mark[:w]
+		clear(mark)
+		for d := 0; d < c.dims; d++ {
+			kernel.ScaleInto(qs[d*w:d*w+w], blk.Col(d)[base:base+w], c.scales[d])
+		}
+		for _, row := range newRows {
+			dr := s.dist2[:w]
+			clear(dr)
+			for d, v := range row {
+				kernel.AddSquaredDiff(dr, qs[d*w:d*w+w], v)
+			}
+			for i := 0; i < w; i++ {
+				if dr[i] < dk2[base+i] {
+					mark[i] = true
+				}
+			}
+		}
+		for i := 0; i < w; i++ {
+			if mark[i] {
+				out = append(out, base+i)
+			}
+		}
+	}
+	return out, nil
 }
 
 // effectiveScales resolves the scaling vector used for the current fit.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"github.com/uei-db/uei/internal/kernel"
 )
 
 // Logistic is an L2-regularized logistic-regression classifier trained with
@@ -144,6 +146,31 @@ func (c *Logistic) BatchPosterior(X [][]float64, out []float64) error {
 			return err
 		}
 		out[i] = p
+	}
+	return nil
+}
+
+// BlockPosterior implements BlockClassifier: a standardized dot-product
+// over the block's columns. Per point the accumulation runs over
+// dimensions in ascending order with the scalar path's exact
+// multiply-then-divide expression, so results are bit-identical to
+// PosteriorPositive.
+func (c *Logistic) BlockPosterior(blk *kernel.Block, lo, hi int, out []float64) error {
+	if !c.fitted {
+		return ErrNotFitted
+	}
+	if blk.Dims != c.dims {
+		return fmt.Errorf("learn: block has %d dims, model has %d", blk.Dims, c.dims)
+	}
+	acc := out[:hi-lo]
+	for i := range acc {
+		acc[i] = c.b
+	}
+	for j := 0; j < c.dims; j++ {
+		kernel.AxpyStandardized(acc, blk.Col(j)[lo:hi], c.w[j], c.mean[j], c.std[j])
+	}
+	for i, s := range acc {
+		acc[i] = clampProb(sigmoid(s))
 	}
 	return nil
 }

@@ -3,6 +3,8 @@ package learn
 import (
 	"fmt"
 	"math"
+
+	"github.com/uei-db/uei/internal/kernel"
 )
 
 // GaussianNB is a Gaussian naive Bayes binary classifier: each class models
@@ -135,6 +137,48 @@ func (c *GaussianNB) BatchPosterior(X [][]float64, out []float64) error {
 			return err
 		}
 		out[i] = p
+	}
+	return nil
+}
+
+// BlockPosterior implements BlockClassifier: per-class log-likelihood
+// strips over the block's columns. The per-dimension term precomputes
+// -0.5·log(2π·var) and 2·var once per (class, dimension) — pure functions
+// of the variance, so every per-point add is the scalar path's expression
+// bit for bit — and accumulates in ascending dimension order.
+func (c *GaussianNB) BlockPosterior(blk *kernel.Block, lo, hi int, out []float64) error {
+	if !c.fitted {
+		return ErrNotFitted
+	}
+	if blk.Dims != c.dims {
+		return fmt.Errorf("learn: block has %d dims, model has %d", blk.Dims, c.dims)
+	}
+	const strip = 512
+	var llBuf [2][strip]float64
+	for base := lo; base < hi; base += strip {
+		w := hi - base
+		if w > strip {
+			w = strip
+		}
+		for cls := 0; cls < 2; cls++ {
+			ll := llBuf[cls][:w]
+			for i := range ll {
+				ll[i] = c.logPrior[cls]
+			}
+			for j := 0; j < c.dims; j++ {
+				variance := c.variance[cls][j]
+				logTerm := -0.5 * math.Log(2*math.Pi*variance)
+				kernel.AddGaussianLL(ll, blk.Col(j)[base:base+w], c.mean[cls][j], logTerm, 2*variance)
+			}
+		}
+		// Softmax over two log-likelihoods, stabilized by the max.
+		dst := out[base-lo : base-lo+w]
+		for i := 0; i < w; i++ {
+			m := math.Max(llBuf[0][i], llBuf[1][i])
+			e0 := math.Exp(llBuf[0][i] - m)
+			e1 := math.Exp(llBuf[1][i] - m)
+			dst[i] = clampProb(e1 / (e0 + e1))
+		}
 	}
 	return nil
 }

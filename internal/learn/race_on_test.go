@@ -1,0 +1,8 @@
+//go:build race
+
+package learn
+
+// raceEnabled reports whether the race detector is compiled in. Under it
+// sync.Pool deliberately drops items to expose reuse races, so
+// allocation-count assertions are not meaningful.
+const raceEnabled = true

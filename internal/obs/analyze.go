@@ -201,6 +201,7 @@ func (a *Analysis) WriteReport(w io.Writer, opts ReportOptions) error {
 	bw := bufio.NewWriter(w)
 	a.writeSLO(bw, opts.Budget)
 	a.writePhases(bw)
+	a.writeScoreSkip(bw)
 	a.writeSlowest(bw, opts.TopN)
 	a.writeShards(bw)
 	a.writeDegradation(bw)
@@ -269,6 +270,38 @@ func (a *Analysis) writePhases(w io.Writer) {
 		}
 		fmt.Fprintf(w, "  %-10s %10s  %5.1f%%\n", p, fmtDur(totals[p]), pct)
 	}
+}
+
+// writeScoreSkip prints the incremental rescorer's effectiveness from the
+// score spans' points/skipped attributes: how much of the symbolic-point
+// scoring work the exact delta rule avoided. Traces recorded before the
+// kernel path (no "skipped" attribute, or no skipping) render nothing.
+func (a *Analysis) writeScoreSkip(w io.Writer) {
+	var spans int
+	var points, skipped float64
+	a.eachSpan(func(e Event) {
+		if e.Phase != PhaseScore {
+			return
+		}
+		s, ok := e.Attrs["skipped"]
+		if !ok {
+			return
+		}
+		spans++
+		points += e.Attrs["points"]
+		skipped += s
+	})
+	if spans == 0 || skipped == 0 {
+		return
+	}
+	ratio := 0.0
+	if points > 0 {
+		ratio = 100 * skipped / points
+	}
+	fmt.Fprintf(w, "\nSCORE SKIPPING\n")
+	fmt.Fprintf(w, "  score passes %d\n", spans)
+	fmt.Fprintf(w, "  cells skipped %.0f of %.0f (%.1f%%) by exact incremental rescoring\n",
+		skipped, points, ratio)
 }
 
 // writeSlowest prints the top-N slowest steps with their span trees.

@@ -86,8 +86,26 @@ func FormatSummary(r *Registry) string {
 		fmt.Fprintf(&b, "  attributed %s across %d phases (no iteration root histogram)\n",
 			attributed.Round(time.Microsecond), len(phases))
 	}
+	b.WriteString(formatScoreSkipLine(r))
 	b.WriteString(formatBlockCacheLine(r))
 	return b.String()
+}
+
+// formatScoreSkipLine summarizes the incremental rescorer's effectiveness:
+// the share of symbolic-point scoring work the exact delta rule (or the
+// bounded-staleness knob) skipped. It renders nothing when no cell was
+// ever skipped, so legacy and full-rescore runs keep the summary
+// unchanged.
+func formatScoreSkipLine(r *Registry) string {
+	s := r.Snapshot()
+	scored := s.Counters["uei_score_scored_cells_total"]
+	skipped := s.Counters["uei_score_skipped_cells_total"]
+	if skipped == 0 {
+		return ""
+	}
+	total := scored + skipped
+	return fmt.Sprintf("Score skipping: %.1f%% of cells skipped (%d skipped / %d total) by exact incremental rescoring\n",
+		float64(skipped)/float64(total)*100, skipped, total)
 }
 
 // formatBlockCacheLine summarizes the shared block cache's effectiveness

@@ -30,10 +30,12 @@ var ErrReplicaExhausted = errors.New("all shard replicas failed")
 // cells, ascending" means the same list on both sides of any transport.
 type Backend interface {
 	// ScoreAll evaluates the model's uncertainty on the symbolic index
-	// points of the shard's owned cells and returns the scores aligned
-	// with that owned-cell list (ascending cell id). An empty shard
-	// returns an empty slice.
-	ScoreAll(ctx context.Context, model learn.Classifier) ([]float64, error)
+	// points of the shard's owned cells per spec: all of them (spec.Dirty
+	// nil) or an ascending subset of owned-cell-local indices (the
+	// incremental dirty set). Scores come back aligned with the scored
+	// list; see ScoreSpec/ScoreResult. An empty shard returns a zero
+	// ScoreResult.
+	ScoreAll(ctx context.Context, model learn.Classifier, spec ScoreSpec) (ScoreResult, error)
 	// MostUncertain returns the shard's top-k owned cells by score, best
 	// first, using the global comparator (higher score, then lower cell
 	// id). scores is aligned with the owned-cell list, exactly as
@@ -63,6 +65,34 @@ type Backend interface {
 	ResetIOStats()
 }
 
+// ScoreSpec selects which of a shard's owned symbolic points a ScoreAll
+// pass evaluates and how.
+type ScoreSpec struct {
+	// Dirty, when non-nil, restricts scoring to these owned-cell-local
+	// indices (positions in the shard's ascending owned-cell list), which
+	// must themselves be ascending. Nil scores every owned cell. Non-nil
+	// and empty is valid and scores nothing (the coordinator skips such
+	// shards entirely).
+	Dirty []int
+	// NeedDK asks for each scored point's k-th-neighbor squared distance
+	// (DWKNN only; requires Kernel). It feeds the exact incremental
+	// rescorer's dirty-cell rule.
+	NeedDK bool
+	// Kernel routes scoring through the columnar block kernels. Off takes
+	// the legacy row path; results are bit-identical either way — the flag
+	// exists so the escape hatch (core Options.ScoreKernel) reaches every
+	// transport.
+	Kernel bool
+}
+
+// ScoreResult is one shard's answer to ScoreAll: uncertainties aligned
+// with the scored list (the owned-cell list, or spec.Dirty when set), plus
+// the d_k² bounds when requested.
+type ScoreResult struct {
+	Scores []float64
+	DK2    []float64
+}
+
 // ModelMarshaler is implemented by classifiers that carry their own
 // serialized form. The coordinator wraps the model in a memoizing
 // implementation before a scoring scatter, so a remote transport fanning
@@ -86,6 +116,11 @@ func (m *modelBlob) MarshalModel() ([]byte, error) {
 	m.once.Do(func() { m.blob, m.err = learn.MarshalModel(m.Classifier) })
 	return m.blob, m.err
 }
+
+// UnwrapClassifier exposes the wrapped model so the learn package's block
+// and incremental fast paths (AsBlockClassifier, AsDWKNN) see through the
+// memoizer.
+func (m *modelBlob) UnwrapClassifier() learn.Classifier { return m.Classifier }
 
 // CellScore pairs a global grid cell with its uncertainty score in top-k
 // merges across shards.

@@ -146,7 +146,11 @@ type Coordinator struct {
 	// ownedCells[s] lists shard s's cells ascending — the alignment
 	// contract of Backend.ScoreAll/MostUncertain.
 	ownedCells [][]grid.CellID
-	cache      *chunkstore.BlockCache
+	// cellLocal[cell] is the cell's position within its owner's ownedCells
+	// list — the global→owned-local index map dirty-set scoring routes
+	// through.
+	cellLocal []int
+	cache     *chunkstore.BlockCache
 
 	deadline   atomic.Int64 // nanoseconds; 0 = none
 	hedgeDelay atomic.Int64 // nanoseconds; 0 = no hedging
@@ -331,7 +335,9 @@ func newCoordinator(man *Manifest, g *grid.Grid, owners []int, replicas [][]Back
 		}
 	}
 	ownedCells := make([][]grid.CellID, man.Shards)
+	cellLocal := make([]int, len(owners))
 	for id, o := range owners {
+		cellLocal[id] = len(ownedCells[o])
 		ownedCells[o] = append(ownedCells[o], grid.CellID(id))
 	}
 	var totalBytes int64
@@ -343,6 +349,7 @@ func newCoordinator(man *Manifest, g *grid.Grid, owners []int, replicas [][]Back
 		statBackends: stat,
 		ownerByCell:  owners,
 		ownedCells:   ownedCells,
+		cellLocal:    cellLocal,
 		meta: Meta{
 			Grid:           g,
 			Shards:         man.Shards,
@@ -674,29 +681,97 @@ func (c *Coordinator) ScatterStrict(ctx context.Context, op string, fn func(ctx 
 // the next successful pass. An error is returned only when the caller's
 // ctx is cancelled or every shard failed.
 func (c *Coordinator) ScoreAll(ctx context.Context, model learn.Classifier, unc []float64) (degraded []int, err error) {
+	return c.ScoreAllPass(ctx, model, unc, ScorePass{})
+}
+
+// ScorePass parameterizes a coordinator scoring pass: the kernel routing
+// flag, the optional global dirty-cell subset, and the optional d_k²
+// side-channel of the exact incremental rescorer.
+type ScorePass struct {
+	// Kernel routes every shard's scoring through the columnar block path
+	// (bit-identical results; the flag exists for the escape hatch).
+	Kernel bool
+	// Dirty, when non-nil, lists the global cell ids to rescore, ascending.
+	// Shards owning none of them are not contacted at all. Nil rescores
+	// every cell.
+	Dirty []int
+	// NeedDK asks every shard for per-cell k-th-neighbor squared distances
+	// (DWKNN + Kernel only); they are published into DK2, indexed by global
+	// cell id, which must then be non-nil and NumCells long.
+	NeedDK bool
+	DK2    []float64
+}
+
+// ScoreAllPass is ScoreAll with an explicit pass spec — the incremental
+// rescorer's entry point. Publication remains success-only and per shard:
+// only slots of cells actually scored (all owned, or the shard's dirty
+// subset) are written, so degraded shards leave stale-but-untorn scores
+// exactly as before.
+func (c *Coordinator) ScoreAllPass(ctx context.Context, model learn.Classifier, unc []float64, pass ScorePass) (degraded []int, err error) {
 	if len(unc) != c.meta.Grid.NumCells() {
 		return nil, fmt.Errorf("shard: uncertainty slice has %d slots, grid has %d cells", len(unc), c.meta.Grid.NumCells())
+	}
+	if pass.NeedDK && len(pass.DK2) != c.meta.Grid.NumCells() {
+		return nil, fmt.Errorf("shard: dk² slice has %d slots, grid has %d cells", len(pass.DK2), c.meta.Grid.NumCells())
+	}
+	// Route the global dirty set to per-shard owned-local index lists.
+	// Global ids ascend and cellLocal is monotone within a shard, so each
+	// shard's list is ascending, as the Backend contract requires.
+	var dirtyByShard [][]int
+	if pass.Dirty != nil {
+		dirtyByShard = make([][]int, len(c.replicas))
+		for _, cell := range pass.Dirty {
+			if cell < 0 || cell >= len(c.ownerByCell) {
+				return nil, fmt.Errorf("shard: dirty cell %d out of %d grid cells", cell, len(c.ownerByCell))
+			}
+			o := c.ownerByCell[cell]
+			dirtyByShard[o] = append(dirtyByShard[o], c.cellLocal[cell])
+		}
 	}
 	// Wrap the model so remote backends serialize it once per pass, not
 	// once per shard call (or hedged duplicate).
 	model = &modelBlob{Classifier: model}
 	return scatterGather(c, ctx, OpScore, false,
-		func(sctx context.Context, id int, b Backend) ([]float64, error) {
-			if len(c.ownedCells[id]) == 0 {
-				return nil, nil
+		func(sctx context.Context, id int, b Backend) (ScoreResult, error) {
+			spec := ScoreSpec{NeedDK: pass.NeedDK, Kernel: pass.Kernel}
+			want := len(c.ownedCells[id])
+			if dirtyByShard != nil {
+				spec.Dirty = dirtyByShard[id]
+				want = len(spec.Dirty)
 			}
-			scores, err := b.ScoreAll(sctx, model)
+			if want == 0 {
+				// Nothing to score here: an empty shard, or no dirty cells
+				// in it — the backend is not contacted.
+				return ScoreResult{}, nil
+			}
+			res, err := b.ScoreAll(sctx, model, spec)
 			if err != nil {
-				return nil, err
+				return ScoreResult{}, err
 			}
-			if len(scores) != len(c.ownedCells[id]) {
-				return nil, fmt.Errorf("shard %d returned %d scores for %d owned cells", id, len(scores), len(c.ownedCells[id]))
+			if len(res.Scores) != want {
+				return ScoreResult{}, fmt.Errorf("shard %d returned %d scores for %d requested cells", id, len(res.Scores), want)
 			}
-			return scores, nil
+			if pass.NeedDK && len(res.DK2) != want {
+				return ScoreResult{}, fmt.Errorf("shard %d returned %d dk² bounds for %d requested cells", id, len(res.DK2), want)
+			}
+			return res, nil
 		},
-		func(id int, scores []float64) {
+		func(id int, res ScoreResult) {
+			if dirtyByShard != nil {
+				for i, li := range dirtyByShard[id] {
+					cell := c.ownedCells[id][li]
+					unc[cell] = res.Scores[i]
+					if pass.NeedDK {
+						pass.DK2[cell] = res.DK2[i]
+					}
+				}
+				return
+			}
 			for i, cell := range c.ownedCells[id] {
-				unc[cell] = scores[i]
+				unc[cell] = res.Scores[i]
+				if pass.NeedDK {
+					pass.DK2[cell] = res.DK2[i]
+				}
 			}
 		})
 }

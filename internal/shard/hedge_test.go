@@ -53,15 +53,15 @@ func (s *stubBackend) wait(ctx context.Context) error {
 	}
 }
 
-func (s *stubBackend) ScoreAll(ctx context.Context, _ learn.Classifier) ([]float64, error) {
+func (s *stubBackend) ScoreAll(ctx context.Context, _ learn.Classifier, _ ScoreSpec) (ScoreResult, error) {
 	s.calls.Add(1)
 	if err := s.wait(ctx); err != nil {
-		return nil, err
+		return ScoreResult{}, err
 	}
 	if s.fail != nil {
-		return nil, s.fail
+		return ScoreResult{}, s.fail
 	}
-	return append([]float64(nil), s.scores...), nil
+	return ScoreResult{Scores: append([]float64(nil), s.scores...)}, nil
 }
 
 func (s *stubBackend) MostUncertain(_ context.Context, scores []float64, k int) ([]CellScore, error) {

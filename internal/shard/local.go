@@ -7,6 +7,7 @@ import (
 
 	"github.com/uei-db/uei/internal/chunkstore"
 	"github.com/uei-db/uei/internal/grid"
+	"github.com/uei-db/uei/internal/kernel"
 	"github.com/uei-db/uei/internal/learn"
 	"github.com/uei-db/uei/internal/pool"
 	"github.com/uei-db/uei/internal/vec"
@@ -31,6 +32,9 @@ type LocalBackend struct {
 	// symbolic index points, aligned.
 	cells   []grid.CellID
 	centers []vec.Point
+	// blk is the columnar copy of centers, packed once at construction and
+	// shared read-only by replicas and scoring goroutines.
+	blk *kernel.Block
 	// pool shards CPU-side scoring; shared with the caller.
 	pool *pool.Pool
 }
@@ -42,7 +46,7 @@ func NewLocalBackend(s *Shard, g *grid.Grid, cells []grid.CellID, centers []vec.
 	if p == nil {
 		p = pool.New(1)
 	}
-	return &LocalBackend{shard: s, g: g, cells: cells, centers: centers, pool: p}
+	return &LocalBackend{shard: s, g: g, cells: cells, centers: centers, blk: kernel.Pack(centers), pool: p}
 }
 
 // Shard exposes the wrapped shard for inspection and tests.
@@ -50,19 +54,91 @@ func (b *LocalBackend) Shard() *Shard { return b.shard }
 
 // ScoreAll implements Backend: model uncertainty over the owned symbolic
 // index points, computed through the worker pool exactly like the flat
-// scoring pass (chunked UncertaintiesInto — byte-identical results).
-func (b *LocalBackend) ScoreAll(ctx context.Context, model learn.Classifier) ([]float64, error) {
+// scoring pass. The kernel flag selects the columnar block path, the
+// legacy flag the row path (chunked UncertaintiesInto); both produce
+// byte-identical scores. A non-nil spec.Dirty restricts work to that
+// ascending owned-cell-local subset, and NeedDK additionally returns each
+// scored point's k-th-neighbor squared distance (DWKNN + kernel only).
+func (b *LocalBackend) ScoreAll(ctx context.Context, model learn.Classifier, spec ScoreSpec) (ScoreResult, error) {
 	if len(b.centers) == 0 {
-		return nil, nil
+		return ScoreResult{}, nil
 	}
-	out := make([]float64, len(b.centers))
+	var dw *learn.DWKNN
+	if spec.NeedDK {
+		if !spec.Kernel {
+			return ScoreResult{}, fmt.Errorf("shard %d: NeedDK requires the kernel path", b.shard.ID)
+		}
+		var ok bool
+		if dw, ok = learn.AsDWKNN(model); !ok {
+			return ScoreResult{}, fmt.Errorf("shard %d: NeedDK on a non-DWKNN model", b.shard.ID)
+		}
+	}
+	if spec.Dirty != nil {
+		n := len(spec.Dirty)
+		res := ScoreResult{Scores: make([]float64, n)}
+		if n == 0 {
+			return res, nil
+		}
+		for _, i := range spec.Dirty {
+			if i < 0 || i >= len(b.centers) {
+				return ScoreResult{}, fmt.Errorf("shard %d: dirty index %d out of %d owned cells", b.shard.ID, i, len(b.centers))
+			}
+		}
+		if spec.Kernel && dw != nil {
+			res.DK2 = make([]float64, n)
+			err := b.pool.DoCapped(ctx, n, scoreShardCap(n), func(lo, hi int) error {
+				return learn.BlockUncertaintiesDKAt(ctx, dw, b.blk, spec.Dirty[lo:hi], res.Scores[lo:hi], res.DK2[lo:hi])
+			})
+			if err != nil {
+				return ScoreResult{}, err
+			}
+			return res, nil
+		}
+		// Subset scoring without dk²: gather the dirty centers and run the
+		// regular path over them (row or block — identical results).
+		err := b.pool.DoCapped(ctx, n, scoreShardCap(n), func(lo, hi int) error {
+			for k, i := range spec.Dirty[lo:hi] {
+				if err := b.scoreRange(ctx, model, spec.Kernel, i, i+1, res.Scores[lo+k:lo+k+1]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return ScoreResult{}, err
+		}
+		return res, nil
+	}
+	res := ScoreResult{Scores: make([]float64, len(b.centers))}
+	if spec.NeedDK {
+		res.DK2 = make([]float64, len(b.centers))
+	}
 	err := b.pool.Do(ctx, len(b.centers), func(lo, hi int) error {
-		return learn.UncertaintiesInto(ctx, model, b.centers[lo:hi], out[lo:hi])
+		if spec.NeedDK {
+			return learn.BlockUncertaintiesDKInto(ctx, dw, b.blk, lo, hi, res.Scores[lo:hi], res.DK2[lo:hi])
+		}
+		return b.scoreRange(ctx, model, spec.Kernel, lo, hi, res.Scores[lo:hi])
 	})
 	if err != nil {
-		return nil, err
+		return ScoreResult{}, err
 	}
-	return out, nil
+	return res, nil
+}
+
+// scoreRange scores owned centers [lo, hi) into out through the selected
+// path.
+func (b *LocalBackend) scoreRange(ctx context.Context, model learn.Classifier, kernelPath bool, lo, hi int, out []float64) error {
+	if kernelPath {
+		return learn.BlockUncertaintiesInto(ctx, model, b.blk, lo, hi, out)
+	}
+	return learn.UncertaintiesInto(ctx, model, b.centers[lo:hi], out)
+}
+
+// scoreShardCap bounds the worker fan-out of a dirty-subset pass so a
+// handful of dirty cells does not pay goroutine handoff for nothing.
+func scoreShardCap(n int) int {
+	const minPerShard = 2048
+	return (n + minPerShard - 1) / minPerShard
 }
 
 // MostUncertain implements Backend: bounded insertion over the owned cells

@@ -149,8 +149,10 @@ func post[Req, Resp any](ctx context.Context, b *ShardClient, op string, reqBody
 	return out, nil
 }
 
-// ScoreAll implements shard.Backend by shipping the serialized model.
-func (b *ShardClient) ScoreAll(ctx context.Context, model learn.Classifier) ([]float64, error) {
+// ScoreAll implements shard.Backend by shipping the serialized model and
+// the pass spec; the worker scores server-side and returns the aligned
+// scores (plus d_k² bounds when requested).
+func (b *ShardClient) ScoreAll(ctx context.Context, model learn.Classifier, spec shard.ScoreSpec) (shard.ScoreResult, error) {
 	var blob []byte
 	var err error
 	if mm, ok := model.(shard.ModelMarshaler); ok {
@@ -159,13 +161,14 @@ func (b *ShardClient) ScoreAll(ctx context.Context, model learn.Classifier) ([]f
 		blob, err = learn.MarshalModel(model)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("serializing model: %w", err)
+		return shard.ScoreResult{}, fmt.Errorf("serializing model: %w", err)
 	}
-	resp, err := post[ScoreRequest, ScoreResponse](ctx, b, "score", ScoreRequest{Model: blob})
+	req := ScoreRequest{Model: blob, Dirty: spec.Dirty, NeedDK: spec.NeedDK, Kernel: spec.Kernel}
+	resp, err := post[ScoreRequest, ScoreResponse](ctx, b, "score", req)
 	if err != nil {
-		return nil, err
+		return shard.ScoreResult{}, err
 	}
-	return resp.Scores, nil
+	return shard.ScoreResult{Scores: resp.Scores, DK2: resp.DK2}, nil
 }
 
 // MostUncertain implements shard.Backend.

@@ -44,15 +44,26 @@ type MetaResponse struct {
 	ShardBytes []int64         `json:"shard_bytes"`
 }
 
-// ScoreRequest carries the serialized model (learn.MarshalModel envelope).
+// ScoreRequest carries the serialized model (learn.MarshalModel envelope)
+// plus the pass spec: the optional ascending owned-cell-local dirty subset,
+// the d_k² request flag, and the kernel-path routing flag. The spec fields
+// are omitted when unset, so pre-kernel workers and clients interoperate on
+// full passes unchanged.
 type ScoreRequest struct {
-	Model json.RawMessage `json:"model"`
+	Model  json.RawMessage `json:"model"`
+	Dirty  []int           `json:"dirty,omitempty"`
+	NeedDK bool            `json:"need_dk,omitempty"`
+	Kernel bool            `json:"kernel,omitempty"`
 }
 
-// ScoreResponse returns the scores aligned with the shard's owned-cell
-// list, ascending — the Backend.ScoreAll contract.
+// ScoreResponse returns the scores aligned with the scored list — the
+// shard's ascending owned-cell list, or the request's dirty subset — per
+// the Backend.ScoreAll contract, plus the per-cell k-th-neighbor squared
+// distances when requested (float64s round-trip JSON exactly, so remote
+// incremental passes stay bit-identical to local ones).
 type ScoreResponse struct {
 	Scores []float64 `json:"scores"`
+	DK2    []float64 `json:"dk2,omitempty"`
 }
 
 // TopKRequest carries the owned-cell-aligned scores back to the shard for

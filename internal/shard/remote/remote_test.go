@@ -126,17 +126,18 @@ func TestRemoteBackendParity(t *testing.T) {
 		local := w.coord.Backends(s)[0]
 		rem := remote.NewShardClient(client, s, meta.ShardBytes[s])
 
-		lScores, err := local.ScoreAll(ctx, model)
+		lRes, err := local.ScoreAll(ctx, model, shard.ScoreSpec{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		rScores, err := rem.ScoreAll(ctx, model)
+		rRes, err := rem.ScoreAll(ctx, model, shard.ScoreSpec{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(lScores, rScores) {
+		if !reflect.DeepEqual(lRes, rRes) {
 			t.Fatalf("shard %d: remote scores differ from local", s)
 		}
+		lScores, rScores := lRes.Scores, rRes.Scores
 
 		lTop, err := local.MostUncertain(ctx, lScores, 3)
 		if err != nil {

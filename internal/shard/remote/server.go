@@ -49,8 +49,9 @@ func NewServer(coord *shard.Coordinator, man *shard.Manifest, logf func(format s
 		if err != nil {
 			return ScoreResponse{}, badRequest(err)
 		}
-		scores, err := b.ScoreAll(ctx, model)
-		return ScoreResponse{Scores: scores}, err
+		spec := shard.ScoreSpec{Dirty: req.Dirty, NeedDK: req.NeedDK, Kernel: req.Kernel}
+		res, err := b.ScoreAll(ctx, model, spec)
+		return ScoreResponse{Scores: res.Scores, DK2: res.DK2}, err
 	})
 	handleOp(s, "topk", func(ctx context.Context, b shard.Backend, req TopKRequest) (TopKResponse, error) {
 		top, err := b.MostUncertain(ctx, req.Scores, req.K)

@@ -74,6 +74,8 @@ type apiConfig struct {
 	hedgeDelay     time.Duration
 	liveIngest     bool
 	followLive     bool
+	scoreKernel    *bool
+	boundedStale   int
 }
 
 // Option configures a facade constructor (Open, CreateTable, OpenTable,
@@ -150,6 +152,26 @@ func WithLiveIngest() Option { return func(c *apiConfig) { c.liveIngest = true }
 // opened, byte-identical to a static index over the same rows, no matter
 // how many appends land meanwhile. Implies nothing on static layouts.
 func WithFollowLive() Option { return func(c *apiConfig) { c.followLive = true } }
+
+// WithScoreKernel routes symbolic-point scoring through the columnar
+// kernel path: cache-friendly column blocks packed once at Open, batched
+// distance/dot-product kernels, and — for DWKNN models refit on
+// append-only labeled sets — exact incremental rescoring of only the
+// cells whose k-nearest-neighbor set can have changed. The kernel path
+// is bit-identical to the legacy per-row path and is ON by default;
+// WithScoreKernel(false) is the escape hatch that restores the old path
+// exactly. It takes precedence over Options.ScoreKernel when both are
+// set.
+func WithScoreKernel(on bool) Option { return func(c *apiConfig) { c.scoreKernel = &on } }
+
+// WithBoundedStaleness lets models without an exact incremental rule
+// (everything but DWKNN) reuse the previous complete score vector for
+// n-1 consecutive retrains, rescoring in full every nth. Opt-in
+// approximation — it trades bounded score staleness for iteration
+// latency; the exact DWKNN delta path and the legacy path ignore it.
+// Zero and 1 both mean every retrain rescores. It takes precedence over
+// Options.BoundedStaleness when both are set.
+func WithBoundedStaleness(n int) Option { return func(c *apiConfig) { c.boundedStale = n } }
 
 func applyOptions(o []Option) apiConfig {
 	var c apiConfig
@@ -266,6 +288,12 @@ func Open(ctx context.Context, dir string, opts Options, o ...Option) (*Index, e
 	}
 	if c.followLive {
 		opts.FollowLive = true
+	}
+	if c.scoreKernel != nil {
+		opts.ScoreKernel = c.scoreKernel
+	}
+	if c.boundedStale != 0 {
+		opts.BoundedStaleness = c.boundedStale
 	}
 	return core.Open(ctx, dir, opts)
 }
