@@ -1,0 +1,131 @@
+// Command uei-loadgen drives a running uei-serve with a closed-loop
+// fleet of simulated users: each user explores named interest regions
+// through the real session API with think time, mixed session lengths,
+// and early abandonment, while honoring the server's admission control
+// (429/503 + Retry-After). The run reports per-step latency percentiles,
+// SLO compliance, backpressure counters, and a workflow digest that is
+// identical across same-seed runs.
+//
+// Usage:
+//
+//	uei-loadgen -list
+//	uei-loadgen -addr 127.0.0.1:8080 -profile static
+//	uei-loadgen -profile zipfian-hotspot -users 500 -out summary.json
+//	uei-loadgen -profile my-workload.json -join-trace steps.jsonl
+//
+// -profile names a builtin or a JSON profile file. The run waits on GET
+// /readyz before starting, so boot ordering needs no sleeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/uei-db/uei/internal/loadgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uei-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "uei-serve address (host:port or full URL)")
+		profileArg   = flag.String("profile", "static", "builtin profile name or path to a JSON profile file")
+		users        = flag.Int("users", 0, "override the profile's fleet size")
+		seed         = flag.Int64("seed", 0, "override the profile's seed")
+		sessions     = flag.Int("sessions", 0, "override sessions per user")
+		sloMs        = flag.Float64("slo-ms", 0, "override the per-step SLO budget in milliseconds")
+		out          = flag.String("out", "", "write the machine-readable JSON summary to this file")
+		joinTrace    = flag.String("join-trace", "", "join collected trace ids against this uei-serve -trace JSONL file")
+		readyTimeout = flag.Duration("ready-timeout", 60*time.Second, "how long to wait for GET /readyz before giving up")
+		list         = flag.Bool("list", false, "list builtin profiles and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range loadgen.BuiltinNames() {
+			p, _ := loadgen.Builtin(name)
+			fmt.Printf("%-24s users=%-4d %s\n", name, p.Users, p.Description)
+		}
+		return nil
+	}
+
+	p, err := resolveProfile(*profileArg)
+	if err != nil {
+		return err
+	}
+	if *users > 0 {
+		p.Users = *users
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *sessions > 0 {
+		p.SessionsPerUser = *sessions
+	}
+	if *sloMs > 0 {
+		p.SLOMillis = *sloMs
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	res, err := loadgen.Run(base, p, loadgen.Options{ReadyTimeout: *readyTimeout})
+	if err != nil {
+		return err
+	}
+
+	if *joinTrace != "" {
+		join, err := loadgen.JoinTraceFile(*joinTrace, res.TraceIDs)
+		if err != nil {
+			return fmt.Errorf("join trace: %w", err)
+		}
+		res.Summary.TraceJoin = join
+	}
+
+	res.Summary.WriteHuman(os.Stdout)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		werr := res.Summary.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("write summary: %w", werr)
+		}
+	}
+
+	if n := res.Summary.TotalErrors(); n > 0 {
+		return fmt.Errorf("%d requests failed (see failed sessions above)", n)
+	}
+	return nil
+}
+
+// resolveProfile loads a JSON profile file when the argument names an
+// existing file (or looks like a path), and a builtin otherwise.
+func resolveProfile(arg string) (loadgen.Profile, error) {
+	if _, err := os.Stat(arg); err == nil {
+		return loadgen.Load(arg)
+	}
+	if strings.ContainsAny(arg, "/.") {
+		return loadgen.Profile{}, fmt.Errorf("profile file %q not found", arg)
+	}
+	if p, ok := loadgen.Builtin(arg); ok {
+		return p, nil
+	}
+	return loadgen.Profile{}, fmt.Errorf("unknown profile %q (builtins: %s)", arg, strings.Join(loadgen.BuiltinNames(), ", "))
+}

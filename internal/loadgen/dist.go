@@ -1,0 +1,91 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ThinkSpec describes a user's think-time distribution — the pause
+// between receiving a step's outcome and issuing the next request, the
+// "closed loop" in closed-loop load generation.
+type ThinkSpec struct {
+	// Dist is "none", "constant", "exponential", or "lognormal".
+	// Empty means "none" (stepping as fast as the server answers).
+	Dist string `json:"dist,omitempty"`
+	// MeanMs is the distribution mean in milliseconds.
+	MeanMs float64 `json:"mean_ms,omitempty"`
+	// SigmaMs shapes the lognormal: the standard deviation of the
+	// underlying normal is ln(1 + SigmaMs/MeanMs), so larger values give
+	// heavier tails. Ignored by the other distributions.
+	SigmaMs float64 `json:"sigma_ms,omitempty"`
+}
+
+// validate rejects malformed think specs.
+func (s ThinkSpec) validate() error {
+	switch s.Dist {
+	case "", "none":
+		return nil
+	case "constant", "exponential", "lognormal":
+		if s.MeanMs <= 0 {
+			return fmt.Errorf("loadgen: think dist %q needs mean_ms > 0", s.Dist)
+		}
+		if s.SigmaMs < 0 {
+			return fmt.Errorf("loadgen: negative think sigma_ms %g", s.SigmaMs)
+		}
+		return nil
+	default:
+		return fmt.Errorf("loadgen: unknown think dist %q (want none, constant, exponential, or lognormal)", s.Dist)
+	}
+}
+
+// Sample draws one think time. The draw consumes the rng
+// deterministically, so seeded workflows replay identically.
+func (s ThinkSpec) Sample(rng *rand.Rand) time.Duration {
+	mean := s.MeanMs * float64(time.Millisecond)
+	switch s.Dist {
+	case "", "none":
+		return 0
+	case "constant":
+		return time.Duration(mean)
+	case "exponential":
+		return time.Duration(rng.ExpFloat64() * mean)
+	case "lognormal":
+		// Parameterized so the distribution mean equals MeanMs: with
+		// sigma = ln(1 + SigmaMs/MeanMs), mu = ln(mean) - sigma^2/2.
+		sigma := math.Log(1 + s.SigmaMs/s.MeanMs)
+		mu := math.Log(mean) - sigma*sigma/2
+		return time.Duration(math.Exp(mu + sigma*rng.NormFloat64()))
+	default:
+		return 0
+	}
+}
+
+// regionPicker draws region indices with zipfian popularity (exponent
+// s > 1) or uniformly (s <= 1). rand.Zipf's rank 0 is the most popular,
+// so region order in the profile is popularity order.
+type regionPicker struct {
+	n    int
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+func newRegionPicker(n int, s float64, rng *rand.Rand) *regionPicker {
+	p := &regionPicker{n: n, rng: rng}
+	if s > 1 && n > 1 {
+		p.zipf = rand.NewZipf(rng, s, 1, uint64(n-1))
+	}
+	return p
+}
+
+// pick returns the next region index, consuming the rng exactly once.
+func (p *regionPicker) pick() int {
+	if p.n <= 1 {
+		return 0
+	}
+	if p.zipf != nil {
+		return int(p.zipf.Uint64())
+	}
+	return p.rng.Intn(p.n)
+}

@@ -1,0 +1,152 @@
+// Package loadgen is a closed-loop load generator for uei-serve: fleets
+// of simulated users drive the real HTTP/JSON session API through
+// realistic exploration workflows (think time, mixed session lengths,
+// early abandonment, zipfian popularity over named interest regions,
+// optional live-append writers) and report per-step latency percentiles,
+// SLO compliance, and backpressure behavior. Profiles are named, seeded,
+// and reproducible: two runs with the same profile and seed produce
+// identical session workflows and label sequences.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// histMin and histGrowth define the HDR-style log-bucketed latency
+// histogram: bucket i covers [histMin*growth^(i-1), histMin*growth^i),
+// giving ~5% relative error per bucket from 10µs up. 600 buckets reach
+// past five hours, far beyond any step latency worth distinguishing.
+const (
+	histMin     = 10 * time.Microsecond
+	histGrowth  = 1.05
+	histBuckets = 600
+)
+
+// invLogGrowth caches 1/ln(growth) for the bucket index computation.
+var invLogGrowth = 1 / math.Log(histGrowth)
+
+// Hist is a fixed-size log-bucketed latency histogram. It is not
+// goroutine-safe; each user records into its own and the runner merges.
+type Hist struct {
+	counts [histBuckets + 2]int64 // [0]: <= histMin; [last]: overflow
+	n      int64
+	sum    time.Duration
+	max    time.Duration
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= histMin {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(histMin))*invLogGrowth) + 1
+	if i > histBuckets+1 {
+		return histBuckets + 1
+	}
+	return i
+}
+
+// bucketValue returns the representative duration of a bucket (its
+// geometric midpoint).
+func bucketValue(i int) time.Duration {
+	if i <= 0 {
+		return histMin
+	}
+	return time.Duration(float64(histMin) * math.Pow(histGrowth, float64(i)-0.5))
+}
+
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)]++
+	h.n++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Merge folds another histogram into this one.
+func (h *Hist) Merge(o *Hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.n }
+
+// Max returns the largest recorded sample exactly (not bucketed).
+func (h *Hist) Max() time.Duration { return h.max }
+
+// Mean returns the exact arithmetic mean of the recorded samples.
+func (h *Hist) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) by nearest rank over the
+// buckets; the answer carries the bucket's ~5% relative error. The exact
+// maximum is returned for the top rank so p100 is never an artifact of
+// bucketing.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= h.n {
+		return h.max
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketValue(i)
+			if v > h.max {
+				return h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// AtOrBelow returns how many samples were <= d (bucket-granular: the
+// boundary bucket counts fully when its representative value fits).
+func (h *Hist) AtOrBelow(d time.Duration) int64 {
+	var n int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if bucketValue(i) <= d {
+			n += c
+		}
+	}
+	return n
+}
+
+// Millis formats a duration as fractional milliseconds for reports.
+func Millis(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// fmtMillis renders a duration as "12.34ms" with stable precision for
+// awk-friendly report lines.
+func fmtMillis(d time.Duration) string {
+	return fmt.Sprintf("%.2f", Millis(d))
+}

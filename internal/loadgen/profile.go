@@ -1,0 +1,313 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/uei-db/uei/internal/server"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("250ms", "2s") and unmarshals from either that form or a bare number
+// of milliseconds, so profiles stay hand-editable JSON.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("loadgen: bad duration %q: %v", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ms float64
+	if err := json.Unmarshal(b, &ms); err != nil {
+		return fmt.Errorf("loadgen: duration must be a string like \"250ms\" or a number of milliseconds: %s", b)
+	}
+	*d = Duration(ms * float64(time.Millisecond))
+	return nil
+}
+
+// Region is a named interest region users can explore. Its OracleSpec
+// must carry its own Seed so every session targeting this region shares
+// one synthesized ground truth regardless of the session's private
+// sampling seed.
+type Region struct {
+	// Name identifies the region in reports and workflow logs.
+	Name string `json:"name"`
+	// Oracle describes the target; selectivity-based specs are
+	// schema-independent and work against any store.
+	Oracle server.OracleSpec `json:"oracle"`
+}
+
+// Profile is a named, seeded, reproducible workload description — the
+// unit the uei-loadgen CLI loads from JSON or picks from the builtin
+// library.
+type Profile struct {
+	// Name identifies the profile in reports.
+	Name string `json:"name"`
+	// Description is a one-line summary for -list.
+	Description string `json:"description,omitempty"`
+	// Seed drives every random choice in the run: user workflows, think
+	// times, region popularity, session seeds. Two runs with equal
+	// profiles and seeds produce identical workflows and label
+	// sequences.
+	Seed int64 `json:"seed"`
+	// Users is the fleet size.
+	Users int `json:"users"`
+	// SessionsPerUser is how many sessions each user runs back to back.
+	// Zero selects 1.
+	SessionsPerUser int `json:"sessions_per_user,omitempty"`
+	// RampUp staggers user start times uniformly across this window so
+	// the fleet does not arrive as one thundering herd. Zero starts
+	// everyone at once.
+	RampUp Duration `json:"ramp_up,omitempty"`
+
+	// Regions is the library of named interest regions. Users pick one
+	// per session; index order is popularity order under zipf.
+	Regions []Region `json:"regions"`
+	// RegionZipfS, when > 1, skews region popularity zipfian with this
+	// exponent (region 0 hottest). Values <= 1 pick uniformly.
+	RegionZipfS float64 `json:"region_zipf_s,omitempty"`
+
+	// MinLabels and MaxLabels bound the per-session label budget; each
+	// session draws uniformly from [MinLabels, MaxLabels], mixing short
+	// and long explorations. MinLabels zero selects MaxLabels.
+	MinLabels int `json:"min_labels,omitempty"`
+	MaxLabels int `json:"max_labels"`
+	// SampleSize pins the session view's γ. Pinning keeps workflows
+	// deterministic: the server otherwise derives γ from its current
+	// budget share, which varies with load. Zero lets the server choose.
+	SampleSize int `json:"sample_size,omitempty"`
+	// BatchSize is the retrain batch B (zero: server default).
+	BatchSize int `json:"batch_size,omitempty"`
+	// AbandonProb is the per-session probability the user walks away
+	// early, finishing at a uniformly drawn fraction of the budget —
+	// real explorers leave when they have seen enough.
+	AbandonProb float64 `json:"abandon_prob,omitempty"`
+	// Think is the between-step pause distribution.
+	Think ThinkSpec `json:"think,omitempty"`
+
+	// SLOMillis is the interactivity budget a step must meet. Zero
+	// selects 500 (the paper's interactive threshold).
+	SLOMillis float64 `json:"slo_millis,omitempty"`
+
+	// Writers is the number of concurrent live-append writers running
+	// alongside the fleet (requires a -live server). Zero disables.
+	Writers int `json:"writers,omitempty"`
+	// WriteBatch is rows per append call (zero: 64).
+	WriteBatch int `json:"write_batch,omitempty"`
+	// WriteInterval is the pause between append calls (zero: 100ms).
+	WriteInterval Duration `json:"write_interval,omitempty"`
+}
+
+// withDefaults fills zero values.
+func (p Profile) withDefaults() Profile {
+	if p.SessionsPerUser == 0 {
+		p.SessionsPerUser = 1
+	}
+	if p.MinLabels == 0 {
+		p.MinLabels = p.MaxLabels
+	}
+	if p.SLOMillis == 0 {
+		p.SLOMillis = 500
+	}
+	if p.WriteBatch == 0 {
+		p.WriteBatch = 64
+	}
+	if p.WriteInterval == 0 {
+		p.WriteInterval = Duration(100 * time.Millisecond)
+	}
+	// Unseeded regions get deterministic seeds derived from the profile
+	// seed, so a hand-written profile stays reproducible without
+	// spelling every seed out.
+	for i := range p.Regions {
+		if p.Regions[i].Oracle.Seed == 0 {
+			p.Regions[i].Oracle.Seed = p.Seed*1000003 + int64(i) + 1
+		}
+	}
+	return p
+}
+
+// Validate rejects malformed profiles with actionable messages.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("loadgen: profile needs a name")
+	}
+	if p.Users <= 0 {
+		return fmt.Errorf("loadgen: profile %q needs users > 0", p.Name)
+	}
+	if p.SessionsPerUser < 0 {
+		return fmt.Errorf("loadgen: profile %q: negative sessions_per_user", p.Name)
+	}
+	if len(p.Regions) == 0 {
+		return fmt.Errorf("loadgen: profile %q needs at least one region", p.Name)
+	}
+	for i, r := range p.Regions {
+		if r.Name == "" {
+			return fmt.Errorf("loadgen: profile %q: region %d needs a name", p.Name, i)
+		}
+	}
+	if p.MaxLabels <= 0 {
+		return fmt.Errorf("loadgen: profile %q needs max_labels > 0", p.Name)
+	}
+	if p.MinLabels < 0 || (p.MinLabels > 0 && p.MinLabels > p.MaxLabels) {
+		return fmt.Errorf("loadgen: profile %q: min_labels %d outside [0, max_labels=%d]", p.Name, p.MinLabels, p.MaxLabels)
+	}
+	if p.AbandonProb < 0 || p.AbandonProb > 1 {
+		return fmt.Errorf("loadgen: profile %q: abandon_prob %g outside [0,1]", p.Name, p.AbandonProb)
+	}
+	if p.RegionZipfS < 0 {
+		return fmt.Errorf("loadgen: profile %q: negative region_zipf_s", p.Name)
+	}
+	if p.Writers < 0 {
+		return fmt.Errorf("loadgen: profile %q: negative writers", p.Name)
+	}
+	if err := p.Think.validate(); err != nil {
+		return fmt.Errorf("profile %q: %w", p.Name, err)
+	}
+	return nil
+}
+
+// Load reads a profile from a JSON file, validates it, and applies
+// defaults.
+func Load(path string) (Profile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Profile{}, fmt.Errorf("loadgen: read profile: %w", err)
+	}
+	return Parse(b)
+}
+
+// Parse decodes, validates, and defaults a JSON profile.
+func Parse(b []byte) (Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(b, &p); err != nil {
+		return Profile{}, fmt.Errorf("loadgen: parse profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p.withDefaults(), nil
+}
+
+// builtins is the starter profile library. Every profile is seeded and
+// selectivity-based, so it runs against any store without knowing the
+// schema.
+var builtins = map[string]Profile{
+	"static": {
+		Name:        "static",
+		Description: "steady fleet over fixed interest regions, lognormal think time",
+		Seed:        1,
+		Users:       100,
+		RampUp:      Duration(2 * time.Second),
+		Regions: []Region{
+			{Name: "dense", Oracle: server.OracleSpec{Selectivity: 0.05}},
+			{Name: "mid", Oracle: server.OracleSpec{Selectivity: 0.02}},
+			{Name: "narrow", Oracle: server.OracleSpec{Selectivity: 0.01}},
+		},
+		MinLabels:  6,
+		MaxLabels:  15,
+		SampleSize: 200,
+		Think:      ThinkSpec{Dist: "lognormal", MeanMs: 150, SigmaMs: 100},
+	},
+	"drifting-interest": {
+		Name:        "drifting-interest",
+		Description: "users whose target region moves as they label (concept drift)",
+		Seed:        2,
+		Users:       100,
+		RampUp:      Duration(2 * time.Second),
+		Regions: []Region{
+			{Name: "drift-near", Oracle: server.OracleSpec{Selectivity: 0.05, Drift: &server.DriftSpec{OffsetFrac: 0.05}}},
+			{Name: "drift-far", Oracle: server.OracleSpec{Selectivity: 0.03, Drift: &server.DriftSpec{OffsetFrac: 0.15}}},
+		},
+		MinLabels:   8,
+		MaxLabels:   18,
+		SampleSize:  200,
+		AbandonProb: 0.1,
+		Think:       ThinkSpec{Dist: "lognormal", MeanMs: 200, SigmaMs: 150},
+	},
+	"multi-region-nonconvex": {
+		Name:        "multi-region-nonconvex",
+		Description: "disjunctive and ring-shaped targets that break single-box convexity",
+		Seed:        3,
+		Users:       100,
+		RampUp:      Duration(2 * time.Second),
+		Regions: []Region{
+			{Name: "two-islands", Oracle: server.OracleSpec{Selectivity: 0.05, Regions: 2}},
+			{Name: "ring", Oracle: server.OracleSpec{Selectivity: 0.08, Ring: &server.RingSpec{InnerFrac: 0.5}}},
+			{Name: "three-islands", Oracle: server.OracleSpec{Selectivity: 0.06, Regions: 3}},
+		},
+		MinLabels:  8,
+		MaxLabels:  16,
+		SampleSize: 200,
+		Think:      ThinkSpec{Dist: "exponential", MeanMs: 150},
+	},
+	"zipfian-hotspot": {
+		Name:        "zipfian-hotspot",
+		Description: "zipfian popularity: most users pile onto one hot region",
+		Seed:        4,
+		Users:       150,
+		RampUp:      Duration(2 * time.Second),
+		Regions: []Region{
+			{Name: "hot", Oracle: server.OracleSpec{Selectivity: 0.05}},
+			{Name: "warm", Oracle: server.OracleSpec{Selectivity: 0.04}},
+			{Name: "cool", Oracle: server.OracleSpec{Selectivity: 0.03}},
+			{Name: "cold", Oracle: server.OracleSpec{Selectivity: 0.02}},
+		},
+		RegionZipfS: 1.5,
+		MinLabels:   6,
+		MaxLabels:   12,
+		SampleSize:  200,
+		AbandonProb: 0.15,
+		Think:       ThinkSpec{Dist: "lognormal", MeanMs: 120, SigmaMs: 80},
+	},
+	"live-ingest": {
+		Name:        "live-ingest",
+		Description: "exploration under concurrent live appends (requires a -live server)",
+		Seed:        5,
+		Users:       80,
+		RampUp:      Duration(2 * time.Second),
+		Regions: []Region{
+			{Name: "dense", Oracle: server.OracleSpec{Selectivity: 0.05}},
+			{Name: "mid", Oracle: server.OracleSpec{Selectivity: 0.02}},
+		},
+		MinLabels:     6,
+		MaxLabels:     14,
+		SampleSize:    200,
+		Think:         ThinkSpec{Dist: "lognormal", MeanMs: 150, SigmaMs: 100},
+		Writers:       4,
+		WriteBatch:    64,
+		WriteInterval: Duration(100 * time.Millisecond),
+	},
+}
+
+// Builtin returns a builtin profile by name (defaults applied).
+func Builtin(name string) (Profile, bool) {
+	p, ok := builtins[name]
+	if !ok {
+		return Profile{}, false
+	}
+	return p.withDefaults(), true
+}
+
+// BuiltinNames lists the builtin profiles in sorted order.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -39,7 +39,11 @@ type Oracle struct {
 	region Region
 	// targets is the full (possibly multi-region) target union; empty for
 	// single-region oracles built with New.
-	targets  MultiRegion
+	targets MultiRegion
+	// shape, when set, is the exact (possibly non-convex) target geometry
+	// of an oracle built with NewShape; LabelPoint prefers it over the box
+	// representations above.
+	shape    Target
 	ds       *dataset.Dataset
 	relevant map[dataset.RowID]bool
 	// labelsGiven counts label solicitations, the x-axis of Figures 3-5
@@ -85,6 +89,12 @@ func (o *Oracle) LabelID(id dataset.RowID) Label {
 // tests). It uses the target geometry directly.
 func (o *Oracle) LabelPoint(x vec.Point) Label {
 	o.labelsGiven++
+	if o.shape != nil {
+		if o.shape.Contains(x) {
+			return Positive
+		}
+		return Negative
+	}
 	if o.Targets().Contains(x) {
 		return Positive
 	}

@@ -112,7 +112,8 @@ func readJSONLimit(r *http.Request, v any, limit int64) error {
 //	GET    /v1/sessions/{id}/result retrieved result set
 //	DELETE /v1/sessions/{id}      delete
 //	POST   /v1/append             ingest rows into a live store (body: AppendRequest)
-//	GET    /healthz               liveness (503 while draining)
+//	GET    /healthz               liveness (always 200 with a HealthInfo body)
+//	GET    /readyz                readiness (503 with HealthInfo while draining)
 func (m *Manager) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/sessions", m.handleCreate)
 	mux.HandleFunc("POST /v1/append", m.handleAppend)
@@ -122,6 +123,7 @@ func (m *Manager) Register(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/sessions/{id}/result", m.handleResult)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", m.handleDelete)
 	mux.HandleFunc("GET /healthz", m.handleHealth)
+	mux.HandleFunc("GET /readyz", m.handleReady)
 }
 
 // Handler returns a mux with just the session API (tests and embedders).
@@ -204,14 +206,6 @@ func (m *Manager) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-func (m *Manager) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	if m.draining.Load() {
-		writeError(w, ErrDraining)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // Serve runs the session API (plus the /metrics and /debug endpoints of
